@@ -1,0 +1,47 @@
+"""Ablation: sensitivity to the cost-function family mix (paper §5.1).
+
+The paper draws each tuple's cost function from binomial / exponential /
+logarithm families.  This sweep re-runs greedy and D&C with single-family
+workloads to show how the family shapes total cost and the solvers' gap.
+"""
+
+import pytest
+
+from repro.cost import CostModelSampler
+from repro.increment import solve_dnc, solve_greedy
+from repro.workload import WorkloadSpec, generate_problem
+
+from _bench_common import record
+
+MIXES = {
+    "paper-mix": None,  # default: binomial + exponential + logarithmic
+    "linear": {"linear": 1.0},
+    "binomial": {"binomial": 1.0},
+    "exponential": {"exponential": 1.0},
+    "logarithmic": {"logarithmic": 1.0},
+}
+
+
+@pytest.mark.parametrize("mix", list(MIXES))
+def test_ablation_cost_mix(benchmark, mix):
+    weights = MIXES[mix]
+    sampler = CostModelSampler() if weights is None else CostModelSampler(weights)
+    spec = WorkloadSpec(
+        data_size=500,
+        tuples_per_result=5,
+        threshold=0.6,
+        cost_sampler=sampler,
+    )
+    problem = generate_problem(spec, seed=33).problem
+
+    def solve_both():
+        return solve_greedy(problem), solve_dnc(problem)
+
+    greedy, dnc = benchmark.pedantic(solve_both, rounds=1, iterations=1)
+    record(
+        "ablation: cost-family mix",
+        mix=mix,
+        greedy_cost=greedy.total_cost,
+        dnc_cost=dnc.total_cost,
+        dnc_over_greedy=dnc.total_cost / max(greedy.total_cost, 1e-9),
+    )

@@ -1,0 +1,34 @@
+"""Ablation: the confidence-increment granularity δ (Table 4 default 0.1).
+
+Finer granularity lets solvers stop closer to the exact confidence a result
+needs (lower cost) at the price of more steps (higher time).  The sweep
+quantifies that trade-off for the greedy solver.
+"""
+
+import pytest
+
+from repro.increment import solve_greedy
+from repro.workload import WorkloadSpec, generate_problem
+
+from _bench_common import record
+
+DELTAS = [0.025, 0.05, 0.1, 0.2, 0.4]
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_ablation_delta(benchmark, delta):
+    spec = WorkloadSpec(
+        data_size=500, tuples_per_result=5, threshold=0.6, delta=delta
+    )
+    problem = generate_problem(spec, seed=21).problem
+
+    plan = benchmark.pedantic(
+        lambda: solve_greedy(problem), rounds=1, iterations=1
+    )
+    record(
+        "ablation: delta granularity",
+        delta=delta,
+        cost=plan.total_cost,
+        seconds=plan.stats.elapsed_seconds,
+        gain_evaluations=plan.stats.gain_evaluations,
+    )

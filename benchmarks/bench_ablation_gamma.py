@@ -1,0 +1,33 @@
+"""Ablation: the D&C partitioning threshold γ (paper §4.3).
+
+γ controls how aggressively related results merge into one group: γ = ∞
+degenerates to per-result groups (pure local solving), γ = 0 merges
+everything connected (degenerating toward global greedy).  The sweep shows
+the cost/time trade-off the paper's lightweight partitioner navigates.
+"""
+
+import pytest
+
+from repro.increment import DncOptions, PartitionOptions, solve_dnc
+
+from _bench_common import record, scalability_problem
+
+GAMMAS = [0.5, 1.0, 2.0, 4.0, 8.0]
+SIZE = 1000
+
+
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_ablation_partition_gamma(benchmark, gamma):
+    problem = scalability_problem(SIZE)
+    options = DncOptions(partition=PartitionOptions(gamma=gamma))
+
+    plan = benchmark.pedantic(
+        lambda: solve_dnc(problem, options), rounds=1, iterations=1
+    )
+    record(
+        "ablation: D&C gamma",
+        gamma=gamma,
+        groups=plan.stats.groups,
+        cost=plan.total_cost,
+        seconds=plan.stats.elapsed_seconds,
+    )

@@ -1,0 +1,52 @@
+"""Extension bench: iterated local search on top of greedy and D&C.
+
+Measures how much tuple-level swap moves recover beyond the paper's
+walk-back refinement.  Honest headline: greedy's two-phase output is a
+strong local optimum under single-tuple and pairwise moves (~0-2%
+recoverable); the D&C gap to greedy is structural (which results were
+chosen per group) and survives tuple-level polishing — escaping it needs
+result-level moves, i.e. a different allocation (see DncOptions).
+"""
+
+import pytest
+
+from repro.increment import (
+    LocalSearchOptions,
+    solve_dnc,
+    solve_greedy,
+    solve_local_search,
+)
+
+from _bench_common import record, scalability_problem
+
+SIZES = [200, 500, 1000]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_extension_local_search(benchmark, size):
+    problem = scalability_problem(size)
+
+    def solve_all():
+        greedy = solve_greedy(problem)
+        polished_greedy = solve_local_search(
+            problem, LocalSearchOptions(initial_plan=greedy, restarts=2)
+        )
+        dnc = solve_dnc(problem)
+        polished_dnc = solve_local_search(
+            problem, LocalSearchOptions(initial_plan=dnc, restarts=2)
+        )
+        return greedy, polished_greedy, dnc, polished_dnc
+
+    greedy, polished_greedy, dnc, polished_dnc = benchmark.pedantic(
+        solve_all, rounds=1, iterations=1
+    )
+    assert polished_greedy.total_cost <= greedy.total_cost + 1e-6
+    assert polished_dnc.total_cost <= dnc.total_cost + 1e-6
+    record(
+        "extension: iterated local search",
+        data_size=size,
+        greedy=greedy.total_cost,
+        greedy_ls=polished_greedy.total_cost,
+        dnc=dnc.total_cost,
+        dnc_ls=polished_dnc.total_cost,
+    )

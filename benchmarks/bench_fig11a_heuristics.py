@@ -1,0 +1,42 @@
+"""Figure 11(a): heuristic-solver response time per pruning configuration.
+
+Paper setup: 10 base tuples, 5 per result, at least 3 results above the
+threshold; series Naive, H1, H2, H3, H4, All — each single heuristic beats
+Naive, and All combined improves response time by over an order of
+magnitude.  No greedy-derived initial upper bound here (that is Fig. 11(d)).
+"""
+
+import pytest
+
+from repro.increment import HeuristicOptions, solve_heuristic
+
+from _bench_common import heuristic_problem, record
+
+CONFIGURATIONS = {
+    "Naive": HeuristicOptions.naive,
+    "H1": lambda: HeuristicOptions.only("h1"),
+    "H2": lambda: HeuristicOptions.only("h2"),
+    "H3": lambda: HeuristicOptions.only("h3"),
+    "H4": lambda: HeuristicOptions.only("h4"),
+    "All": HeuristicOptions,
+}
+
+
+@pytest.mark.parametrize("configuration", list(CONFIGURATIONS))
+def test_fig11a_heuristic_response_time(benchmark, configuration):
+    problem = heuristic_problem()
+    options = CONFIGURATIONS[configuration]()
+
+    plan = benchmark.pedantic(
+        lambda: solve_heuristic(problem, options), rounds=3, iterations=1
+    )
+    assert plan.stats.completed
+    record(
+        "fig11a (no greedy bound)",
+        configuration=configuration,
+        seconds=plan.stats.elapsed_seconds,
+        nodes=plan.stats.nodes_explored,
+        cost=plan.total_cost,
+    )
+    benchmark.extra_info["nodes"] = plan.stats.nodes_explored
+    benchmark.extra_info["cost"] = plan.total_cost

@@ -1,0 +1,36 @@
+"""Figure 11(b): one-phase vs two-phase greedy response time.
+
+Paper finding: both versions have similar response time across data sizes —
+the second (refinement) phase's overhead is negligible relative to phase 1.
+"""
+
+import pytest
+
+from repro.increment import GreedyOptions, solve_greedy
+
+from _bench_common import GREEDY_SIZES, greedy_sweep_problem, record
+
+# gain_scope="all" is the literal Equation-2 gain the paper uses; see
+# bench_fig11e_greedy_cost.py for why it matters there.
+VARIANTS = {
+    "One-Phase": GreedyOptions(two_phase=False, gain_scope="all"),
+    "Two-Phase": GreedyOptions(two_phase=True, gain_scope="all"),
+}
+
+
+@pytest.mark.parametrize("size", GREEDY_SIZES)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_fig11b_greedy_response_time(benchmark, size, variant):
+    problem = greedy_sweep_problem(size)
+    options = VARIANTS[variant]
+
+    plan = benchmark.pedantic(
+        lambda: solve_greedy(problem, options), rounds=3, iterations=1
+    )
+    record(
+        "fig11b (greedy time)",
+        data_size=size,
+        variant=variant,
+        seconds=plan.stats.elapsed_seconds,
+        gain_evaluations=plan.stats.gain_evaluations,
+    )

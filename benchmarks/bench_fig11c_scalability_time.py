@@ -1,0 +1,67 @@
+"""Figure 11(c): response time of heuristic vs greedy vs D&C over data size.
+
+Paper findings reproduced here:
+
+* the exact heuristic only handles tiny instances (tens of tuples);
+* greedy (the paper's full-recompute variant) is fastest on small data and
+  blows up super-linearly with size;
+* D&C pays a partitioning overhead on small data but scales far better,
+  overtaking greedy as size grows.
+"""
+
+import pytest
+
+from repro.increment import (
+    DncOptions,
+    GreedyOptions,
+    solve_dnc,
+    solve_greedy,
+    solve_heuristic,
+)
+
+from _bench_common import (
+    GREEDY_FULL_MAX_SIZE,
+    HEURISTIC_MAX_SIZE,
+    SCALE_SIZES,
+    record,
+    scalability_problem,
+)
+
+
+def _algorithms_for(size):
+    algorithms = {}
+    if size <= HEURISTIC_MAX_SIZE:
+        algorithms["Heuristic"] = solve_heuristic
+    if size <= GREEDY_FULL_MAX_SIZE:
+        # The paper's greedy recomputes every gain each iteration; its
+        # super-linear growth with data size is the figure's message.
+        algorithms["Greedy"] = lambda p: solve_greedy(
+            p, GreedyOptions(recompute="full")
+        )
+    algorithms["D&C"] = lambda p: solve_dnc(
+        p, DncOptions(greedy=GreedyOptions(recompute="full"))
+    )
+    return algorithms
+
+
+CASES = [
+    (size, name)
+    for size in SCALE_SIZES
+    for name in _algorithms_for(size)
+]
+
+
+@pytest.mark.parametrize("size,algorithm", CASES)
+def test_fig11c_response_time(benchmark, size, algorithm):
+    problem = scalability_problem(size)
+    solve = _algorithms_for(size)[algorithm]
+
+    plan = benchmark.pedantic(lambda: solve(problem), rounds=1, iterations=1)
+    record(
+        "fig11c (scalability time)",
+        data_size=size,
+        algorithm=algorithm,
+        seconds=plan.stats.elapsed_seconds,
+        cost=plan.total_cost,
+    )
+    benchmark.extra_info["cost"] = plan.total_cost

@@ -1,0 +1,47 @@
+"""Figure 11(e): one-phase vs two-phase greedy minimum cost.
+
+Paper finding: the refinement phase cuts the total increment cost by more
+than 30% — the series records the measured reduction per data size.
+"""
+
+import pytest
+
+from repro.increment import GreedyOptions, solve_greedy
+
+from _bench_common import GREEDY_SIZES, greedy_sweep_problem, record
+
+
+@pytest.mark.parametrize("size", GREEDY_SIZES)
+def test_fig11e_greedy_cost(benchmark, size):
+    problem = greedy_sweep_problem(size)
+
+    def solve_both():
+        # The paper's Equation-2 gain sums ΔF over *all* affected results;
+        # that literal reading makes phase 1 overshoot (raising confidence
+        # that benefits only already-satisfied results), which is exactly
+        # what gives phase 2 its >30% cost reduction.  Our default
+        # "unsatisfied" scope overshoots less, leaving phase 2 ~25% —
+        # see the ablation benches for the comparison.
+        one = solve_greedy(
+            problem, GreedyOptions(two_phase=False, gain_scope="all")
+        )
+        two = solve_greedy(
+            problem, GreedyOptions(two_phase=True, gain_scope="all")
+        )
+        return one, two
+
+    one, two = benchmark.pedantic(solve_both, rounds=1, iterations=1)
+    assert two.total_cost <= one.total_cost + 1e-9
+    reduction = (
+        0.0
+        if one.total_cost == 0
+        else 100.0 * (one.total_cost - two.total_cost) / one.total_cost
+    )
+    record(
+        "fig11e (greedy cost)",
+        data_size=size,
+        one_phase_cost=one.total_cost,
+        two_phase_cost=two.total_cost,
+        reduction_pct=reduction,
+    )
+    benchmark.extra_info["reduction_pct"] = reduction

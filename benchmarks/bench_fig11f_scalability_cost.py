@@ -1,0 +1,45 @@
+"""Figure 11(f): minimum cost of heuristic vs greedy vs D&C over data size.
+
+Paper findings: the heuristic is optimal where it runs at all; greedy and
+D&C track each other closely, slightly above the optimum; costs grow with
+data size as more results must be lifted.
+"""
+
+import pytest
+
+from repro.increment import solve_dnc, solve_greedy, solve_heuristic
+
+from _bench_common import (
+    HEURISTIC_MAX_SIZE,
+    SCALE_SIZES,
+    record,
+    scalability_problem,
+)
+
+
+@pytest.mark.parametrize("size", SCALE_SIZES)
+def test_fig11f_cost(benchmark, size):
+    problem = scalability_problem(size)
+
+    def solve_all():
+        plans = {}
+        if size <= HEURISTIC_MAX_SIZE:
+            plans["Heuristic"] = solve_heuristic(problem)
+        plans["Greedy"] = solve_greedy(problem)
+        plans["D&C"] = solve_dnc(problem)
+        return plans
+
+    plans = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    if "Heuristic" in plans:
+        # The exact solver lower-bounds both approximations.
+        for name in ("Greedy", "D&C"):
+            assert plans["Heuristic"].total_cost <= plans[name].total_cost + 1e-6
+    record(
+        "fig11f (scalability cost)",
+        data_size=size,
+        heuristic=plans.get("Heuristic") and plans["Heuristic"].total_cost,
+        greedy=plans["Greedy"].total_cost,
+        dnc=plans["D&C"].total_cost,
+        dnc_over_greedy=plans["D&C"].total_cost
+        / max(plans["Greedy"].total_cost, 1e-9),
+    )

@@ -1,0 +1,81 @@
+"""Tables 1-3 / §3.1: the running example as a regression benchmark.
+
+Checks the exact numbers the paper derives — p38 = 0.058, the two candidate
+fixes (0.064 via tuple 02 at 10× the price, 0.065 via tuple 03), and the
+optimal increment cost of 10 — while timing the full PCQE pipeline.
+"""
+
+import pytest
+
+from repro import PCQEngine, QueryRequest, QueryStatus
+from repro.increment import IncrementProblem, solve_heuristic
+from repro.lineage import lineage_and, lineage_or, probability, var
+from repro.sql import run_sql
+from repro.workload import venture_capital_database
+
+from _bench_common import record
+
+
+def test_running_example_lineage_confidence(benchmark):
+    scenario = venture_capital_database()
+
+    result = benchmark.pedantic(
+        lambda: run_sql(scenario.db, scenario.QUERY), rounds=5, iterations=1
+    )
+    confidences = {
+        row.values[0]: confidence
+        for row, confidence in result.with_confidences(scenario.db)
+    }
+    assert confidences["BlueRiver"] == pytest.approx(0.058)
+    record(
+        "running example (§3.1)",
+        quantity="p38 = (p02+p03-p02*p03)*p13",
+        paper=0.058,
+        measured=round(confidences["BlueRiver"], 6),
+    )
+
+
+def test_running_example_increment_cost(benchmark):
+    scenario = venture_capital_database()
+    t02 = scenario.proposal_ids["02"]
+    t03 = scenario.proposal_ids["03"]
+    t13 = scenario.company_ids["13"]
+    lineage = lineage_and(lineage_or(var(t02), var(t03)), var(t13))
+
+    base = scenario.db.confidences([t02, t03, t13])
+    assert probability(lineage, {**base, t02: 0.4}) == pytest.approx(0.064)
+    assert probability(lineage, {**base, t03: 0.5}) == pytest.approx(0.065)
+
+    problem = IncrementProblem.from_results(
+        [lineage], scenario.db, threshold=0.06, required_count=1
+    )
+    plan = benchmark.pedantic(
+        lambda: solve_heuristic(problem), rounds=5, iterations=1
+    )
+    assert plan.total_cost == pytest.approx(10.0)
+    record(
+        "running example (§3.1)",
+        quantity="optimal increment cost",
+        paper=10.0,
+        measured=plan.total_cost,
+    )
+
+
+def test_running_example_full_pipeline(benchmark):
+    def pipeline():
+        scenario = venture_capital_database()
+        engine = PCQEngine(
+            scenario.db, scenario.policies, solver="heuristic"
+        )
+        return engine.execute(
+            QueryRequest(scenario.QUERY, "investment", 1.0), user="bob"
+        )
+
+    reply = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert reply.status is QueryStatus.IMPROVED
+    record(
+        "running example (§3.1)",
+        quantity="manager pipeline improvement cost",
+        paper=10.0,
+        measured=reply.receipt.total_cost,
+    )

@@ -1,0 +1,18 @@
+"""Benchmark-suite conftest: prints recorded figure series at the end."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import _bench_common
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _bench_common.SERIES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper series")
+    terminalreporter.write_line(_bench_common.format_series())
+    terminalreporter.write_line("")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Healthcare scenario: purpose-dependent confidence requirements.
+
+The paper's introduction cites Malin et al.: cancer-registry data is cheap
+but noisy, surveys cost more, chart abstraction is accurate but expensive —
+and the confidence a task needs depends on the task.  Hypothesis generation
+tolerates noisy data (threshold 0.3); evaluating a treatment outside a
+controlled study needs accurate data (threshold 0.75).
+
+This example runs the same cohort query as three subjects and shows how the
+policy store picks different thresholds, how much of the result survives
+each, and what it would cost to lift a stage-IV cohort to clinical-decision
+quality.
+
+Run:  python examples/healthcare_quality_tiers.py
+"""
+
+from repro import PCQEngine, QueryRequest, QueryStatus
+from repro.increment import SimulatedImprovementService
+from repro.workload import healthcare_database
+
+COHORT_QUERY = (
+    "SELECT p.PatientId, p.Diagnosis, t.Treatment, t.ResponseRate "
+    "FROM Patients p JOIN Treatments t ON p.PatientId = t.PatientId "
+    "WHERE p.Stage = 'IV'"
+)
+
+
+def main() -> None:
+    scenario = healthcare_database(patients=150, seed=11)
+    db, policies = scenario.db, scenario.policies
+
+    print("=== Same query, three subjects, three thresholds ===")
+    subjects = [
+        ("rachel", "hypothesis-generation"),
+        ("petra", "care"),
+        ("omar", "treatment-evaluation"),
+    ]
+    for user, purpose in subjects:
+        threshold = policies.threshold_for(user, purpose)
+        engine = PCQEngine(db, policies, approval=lambda _q: False)
+        reply = engine.execute(
+            QueryRequest(COHORT_QUERY, purpose, required_fraction=0.0),
+            user=user,
+        )
+        total = len(reply.released) + reply.withheld_count
+        print(
+            f"  {user:8s} purpose={purpose:22s} threshold={threshold:.2f} "
+            f"released {len(reply.released)}/{total}"
+        )
+
+    print("\n=== Lifting the cohort to clinical-decision quality ===")
+    service = SimulatedImprovementService()
+    quotes = []
+
+    def record_quote(quote) -> bool:
+        quotes.append(quote)
+        return True
+
+    engine = PCQEngine(
+        db, policies, solver="dnc", improvement=service, approval=record_quote
+    )
+    reply = engine.execute(
+        QueryRequest(COHORT_QUERY, "treatment-evaluation", required_fraction=0.8),
+        user="omar",
+    )
+    if reply.status is QueryStatus.IMPROVED:
+        quote = quotes[0]
+        print(f"  shortfall: {quote.shortfall} rows below 0.75")
+        print(f"  improvement plan touched {len(quote.plan.targets)} base tuples")
+        print(f"  total verification cost: {service.spent:.2f}")
+        print(
+            f"  released after improvement: {len(reply.released)}"
+            f"/{len(reply.released) + reply.withheld_count}"
+        )
+    else:
+        print(f"  status: {reply.status.value} (no improvement applied)")
+
+    print("\n=== Where the money goes (per data tier) ===")
+    if service.receipts:
+        by_tier: dict[str, float] = {}
+        for action in service.receipts[0].actions:
+            stored = db.resolve(action.tid)
+            tier = stored.values[-1]  # Source column on both tables
+            by_tier[tier] = by_tier.get(tier, 0.0) + action.cost
+        for tier, cost in sorted(by_tier.items(), key=lambda kv: -kv[1]):
+            print(f"  {tier:10s} {cost:10.2f}")
+
+
+if __name__ == "__main__":
+    main()

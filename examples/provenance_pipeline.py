@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""From raw CSV + provenance to policy-compliant answers (element 1 → 4).
+
+Builds a small customer-records database from CSV text, scores each row's
+confidence from its provenance (source trust × collection reliability,
+noisy-OR corroboration, age decay), then runs a policy-gated query and a
+confidence-increment round — the full pipeline a data steward would operate.
+
+Run:  python examples/provenance_pipeline.py
+"""
+
+import io
+
+from repro import PCQEngine, QueryRequest
+from repro.cost import BinomialCost, LinearCost
+from repro.policy import PolicyStore
+from repro.sql import run_sql
+from repro.storage import Database, REAL, Schema, TEXT, load_csv
+from repro.trust import (
+    CollectionMethod,
+    ConfidenceAssigner,
+    DataSource,
+    ProvenanceRecord,
+)
+
+CUSTOMERS_CSV = """\
+name,segment,revenue
+Aldine Corp,enterprise,120.5
+Brightwater,enterprise,87.0
+Cobble & Co,smb,12.3
+Dunmore Ltd,smb,9.1
+Eastgate,enterprise,230.0
+Foxhollow,smb,4.4
+"""
+
+
+def main() -> None:
+    db = Database("crm")
+    customers = db.create_table(
+        "customers",
+        Schema.of(("name", TEXT), ("segment", TEXT), ("revenue", REAL)),
+    )
+    load_csv(
+        customers,
+        io.StringIO(CUSTOMERS_CSV),
+        cost_model=BinomialCost(linear=20.0, quadratic=60.0),
+    )
+
+    # --- element 1: provenance-based confidence assignment ---------------
+    registry = DataSource("company-registry", trust=0.9)
+    sales_rep = DataSource("sales-notes", trust=0.4)
+    scraper = DataSource("web-scraper", trust=0.55)
+    api = CollectionMethod("api-sync", reliability=0.95)
+    manual = CollectionMethod("manual-entry", reliability=0.7)
+
+    rows = list(customers.scan())
+    provenance = {
+        rows[0].tid: ProvenanceRecord(registry, api),
+        rows[1].tid: ProvenanceRecord(sales_rep, manual, age_days=400),
+        rows[2].tid: ProvenanceRecord(scraper, api, corroborations=(sales_rep,)),
+        rows[3].tid: ProvenanceRecord(sales_rep, manual, age_days=900),
+        rows[4].tid: ProvenanceRecord(registry, api, age_days=30),
+        rows[5].tid: ProvenanceRecord(scraper, manual),
+    }
+    assigner = ConfidenceAssigner(half_life_days=365.0)
+    applied = assigner.assign(customers, provenance)
+    print("=== Confidence from provenance ===")
+    for row in customers.scan():
+        print(
+            f"  {row.values[0]:14s} confidence={applied[row.tid]:.3f} "
+            f"(source={provenance[row.tid].source.name})"
+        )
+
+    # --- elements 2-3: lineage-aware query + confidence policy ----------
+    policies = PolicyStore(default_threshold=0.0)
+    policies.add_role("account-manager")
+    policies.add_purpose("renewal-outreach")
+    policies.add_user("mira", roles=["account-manager"])
+    policies.add_policy("account-manager", "renewal-outreach", 0.6)
+
+    query = (
+        "SELECT name, revenue FROM customers "
+        "WHERE segment = 'enterprise' ORDER BY revenue DESC"
+    )
+    print("\n=== Raw query results with confidence ===")
+    for row, confidence in run_sql(db, query).with_confidences(db):
+        print(f"  {row.values!s:28s} confidence={confidence:.3f}")
+
+    # --- element 4: quote and apply the cheapest increment --------------
+    print("\n=== Policy-compliant evaluation for mira (threshold 0.6) ===")
+
+    def show_quote(quote) -> bool:
+        print(f"  quoted cost {quote.cost:.2f} to unlock "
+              f"{quote.shortfall} more row(s); approving")
+        return True
+
+    engine = PCQEngine(db, policies, solver="heuristic", approval=show_quote)
+    reply = engine.execute(
+        QueryRequest(query, "renewal-outreach", required_fraction=1.0),
+        user="mira",
+    )
+    print(f"  status={reply.status.value}")
+    for row, confidence in reply.released:
+        print(f"  released {row.values!s:28s} confidence={confidence:.3f}")
+
+
+if __name__ == "__main__":
+    main()

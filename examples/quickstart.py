@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+A venture-capital firm stores startup proposals and company financials with
+per-tuple confidence values (Tables 1-2 of the paper).  A secretary doing
+analysis is covered by policy P1 = <Secretary, analysis, 0.05>; a manager
+making an investment decision by P2 = <Manager, investment, 0.06>.  The
+candidate query's best row has confidence 0.058: visible to the secretary,
+blocked for the manager — until the engine finds the cheapest confidence
+increment, quotes it, and (on approval) improves the data.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PCQEngine, QueryRequest, QueryStatus
+from repro.increment import SimulatedImprovementService
+from repro.sql import run_sql
+from repro.workload import venture_capital_database
+
+
+def main() -> None:
+    scenario = venture_capital_database()
+    db, policies = scenario.db, scenario.policies
+
+    print("=== The candidate query (Π σ join of the paper, §3.1) ===")
+    print(scenario.QUERY, "\n")
+    result = run_sql(db, scenario.QUERY)
+    for row, confidence in result.with_confidences(db):
+        print(f"  {row.values!s:30s} confidence={confidence:.3f}")
+        print(f"    lineage: {row.lineage}")
+
+    print("\n=== Secretary 'alice', purpose=analysis (threshold 0.05) ===")
+    engine = PCQEngine(db, policies, solver="heuristic")
+    reply = engine.execute(
+        QueryRequest(scenario.QUERY, "analysis", required_fraction=0.5),
+        user="alice",
+    )
+    print(f"  status={reply.status.value}  released={reply.rows}")
+
+    print("\n=== Manager 'bob', purpose=investment (threshold 0.06) ===")
+    service = SimulatedImprovementService()
+
+    def ask_user(quote) -> bool:
+        print(f"  engine quotes improvement cost {quote.cost:.2f} "
+              f"for {quote.shortfall} missing row(s):")
+        for line in quote.plan.describe().splitlines()[1:]:
+            print(f"   {line}")
+        print("  manager approves.")
+        return True
+
+    engine = PCQEngine(
+        db, policies, solver="heuristic", improvement=service, approval=ask_user
+    )
+    reply = engine.execute(
+        QueryRequest(scenario.QUERY, "investment", required_fraction=1.0),
+        user="bob",
+    )
+    print(f"  status={reply.status.value}")
+    for row, confidence in reply.released:
+        print(f"  released {row.values!s:30s} confidence={confidence:.3f}")
+    print(f"  total spent on data quality: {service.spent:.2f}")
+
+    assert reply.status is QueryStatus.IMPROVED
+
+
+if __name__ == "__main__":
+    main()

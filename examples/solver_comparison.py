@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare the paper's three strategy-finding algorithms side by side.
+
+Generates synthetic instances (§5.1 setup) of growing size and prints each
+solver's cost and response time — a miniature of Figures 11(c)/(f).  The
+exact branch-and-bound runs only on the smallest instance (it is
+exponential); greedy and divide-and-conquer run everywhere.
+
+Run:  python examples/solver_comparison.py
+"""
+
+import time
+
+from repro.increment import (
+    DncOptions,
+    GreedyOptions,
+    solve_dnc,
+    solve_greedy,
+    solve_heuristic,
+)
+from repro.workload import WorkloadSpec, generate_problem
+
+
+def timed(solve, problem):
+    started = time.perf_counter()
+    plan = solve(problem)
+    return plan, time.perf_counter() - started
+
+
+def main() -> None:
+    print(f"{'size':>6} {'algorithm':<14} {'cost':>12} {'time':>9}  notes")
+    print("-" * 60)
+    for size in (10, 200, 1000, 3000):
+        spec = WorkloadSpec(
+            data_size=size,
+            tuples_per_result=min(5, max(2, size // 2)),
+            threshold=0.6,
+            theta=0.5,
+        )
+        problem = generate_problem(spec, seed=42).problem
+
+        rows = []
+        if size <= 12:
+            plan, elapsed = timed(solve_heuristic, problem)
+            rows.append(("heuristic", plan, elapsed, "exact optimum"))
+        plan, elapsed = timed(
+            lambda p: solve_greedy(p, GreedyOptions(two_phase=False)), problem
+        )
+        rows.append(("greedy-1phase", plan, elapsed, ""))
+        plan, elapsed = timed(solve_greedy, problem)
+        rows.append(("greedy", plan, elapsed, "two-phase"))
+        plan, elapsed = timed(solve_dnc, problem)
+        rows.append(
+            ("dnc", plan, elapsed, f"{plan.stats.groups} groups")
+        )
+
+        for name, plan, elapsed, note in rows:
+            print(
+                f"{size:>6} {name:<14} {plan.total_cost:>12.1f} "
+                f"{elapsed:>8.3f}s  {note}"
+            )
+        print("-" * 60)
+
+
+if __name__ == "__main__":
+    main()

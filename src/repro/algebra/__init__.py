@@ -1,0 +1,87 @@
+"""Relational algebra with lineage propagation (paper element 2).
+
+Logical plans (:mod:`~repro.algebra.plan`) over annotated rows
+(:mod:`~repro.algebra.rows`), executed by :func:`~repro.algebra.execute`
+with Trio-style lineage rules, built fluently via
+:class:`~repro.algebra.Query` and lightly optimized by
+:func:`~repro.algebra.optimize`.
+"""
+
+from .builder import Query
+from .executor import execute
+from .expressions import (
+    Arithmetic,
+    Between,
+    BoundExpression,
+    CaseExpression,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Negate,
+    col,
+    lit,
+)
+from .optimizer import optimize
+from .plan import (
+    Aggregate,
+    AggregateSpec,
+    Alias,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    ProjectItem,
+    Scan,
+    SetOperation,
+    Sort,
+    SortKey,
+)
+from .rows import AnnotatedTuple, ResultSet
+
+__all__ = [
+    "Query",
+    "execute",
+    "optimize",
+    "Expression",
+    "BoundExpression",
+    "Literal",
+    "ColumnRef",
+    "Arithmetic",
+    "Comparison",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "IsNull",
+    "Like",
+    "InList",
+    "Between",
+    "Negate",
+    "FunctionCall",
+    "CaseExpression",
+    "col",
+    "lit",
+    "PlanNode",
+    "Scan",
+    "Alias",
+    "Filter",
+    "Project",
+    "ProjectItem",
+    "Join",
+    "SetOperation",
+    "Aggregate",
+    "AggregateSpec",
+    "Sort",
+    "SortKey",
+    "Limit",
+    "AnnotatedTuple",
+    "ResultSet",
+]

@@ -1,0 +1,165 @@
+"""Fluent construction of logical plans.
+
+:class:`Query` wraps a plan node and offers chainable relational operators,
+so library users (and the examples) can build queries without touching plan
+classes directly:
+
+>>> q = (Query.scan(db.table("Proposal"))
+...          .where(col("Funding") < 1.0)
+...          .select("Company", distinct=True)
+...          .join(Query.scan(db.table("CompanyInfo")),
+...                on=col("Proposal.Company") == col("CompanyInfo.Company")))
+>>> result = q.run()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PlanError
+from ..storage.table import Table
+from .executor import execute
+from .expressions import ColumnRef, Expression, col
+from .optimizer import optimize
+from .plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    ProjectItem,
+    SetOperation,
+    Sort,
+    SortKey,
+)
+from .rows import ResultSet
+
+__all__ = ["Query"]
+
+
+def _as_expression(item: "str | Expression") -> Expression:
+    if isinstance(item, Expression):
+        return item
+    return col(item)
+
+
+class Query:
+    """A chainable logical-plan builder."""
+
+    def __init__(self, plan: PlanNode) -> None:
+        self.plan = plan
+
+    # -- sources ----------------------------------------------------------
+
+    @classmethod
+    def scan(cls, table: Table, alias: str | None = None) -> "Query":
+        """Start a query from a stored table."""
+        from .plan import Scan
+
+        return cls(Scan(table, alias))
+
+    # -- operators --------------------------------------------------------
+
+    def alias(self, name: str) -> "Query":
+        """Re-qualify this derived relation under *name* (SQL ``AS``)."""
+        from .plan import Alias
+
+        return Query(Alias(self.plan, name))
+
+    def where(self, predicate: Expression) -> "Query":
+        """Keep rows satisfying *predicate* (σ)."""
+        return Query(Filter(self.plan, predicate))
+
+    def select(
+        self,
+        *items: "str | Expression | tuple[str | Expression, str]",
+        distinct: bool = False,
+    ) -> "Query":
+        """Project columns/expressions (π); ``(expr, alias)`` pairs rename."""
+        if not items:
+            raise PlanError("select() needs at least one item")
+        projections: list[ProjectItem] = []
+        for item in items:
+            if isinstance(item, tuple):
+                expression, alias = item
+                projections.append(ProjectItem(_as_expression(expression), alias))
+            else:
+                projections.append(ProjectItem(_as_expression(item)))
+        return Query(Project(self.plan, projections, distinct))
+
+    def distinct(self) -> "Query":
+        """Duplicate elimination over all current columns."""
+        items = [
+            ProjectItem(ColumnRef(column.name, column.table))
+            for column in self.plan.schema
+        ]
+        return Query(Project(self.plan, items, distinct=True))
+
+    def join(
+        self,
+        other: "Query | Table",
+        on: Expression | None = None,
+        kind: str = "inner",
+    ) -> "Query":
+        """Join with another query or table."""
+        right = other if isinstance(other, Query) else Query.scan(other)
+        return Query(Join(self.plan, right.plan, on, kind))
+
+    def cross_join(self, other: "Query | Table") -> "Query":
+        return self.join(other, on=None, kind="cross")
+
+    def union(self, other: "Query", all: bool = False) -> "Query":
+        kind = "union_all" if all else "union"
+        return Query(SetOperation(self.plan, other.plan, kind))
+
+    def intersect(self, other: "Query") -> "Query":
+        return Query(SetOperation(self.plan, other.plan, "intersect"))
+
+    def except_(self, other: "Query") -> "Query":
+        return Query(SetOperation(self.plan, other.plan, "except"))
+
+    def group_by(
+        self,
+        keys: Sequence["str | Expression"],
+        aggregates: Sequence[AggregateSpec],
+    ) -> "Query":
+        """Grouped aggregation (γ)."""
+        key_expressions = [_as_expression(key) for key in keys]
+        return Query(Aggregate(self.plan, key_expressions, aggregates))
+
+    def aggregate(self, *aggregates: AggregateSpec) -> "Query":
+        """Global aggregation (single output row)."""
+        return Query(Aggregate(self.plan, (), aggregates))
+
+    def order_by(
+        self, *keys: "str | Expression | tuple[str | Expression, bool]"
+    ) -> "Query":
+        """Sort; ``(key, True)`` sorts that key descending."""
+        sort_keys = []
+        for key in keys:
+            if isinstance(key, tuple):
+                expression, descending = key
+                sort_keys.append(SortKey(_as_expression(expression), descending))
+            else:
+                sort_keys.append(SortKey(_as_expression(key)))
+        return Query(Sort(self.plan, sort_keys))
+
+    def limit(self, count: int, offset: int = 0) -> "Query":
+        return Query(Limit(self.plan, count, offset))
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, optimized: bool = True) -> ResultSet:
+        """Execute the plan (optimizing by default)."""
+        plan = optimize(self.plan) if optimized else self.plan
+        return execute(plan)
+
+    def explain(self, optimized: bool = True) -> str:
+        """The (optionally optimized) plan as an indented tree string."""
+        plan = optimize(self.plan) if optimized else self.plan
+        return plan.explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"Query({self.plan._describe()})"

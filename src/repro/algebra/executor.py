@@ -1,0 +1,422 @@
+"""Plan execution with lineage propagation.
+
+:func:`execute` evaluates a logical plan bottom-up, producing a
+:class:`~repro.algebra.rows.ResultSet` of lineage-annotated rows.  Lineage
+rules (Trio-style, paper element 2):
+
+====================  ====================================================
+Operator              Lineage of each output row
+====================  ====================================================
+Scan                  ``Var(tid)`` of the stored tuple
+Filter                unchanged
+Project               unchanged; DISTINCT merges duplicates with OR
+Join (inner/cross)    ``left AND right``
+Join (left outer)     matches as inner; unmatched left rows get
+                      ``left AND NOT (OR of joinable right rows)``
+UNION                 OR of all duplicates across both sides
+UNION ALL             unchanged (rows kept separately)
+INTERSECT             ``(OR of left dups) AND (OR of right dups)``
+EXCEPT                ``(OR of left dups) AND NOT (OR of right dups)``
+Aggregate             OR of the group's member rows
+====================  ====================================================
+
+EXCEPT keeps probabilistic semantics: a left value that also occurs on the
+right is *retained* with a negated lineage (its confidence is the
+probability the right derivation is wrong).  With fully-trusted right-hand
+tuples that confidence is 0, and policy evaluation filters the row — i.e.
+the deterministic behaviour falls out as the certain special case.
+
+The executor is eager (materialises each operator's output); the paper's
+workloads are small and strategy finding, not scan throughput, dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ExecutionError, PlanError
+from ..lineage.formula import TOP, Lineage, lineage_and, lineage_not, lineage_or, var
+from ..storage.types import REAL, DataType
+from .expressions import ColumnRef, Comparison
+from .plan import (
+    Aggregate,
+    AggregateSpec,
+    Alias,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    SemiJoin,
+    SetOperation,
+    Sort,
+)
+from .rows import AnnotatedTuple, ResultSet
+
+__all__ = ["execute"]
+
+
+def execute(plan: PlanNode) -> ResultSet:
+    """Run *plan* and return its annotated result set."""
+    handler = _HANDLERS.get(type(plan))
+    if handler is None:
+        raise PlanError(f"no executor for plan node {type(plan).__name__}")
+    return handler(plan)
+
+
+# ---------------------------------------------------------------------------
+# Per-operator implementations
+# ---------------------------------------------------------------------------
+
+
+def _execute_scan(node: Scan) -> ResultSet:
+    rows = [
+        AnnotatedTuple(stored.values, var(stored.tid))
+        for stored in node.table.scan()
+    ]
+    return ResultSet(node.schema, rows)
+
+
+def _execute_alias(node: Alias) -> ResultSet:
+    child = execute(node.child)
+    return ResultSet(node.schema, child.rows)
+
+
+def _execute_filter(node: Filter) -> ResultSet:
+    child = execute(node.child)
+    predicate = node.bound_predicate
+    rows = [row for row in child.rows if predicate.evaluate(row.values) is True]
+    return ResultSet(node.schema, rows)
+
+
+def _execute_project(node: Project) -> ResultSet:
+    child = execute(node.child)
+    bound = node.bound_items
+    projected = [
+        AnnotatedTuple(
+            tuple(item.evaluate(row.values) for item in bound),
+            row.lineage,
+        )
+        for row in child.rows
+    ]
+    if node.distinct:
+        projected = _merge_duplicates(projected)
+    return ResultSet(node.schema, projected)
+
+
+def _merge_duplicates(rows: list[AnnotatedTuple]) -> list[AnnotatedTuple]:
+    """Collapse equal-valued rows, OR-ing their lineages (first-seen order)."""
+    groups: dict[tuple[Any, ...], list[Lineage]] = {}
+    for row in rows:
+        groups.setdefault(row.values, []).append(row.lineage)
+    return [
+        AnnotatedTuple(values, lineage_or(*lineages))
+        for values, lineages in groups.items()
+    ]
+
+
+def _equi_join_columns(node: Join) -> tuple[int, int] | None:
+    """Column indexes (left, right) if the condition is a simple equi-join."""
+    condition = node.condition
+    if not isinstance(condition, Comparison) or condition.op != "=":
+        return None
+    if not isinstance(condition.left, ColumnRef) or not isinstance(
+        condition.right, ColumnRef
+    ):
+        return None
+
+    def side_index(ref: ColumnRef, schema) -> int | None:
+        try:
+            return schema.index_of(ref.name, ref.table)
+        except Exception:
+            return None
+
+    left_on_left = side_index(condition.left, node.left.schema)
+    right_on_right = side_index(condition.right, node.right.schema)
+    if left_on_left is not None and right_on_right is not None:
+        return left_on_left, right_on_right
+    left_on_right = side_index(condition.left, node.right.schema)
+    right_on_left = side_index(condition.right, node.left.schema)
+    if left_on_right is not None and right_on_left is not None:
+        return right_on_left, left_on_right
+    return None
+
+
+def _execute_join(node: Join) -> ResultSet:
+    left = execute(node.left)
+    right = execute(node.right)
+    if node.kind == "cross":
+        rows = [
+            AnnotatedTuple(
+                left_row.values + right_row.values,
+                lineage_and(left_row.lineage, right_row.lineage),
+            )
+            for left_row in left.rows
+            for right_row in right.rows
+        ]
+        return ResultSet(node.schema, rows)
+
+    condition = node.bound_condition
+    assert condition is not None
+    equi = _equi_join_columns(node)
+    rows: list[AnnotatedTuple] = []
+    null_padding = (None,) * len(right.schema)
+
+    if equi is not None:
+        left_index, right_index = equi
+        buckets: dict[Any, list[AnnotatedTuple]] = {}
+        for right_row in right.rows:
+            key = right_row.values[right_index]
+            if key is not None:
+                buckets.setdefault(key, []).append(right_row)
+        for left_row in left.rows:
+            key = left_row.values[left_index]
+            matches = buckets.get(key, ()) if key is not None else ()
+            _emit_matches(node, left_row, matches, condition, rows, null_padding)
+    else:
+        for left_row in left.rows:
+            matches = [
+                right_row
+                for right_row in right.rows
+                if condition.evaluate(left_row.values + right_row.values) is True
+            ]
+            _emit_matches(node, left_row, matches, condition, rows, null_padding, prefiltered=True)
+    return ResultSet(node.schema, rows)
+
+
+def _emit_matches(
+    node: Join,
+    left_row: AnnotatedTuple,
+    candidates,
+    condition,
+    rows: list[AnnotatedTuple],
+    null_padding: tuple[None, ...],
+    prefiltered: bool = False,
+) -> None:
+    matched_lineages: list[Lineage] = []
+    for right_row in candidates:
+        combined = left_row.values + right_row.values
+        if not prefiltered and condition.evaluate(combined) is not True:
+            continue
+        matched_lineages.append(right_row.lineage)
+        rows.append(
+            AnnotatedTuple(
+                combined,
+                lineage_and(left_row.lineage, right_row.lineage),
+            )
+        )
+    if node.kind == "left":
+        if not matched_lineages:
+            rows.append(
+                AnnotatedTuple(left_row.values + null_padding, left_row.lineage)
+            )
+        else:
+            # The "no partner exists" row remains possible whenever every
+            # joinable right tuple might be wrong; emit it with the negated
+            # lineage unless it is outright impossible.
+            absent = lineage_and(
+                left_row.lineage,
+                lineage_not(lineage_or(*matched_lineages)),
+            )
+            from ..lineage.formula import BOTTOM
+
+            if absent != BOTTOM:
+                rows.append(
+                    AnnotatedTuple(left_row.values + null_padding, absent)
+                )
+
+
+def _execute_semi_join(node: SemiJoin) -> ResultSet:
+    left = execute(node.left)
+    right = execute(node.right)
+    probe = node.bound_probe
+
+    # Merge equal subquery values, OR-ing their lineages; remember NULLs.
+    matches: dict[Any, Lineage] = {}
+    subquery_has_null = False
+    for row in right.rows:
+        value = row.values[0]
+        if value is None:
+            subquery_has_null = True
+            continue
+        existing = matches.get(value)
+        matches[value] = (
+            row.lineage if existing is None else lineage_or(existing, row.lineage)
+        )
+
+    from ..lineage.formula import BOTTOM
+
+    rows: list[AnnotatedTuple] = []
+    for row in left.rows:
+        value = probe.evaluate(row.values)
+        if value is None:
+            continue  # NULL probe: IN and NOT IN are both unknown
+        match = matches.get(value)
+        if not node.negated:
+            if match is None:
+                continue
+            rows.append(
+                AnnotatedTuple(row.values, lineage_and(row.lineage, match))
+            )
+        else:
+            if subquery_has_null:
+                continue  # NOT IN with NULLs present is never true
+            if match is None:
+                rows.append(row)
+                continue
+            lineage = lineage_and(row.lineage, lineage_not(match))
+            if lineage != BOTTOM:
+                rows.append(AnnotatedTuple(row.values, lineage))
+    return ResultSet(node.schema, rows)
+
+
+def _widen(values: tuple[Any, ...], types: tuple[DataType, ...]) -> tuple[Any, ...]:
+    return tuple(
+        float(value)
+        if dtype is REAL and isinstance(value, int) and not isinstance(value, bool)
+        else value
+        for value, dtype in zip(values, types)
+    )
+
+
+def _execute_set_operation(node: SetOperation) -> ResultSet:
+    left = execute(node.left)
+    right = execute(node.right)
+    types = node.schema.types
+    left_rows = [
+        AnnotatedTuple(_widen(row.values, types), row.lineage) for row in left.rows
+    ]
+    right_rows = [
+        AnnotatedTuple(_widen(row.values, types), row.lineage) for row in right.rows
+    ]
+    if node.kind == "union_all":
+        return ResultSet(node.schema, left_rows + right_rows)
+    if node.kind == "union":
+        return ResultSet(node.schema, _merge_duplicates(left_rows + right_rows))
+
+    left_groups: dict[tuple[Any, ...], list[Lineage]] = {}
+    for row in left_rows:
+        left_groups.setdefault(row.values, []).append(row.lineage)
+    right_groups: dict[tuple[Any, ...], list[Lineage]] = {}
+    for row in right_rows:
+        right_groups.setdefault(row.values, []).append(row.lineage)
+
+    rows: list[AnnotatedTuple] = []
+    if node.kind == "intersect":
+        for values, lineages in left_groups.items():
+            if values in right_groups:
+                rows.append(
+                    AnnotatedTuple(
+                        values,
+                        lineage_and(
+                            lineage_or(*lineages),
+                            lineage_or(*right_groups[values]),
+                        ),
+                    )
+                )
+        return ResultSet(node.schema, rows)
+    # except
+    for values, lineages in left_groups.items():
+        present = lineage_or(*lineages)
+        if values in right_groups:
+            lineage = lineage_and(
+                present, lineage_not(lineage_or(*right_groups[values]))
+            )
+        else:
+            lineage = present
+        from ..lineage.formula import BOTTOM
+
+        if lineage != BOTTOM:
+            rows.append(AnnotatedTuple(values, lineage))
+    return ResultSet(node.schema, rows)
+
+
+def _aggregate_value(
+    spec: AggregateSpec,
+    bound_argument,
+    members: list[AnnotatedTuple],
+) -> Any:
+    if spec.function == "COUNT" and spec.argument is None:
+        return len(members)
+    assert bound_argument is not None
+    values = [bound_argument.evaluate(row.values) for row in members]
+    values = [value for value in values if value is not None]
+    if spec.distinct:
+        seen: dict[Any, None] = {}
+        for value in values:
+            seen.setdefault(value, None)
+        values = list(seen)
+    if spec.function == "COUNT":
+        return len(values)
+    if not values:
+        return None  # SQL: aggregates over empty/all-NULL input are NULL
+    if spec.function == "SUM":
+        total = sum(values)
+        return float(total) if bound_argument.dtype is REAL else total
+    if spec.function == "AVG":
+        return float(sum(values)) / len(values)
+    if spec.function == "MIN":
+        return min(values)
+    if spec.function == "MAX":
+        return max(values)
+    raise ExecutionError(f"unhandled aggregate {spec.function}")  # pragma: no cover
+
+
+def _execute_aggregate(node: Aggregate) -> ResultSet:
+    child = execute(node.child)
+    groups: dict[tuple[Any, ...], list[AnnotatedTuple]] = {}
+    for row in child.rows:
+        key = tuple(bound.evaluate(row.values) for bound in node.bound_keys)
+        groups.setdefault(key, []).append(row)
+    if not groups and not node.group_by:
+        # Global aggregate over an empty input: one certain row.
+        groups[()] = []
+
+    rows: list[AnnotatedTuple] = []
+    for key, members in groups.items():
+        aggregate_values = tuple(
+            _aggregate_value(spec, bound_argument, members)
+            for spec, bound_argument in zip(node.aggregates, node.bound_arguments)
+        )
+        lineage = (
+            lineage_or(*(member.lineage for member in members)) if members else TOP
+        )
+        rows.append(AnnotatedTuple(key + aggregate_values, lineage))
+    return ResultSet(node.schema, rows)
+
+
+def _execute_sort(node: Sort) -> ResultSet:
+    child = execute(node.child)
+    rows = list(child.rows)
+    # Stable multi-key sort: apply keys last-to-first.
+    for key, bound in zip(reversed(node.keys), reversed(node.bound_keys)):
+
+        def sort_key(row: AnnotatedTuple, bound=bound) -> tuple[int, Any]:
+            value = bound.evaluate(row.values)
+            # NULLs first ascending / last descending; the flag sorts before
+            # any real value and reverse= flips it consistently.
+            return (0, 0) if value is None else (1, value)
+
+        rows.sort(key=sort_key, reverse=key.descending)
+    return ResultSet(node.schema, rows)
+
+
+def _execute_limit(node: Limit) -> ResultSet:
+    child = execute(node.child)
+    window = child.rows[node.offset : node.offset + node.count]
+    return ResultSet(node.schema, list(window))
+
+
+_HANDLERS: dict[type, Callable[[Any], ResultSet]] = {
+    Scan: _execute_scan,
+    Alias: _execute_alias,
+    SemiJoin: _execute_semi_join,
+    Filter: _execute_filter,
+    Project: _execute_project,
+    Join: _execute_join,
+    SetOperation: _execute_set_operation,
+    Aggregate: _execute_aggregate,
+    Sort: _execute_sort,
+    Limit: _execute_limit,
+}

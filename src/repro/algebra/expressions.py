@@ -1,0 +1,793 @@
+"""Scalar expressions over relation rows.
+
+Expressions are built unbound (column references are names), then *bound*
+against a concrete :class:`~repro.storage.schema.Schema` to produce a
+:class:`BoundExpression` — a typed evaluator that reads values positionally.
+The SQL planner and the direct algebra API both go through :meth:`bind`.
+
+Semantics follow SQL:
+
+* ``NULL`` propagates through arithmetic and comparisons (both yield NULL);
+* ``AND``/``OR``/``NOT`` use Kleene three-valued logic;
+* ``WHERE`` keeps a row only when the predicate is *true* (not NULL);
+* ``LIKE`` supports ``%`` and ``_`` wildcards;
+* division by zero raises :class:`~repro.errors.ExecutionError` (strict mode,
+  catching workload bugs early) rather than yielding NULL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+from ..errors import BindError, ExecutionError, TypeMismatchError
+from ..storage.schema import Schema
+from ..storage.types import BOOLEAN, INTEGER, REAL, TEXT, DataType, common_type, is_comparable
+
+__all__ = [
+    "Expression",
+    "BoundExpression",
+    "Literal",
+    "ColumnRef",
+    "Arithmetic",
+    "Comparison",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "IsNull",
+    "Like",
+    "InList",
+    "Between",
+    "Negate",
+    "FunctionCall",
+    "CaseExpression",
+    "col",
+    "lit",
+]
+
+
+class BoundExpression:
+    """A compiled expression: a result type plus a positional evaluator."""
+
+    __slots__ = ("dtype", "_evaluate", "display")
+
+    def __init__(
+        self,
+        dtype: DataType,
+        evaluate: Callable[[tuple[Any, ...]], Any],
+        display: str,
+    ) -> None:
+        self.dtype = dtype
+        self._evaluate = evaluate
+        self.display = display
+
+    def evaluate(self, values: tuple[Any, ...]) -> Any:
+        """The expression's value on one row's *values*."""
+        return self._evaluate(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"BoundExpression({self.display}:{self.dtype})"
+
+
+class Expression:
+    """Base class for unbound scalar expressions."""
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        """Resolve column names against *schema* and type-check."""
+        raise NotImplementedError
+
+    def references(self) -> set[tuple[str | None, str]]:
+        """The ``(table, column)`` names this expression reads."""
+        return set()
+
+    # Sugar for building predicates fluently in the algebra API / tests.
+
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("<>", self, _wrap(other))
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, _wrap(other))
+
+    def __add__(self, other: object) -> "Arithmetic":
+        return Arithmetic("+", self, _wrap(other))
+
+    def __sub__(self, other: object) -> "Arithmetic":
+        return Arithmetic("-", self, _wrap(other))
+
+    def __mul__(self, other: object) -> "Arithmetic":
+        return Arithmetic("*", self, _wrap(other))
+
+    def __truediv__(self, other: object) -> "Arithmetic":
+        return Arithmetic("/", self, _wrap(other))
+
+    def __and__(self, other: object) -> "LogicalAnd":
+        return LogicalAnd(self, _wrap(other))
+
+    def __or__(self, other: object) -> "LogicalOr":
+        return LogicalOr(self, _wrap(other))
+
+    def __invert__(self) -> "LogicalNot":
+        return LogicalNot(self)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self, negated=False)
+
+    def is_not_null(self) -> "IsNull":
+        return IsNull(self, negated=True)
+
+    def like(self, pattern: str) -> "Like":
+        return Like(self, pattern)
+
+    def in_(self, options: Sequence[object]) -> "InList":
+        return InList(self, [_wrap(option) for option in options])
+
+    def between(self, low: object, high: object) -> "Between":
+        return Between(self, _wrap(low), _wrap(high))
+
+
+def _wrap(value: object) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def _is_null_literal(expression: Expression) -> bool:
+    """NULL literals are polymorphic: they satisfy any operand type."""
+    return isinstance(expression, Literal) and expression.value is None
+
+
+def col(name: str) -> "ColumnRef":
+    """Column reference; ``col("t.c")`` parses the qualifier."""
+    table, _, column = name.rpartition(".")
+    return ColumnRef(column, table or None)
+
+
+def lit(value: object) -> "Literal":
+    """Literal constant expression."""
+    return Literal(value)
+
+
+class Literal(Expression):
+    """A constant. NULL literals get TEXT type (only comparable to NULL)."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        value = self.value
+        if value is None:
+            dtype = TEXT
+        elif isinstance(value, bool):
+            dtype = BOOLEAN
+        elif isinstance(value, int):
+            dtype = INTEGER
+        elif isinstance(value, float):
+            dtype = REAL
+        elif isinstance(value, str):
+            dtype = TEXT
+        else:
+            raise BindError(f"unsupported literal {value!r}")
+        return BoundExpression(dtype, lambda _values: value, repr(value))
+
+    def __hash__(self) -> int:
+        return hash(("lit", self.value))
+
+
+class ColumnRef(Expression):
+    """A reference to a named (optionally table-qualified) column."""
+
+    def __init__(self, name: str, table: str | None = None) -> None:
+        self.name = name
+        self.table = table
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        index = schema.index_of(self.name, self.table)
+        column = schema[index]
+        return BoundExpression(
+            column.dtype,
+            lambda values, i=index: values[i],
+            column.qualified_name,
+        )
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return {(self.table, self.name)}
+
+    def __hash__(self) -> int:
+        return hash(("col", self.table, self.name))
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+}
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic (``+ - * / %``) over numeric operands."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in ("+", "-", "*", "/", "%"):
+            raise BindError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        display = f"({left.display} {self.op} {right.display})"
+        if _is_null_literal(self.left) or _is_null_literal(self.right):
+            # NULL arithmetic is NULL regardless of the other operand.
+            other = right if _is_null_literal(self.left) else left
+            dtype = other.dtype if other.dtype.is_numeric else REAL
+            return BoundExpression(dtype, lambda _values: None, display)
+        if self.op == "+" and left.dtype is TEXT and right.dtype is TEXT:
+            # String concatenation convenience.
+            def concat(values: tuple[Any, ...]) -> Any:
+                a = left.evaluate(values)
+                b = right.evaluate(values)
+                if a is None or b is None:
+                    return None
+                return a + b
+
+            return BoundExpression(TEXT, concat, display)
+        try:
+            dtype = common_type(left.dtype, right.dtype)
+        except TypeMismatchError as error:
+            raise BindError(f"cannot apply {self.op!r}: {error}") from error
+        if self.op == "/":
+            dtype = REAL
+
+            def divide(values: tuple[Any, ...]) -> Any:
+                a = left.evaluate(values)
+                b = right.evaluate(values)
+                if a is None or b is None:
+                    return None
+                if b == 0:
+                    raise ExecutionError(f"division by zero in {display}")
+                return a / b
+
+            return BoundExpression(dtype, divide, display)
+        operate = _ARITH_OPS[self.op]
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            a = left.evaluate(values)
+            b = right.evaluate(values)
+            if a is None or b is None:
+                return None
+            if self.op == "%" and b == 0:
+                raise ExecutionError(f"modulo by zero in {display}")
+            result = operate(a, b)
+            return float(result) if dtype is REAL else result
+
+        return BoundExpression(dtype, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.left.references() | self.right.references()
+
+    def __hash__(self) -> int:
+        return hash(("arith", self.op, self.left, self.right))
+
+
+class Negate(Expression):
+    """Unary minus."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        operand = self.operand.bind(schema)
+        if not operand.dtype.is_numeric:
+            raise BindError(f"cannot negate {operand.dtype}")
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            value = operand.evaluate(values)
+            return None if value is None else -value
+
+        return BoundExpression(operand.dtype, evaluate, f"-{operand.display}")
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def __hash__(self) -> int:
+        return hash(("neg", self.operand))
+
+
+_COMPARE_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Expression):
+    """Binary comparison with SQL NULL propagation."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARE_OPS:
+            raise BindError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        null_literal = isinstance(self.left, Literal) and self.left.value is None
+        null_literal |= isinstance(self.right, Literal) and self.right.value is None
+        if not null_literal and not is_comparable(left.dtype, right.dtype):
+            raise BindError(
+                f"cannot compare {left.dtype} with {right.dtype} "
+                f"({left.display} {self.op} {right.display})"
+            )
+        operate = _COMPARE_OPS[self.op]
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            a = left.evaluate(values)
+            b = right.evaluate(values)
+            if a is None or b is None:
+                return None
+            return operate(a, b)
+
+        display = f"({left.display} {self.op} {right.display})"
+        return BoundExpression(BOOLEAN, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.left.references() | self.right.references()
+
+    def __hash__(self) -> int:
+        return hash(("cmp", self.op, self.left, self.right))
+
+
+def _require_boolean(bound: BoundExpression, context: str) -> None:
+    if bound.dtype is not BOOLEAN:
+        raise BindError(f"{context} requires a boolean, got {bound.dtype}")
+
+
+class LogicalAnd(Expression):
+    """Kleene AND: false dominates NULL."""
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        _require_boolean(left, "AND")
+        _require_boolean(right, "AND")
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            a = left.evaluate(values)
+            if a is False:
+                return False
+            b = right.evaluate(values)
+            if b is False:
+                return False
+            if a is None or b is None:
+                return None
+            return True
+
+        display = f"({left.display} AND {right.display})"
+        return BoundExpression(BOOLEAN, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.left.references() | self.right.references()
+
+    def __hash__(self) -> int:
+        return hash(("and", self.left, self.right))
+
+
+class LogicalOr(Expression):
+    """Kleene OR: true dominates NULL."""
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        _require_boolean(left, "OR")
+        _require_boolean(right, "OR")
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            a = left.evaluate(values)
+            if a is True:
+                return True
+            b = right.evaluate(values)
+            if b is True:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+
+        display = f"({left.display} OR {right.display})"
+        return BoundExpression(BOOLEAN, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.left.references() | self.right.references()
+
+    def __hash__(self) -> int:
+        return hash(("or", self.left, self.right))
+
+
+class LogicalNot(Expression):
+    """Kleene NOT: NOT NULL is NULL."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        operand = self.operand.bind(schema)
+        _require_boolean(operand, "NOT")
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            value = operand.evaluate(values)
+            return None if value is None else not value
+
+        return BoundExpression(BOOLEAN, evaluate, f"(NOT {operand.display})")
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def __hash__(self) -> int:
+        return hash(("not", self.operand))
+
+
+class IsNull(Expression):
+    """``expr IS [NOT] NULL`` — never yields NULL itself."""
+
+    def __init__(self, operand: Expression, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        operand = self.operand.bind(schema)
+        negated = self.negated
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            is_null = operand.evaluate(values) is None
+            return not is_null if negated else is_null
+
+        keyword = "IS NOT NULL" if negated else "IS NULL"
+        return BoundExpression(BOOLEAN, evaluate, f"({operand.display} {keyword})")
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def __hash__(self) -> int:
+        return hash(("isnull", self.operand, self.negated))
+
+
+class Like(Expression):
+    """SQL ``LIKE`` with ``%`` (any run) and ``_`` (any character)."""
+
+    def __init__(self, operand: Expression, pattern: str, negated: bool = False) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        operand = self.operand.bind(schema)
+        if operand.dtype is not TEXT:
+            raise BindError(f"LIKE requires TEXT, got {operand.dtype}")
+        regex = re.compile(
+            "^"
+            + "".join(
+                ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+                for ch in self.pattern
+            )
+            + "$",
+            re.DOTALL,
+        )
+        negated = self.negated
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            value = operand.evaluate(values)
+            if value is None:
+                return None
+            matched = regex.match(value) is not None
+            return not matched if negated else matched
+
+        keyword = "NOT LIKE" if negated else "LIKE"
+        display = f"({operand.display} {keyword} {self.pattern!r})"
+        return BoundExpression(BOOLEAN, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def __hash__(self) -> int:
+        return hash(("like", self.operand, self.pattern, self.negated))
+
+
+class InList(Expression):
+    """``expr IN (e1, …, en)`` with SQL NULL semantics."""
+
+    def __init__(
+        self,
+        operand: Expression,
+        options: Sequence[Expression],
+        negated: bool = False,
+    ) -> None:
+        if not options:
+            raise BindError("IN list must be non-empty")
+        self.operand = operand
+        self.options = list(options)
+        self.negated = negated
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        operand = self.operand.bind(schema)
+        options = [option.bind(schema) for option in self.options]
+        for option, unbound in zip(options, self.options):
+            if _is_null_literal(unbound):
+                continue
+            if not is_comparable(operand.dtype, option.dtype):
+                raise BindError(
+                    f"IN operand {operand.dtype} incomparable with {option.dtype}"
+                )
+        negated = self.negated
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            value = operand.evaluate(values)
+            if value is None:
+                return None
+            saw_null = False
+            for option in options:
+                candidate = option.evaluate(values)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        keyword = "NOT IN" if negated else "IN"
+        display = (
+            f"({operand.display} {keyword} "
+            f"({', '.join(option.display for option in options)}))"
+        )
+        return BoundExpression(BOOLEAN, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs = self.operand.references()
+        for option in self.options:
+            refs |= option.references()
+        return refs
+
+    def __hash__(self) -> int:
+        return hash(("in", self.operand, tuple(self.options), self.negated))
+
+
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive, NULL-propagating)."""
+
+    def __init__(
+        self,
+        operand: Expression,
+        low: Expression,
+        high: Expression,
+        negated: bool = False,
+    ) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        operand = self.operand.bind(schema)
+        low = self.low.bind(schema)
+        high = self.high.bind(schema)
+        for bound, unbound in ((low, self.low), (high, self.high)):
+            if _is_null_literal(unbound):
+                continue
+            if not is_comparable(operand.dtype, bound.dtype):
+                raise BindError(
+                    f"BETWEEN bound {bound.dtype} incomparable with {operand.dtype}"
+                )
+        negated = self.negated
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            value = operand.evaluate(values)
+            lo = low.evaluate(values)
+            hi = high.evaluate(values)
+            if value is None or lo is None or hi is None:
+                return None
+            inside = lo <= value <= hi
+            return not inside if negated else inside
+
+        keyword = "NOT BETWEEN" if negated else "BETWEEN"
+        display = f"({operand.display} {keyword} {low.display} AND {high.display})"
+        return BoundExpression(BOOLEAN, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return (
+            self.operand.references()
+            | self.low.references()
+            | self.high.references()
+        )
+
+    def __hash__(self) -> int:
+        return hash(("between", self.operand, self.low, self.high, self.negated))
+
+
+class CaseExpression(Expression):
+    """``CASE WHEN c1 THEN r1 [WHEN ...] [ELSE d] END``.
+
+    Conditions are evaluated in order with Kleene semantics; the first
+    *true* branch's result is returned, the ELSE (or NULL) otherwise.  All
+    result branches must share a type (numerics may mix and widen to REAL).
+    """
+
+    def __init__(
+        self,
+        whens: Sequence[tuple[Expression, Expression]],
+        default: Expression | None = None,
+    ) -> None:
+        if not whens:
+            raise BindError("CASE requires at least one WHEN branch")
+        self.whens = list(whens)
+        self.default = default
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        bound_whens = [
+            (condition.bind(schema), result.bind(schema))
+            for condition, result in self.whens
+        ]
+        for condition, _result in bound_whens:
+            _require_boolean(condition, "CASE WHEN")
+        bound_default = (
+            self.default.bind(schema) if self.default is not None else None
+        )
+        branches = [result for _condition, result in bound_whens]
+        if bound_default is not None:
+            branches.append(bound_default)
+        null_flags = [
+            _is_null_literal(result) for _condition, result in self.whens
+        ]
+        if self.default is not None:
+            null_flags.append(_is_null_literal(self.default))
+        typed = [
+            bound
+            for bound, is_null in zip(branches, null_flags)
+            if not is_null
+        ]
+        if not typed:
+            dtype = TEXT  # all branches NULL
+        else:
+            dtype = typed[0].dtype
+            for branch in typed[1:]:
+                if branch.dtype is dtype:
+                    continue
+                if branch.dtype.is_numeric and dtype.is_numeric:
+                    dtype = REAL
+                    continue
+                raise BindError(
+                    f"CASE branches mix {dtype} and {branch.dtype}"
+                )
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            for condition, result in bound_whens:
+                if condition.evaluate(values) is True:
+                    value = result.evaluate(values)
+                    break
+            else:
+                if bound_default is None:
+                    return None
+                value = bound_default.evaluate(values)
+            if value is None:
+                return None
+            if dtype is REAL and isinstance(value, int):
+                return float(value)
+            return value
+
+        display = (
+            "CASE "
+            + " ".join(
+                f"WHEN {condition.display} THEN {result.display}"
+                for condition, result in bound_whens
+            )
+            + (f" ELSE {bound_default.display}" if bound_default else "")
+            + " END"
+        )
+        return BoundExpression(dtype, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs: set[tuple[str | None, str]] = set()
+        for condition, result in self.whens:
+            refs |= condition.references() | result.references()
+        if self.default is not None:
+            refs |= self.default.references()
+        return refs
+
+    def __hash__(self) -> int:
+        return hash(
+            ("case", tuple(self.whens), self.default)
+        )
+
+
+_FUNCTIONS: dict[str, tuple[Callable[..., Any], int]] = {
+    "ABS": (abs, 1),
+    "LENGTH": (len, 1),
+    "LOWER": (str.lower, 1),
+    "UPPER": (str.upper, 1),
+    "ROUND": (round, 2),
+}
+
+
+class FunctionCall(Expression):
+    """Scalar function call: ABS, LENGTH, LOWER, UPPER, ROUND(x, digits)."""
+
+    def __init__(self, name: str, arguments: Sequence[Expression]) -> None:
+        self.name = name.upper()
+        self.arguments = list(arguments)
+        if self.name not in _FUNCTIONS:
+            raise BindError(f"unknown function {name!r}")
+
+    def bind(self, schema: Schema) -> BoundExpression:
+        function, max_arity = _FUNCTIONS[self.name]
+        if not 1 <= len(self.arguments) <= max_arity:
+            raise BindError(
+                f"{self.name} expects 1..{max_arity} arguments, "
+                f"got {len(self.arguments)}"
+            )
+        arguments = [argument.bind(schema) for argument in self.arguments]
+        first = arguments[0]
+        if self.name == "ABS":
+            if not first.dtype.is_numeric:
+                raise BindError(f"ABS requires numeric, got {first.dtype}")
+            dtype = first.dtype
+        elif self.name == "ROUND":
+            if not first.dtype.is_numeric:
+                raise BindError(f"ROUND requires numeric, got {first.dtype}")
+            dtype = REAL
+        elif self.name == "LENGTH":
+            if first.dtype is not TEXT:
+                raise BindError(f"LENGTH requires TEXT, got {first.dtype}")
+            dtype = INTEGER
+        else:  # LOWER / UPPER
+            if first.dtype is not TEXT:
+                raise BindError(f"{self.name} requires TEXT, got {first.dtype}")
+            dtype = TEXT
+
+        def evaluate(values: tuple[Any, ...]) -> Any:
+            evaluated = [argument.evaluate(values) for argument in arguments]
+            if any(value is None for value in evaluated):
+                return None
+            result = function(*evaluated)
+            return float(result) if dtype is REAL else result
+
+        display = (
+            f"{self.name}({', '.join(argument.display for argument in arguments)})"
+        )
+        return BoundExpression(dtype, evaluate, display)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs: set[tuple[str | None, str]] = set()
+        for argument in self.arguments:
+            refs |= argument.references()
+        return refs
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.name, tuple(self.arguments)))

@@ -1,0 +1,151 @@
+"""Annotated rows and result sets.
+
+Every row flowing through the executor is an :class:`AnnotatedTuple` — plain
+values plus the lineage formula recording its derivation.  A completed query
+yields a :class:`ResultSet`, which can compute per-row confidences against
+the database's current base-tuple confidences (element 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from ..lineage.formula import Lineage
+from ..lineage.probability import probability
+from ..storage.schema import Schema
+from ..storage.tuples import TupleId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.database import Database
+
+__all__ = ["AnnotatedTuple", "ResultSet"]
+
+
+def _cell(value: Any) -> str:
+    return "NULL" if value is None else str(value)
+
+
+@dataclass(frozen=True)
+class AnnotatedTuple:
+    """One derived row: values plus lineage over base tuples."""
+
+    values: tuple[Any, ...]
+    lineage: Lineage
+
+    def confidence(self, probabilities: Mapping[TupleId, float]) -> float:
+        """This row's confidence under the given base-tuple probabilities."""
+        return probability(self.lineage, probabilities)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+
+class ResultSet:
+    """An ordered collection of annotated rows over a schema."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: list[AnnotatedTuple]) -> None:
+        self.schema = schema
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[AnnotatedTuple]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> AnnotatedTuple:
+        return self.rows[index]
+
+    def values(self) -> list[tuple[Any, ...]]:
+        """Bare value tuples, in result order."""
+        return [row.values for row in self.rows]
+
+    def base_tuples(self) -> frozenset[TupleId]:
+        """All base tuples any row's lineage mentions (Λ0 in the paper)."""
+        if not self.rows:
+            return frozenset()
+        return frozenset().union(*(row.lineage.variables for row in self.rows))
+
+    def confidences(self, source: "Database | Mapping[TupleId, float]") -> list[float]:
+        """Per-row confidence, from a database or an explicit probability map."""
+        probabilities = self._probabilities(source)
+        return [row.confidence(probabilities) for row in self.rows]
+
+    def with_confidences(
+        self, source: "Database | Mapping[TupleId, float]"
+    ) -> list[tuple[AnnotatedTuple, float]]:
+        """Rows paired with their confidence."""
+        probabilities = self._probabilities(source)
+        return [(row, row.confidence(probabilities)) for row in self.rows]
+
+    def top_k_by_confidence(
+        self, source: "Database | Mapping[TupleId, float]", k: int
+    ) -> list[tuple[AnnotatedTuple, float]]:
+        """The *k* most confident rows, best first (ties keep result order).
+
+        A common decision-support pattern on top of the paper's model:
+        instead of a fixed policy threshold, take the most trustworthy
+        answers.
+        """
+        ranked = self.with_confidences(source)
+        ranked.sort(key=lambda pair: -pair[1])
+        return ranked[: max(k, 0)]
+
+    def to_table(
+        self,
+        source: "Database | Mapping[TupleId, float] | None" = None,
+        max_rows: int = 50,
+    ) -> str:
+        """An aligned text rendering (optionally with a confidence column).
+
+        Intended for REPLs and examples; truncates to *max_rows* with an
+        ellipsis marker.
+        """
+        headers = list(self.schema.names)
+        if source is not None:
+            headers.append("confidence")
+            body_rows = [
+                [_cell(value) for value in row.values] + [f"{confidence:.3f}"]
+                for row, confidence in self.with_confidences(source)
+            ]
+        else:
+            body_rows = [
+                [_cell(value) for value in row.values] for row in self.rows
+            ]
+        truncated = len(body_rows) > max_rows
+        body_rows = body_rows[:max_rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in body_rows))
+            if body_rows
+            else len(header)
+            for i, header in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-" * (sum(widths) + 2 * (len(widths) - 1)),
+        ]
+        for row in body_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if truncated:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+    def _probabilities(
+        self, source: "Database | Mapping[TupleId, float]"
+    ) -> Mapping[TupleId, float]:
+        resolver = getattr(source, "confidences", None)
+        if callable(resolver) and not isinstance(source, Mapping):
+            return resolver(self.base_tuples())
+        return source  # already a probability map
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"ResultSet({len(self.rows)} rows, schema={self.schema.names})"

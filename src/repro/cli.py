@@ -1,0 +1,339 @@
+"""Interactive shell for the PCQE system.
+
+A small command language over one in-memory database + policy store, for
+exploring the system without writing Python:
+
+.. code-block:: text
+
+    create Proposal Company:text, Proposal:text, Funding:real
+    load Proposal proposals.csv
+    sql SELECT Company FROM Proposal WHERE Funding < 1.0
+    explain SELECT ...                  -- optimized plan tree
+    profile Proposal                    -- confidence statistics
+    role add Manager [inherits Secretary]
+    purpose add investment [under decision-making]
+    user add bob Manager
+    policy add Manager investment 0.06
+    ask bob investment 1.0 SELECT ...   -- the full PCQE pipeline
+    demo                                -- load the paper's running example
+    help / quit
+
+Run ``python -m repro`` for the REPL, ``python -m repro -c "<command>"``
+for one-shot commands, or ``python -m repro script.pcqe`` to execute a
+command file.  Every command's implementation returns its output as a
+string (see :class:`CommandShell`), so the shell is fully unit-testable.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Sequence
+
+from .core import PCQEngine, QueryRequest
+from .errors import ReproError
+from .policy import PolicyStore, table_confidence_profile
+from .sql import DmlResult, execute_sql, plan_sql
+from .storage import (
+    BOOLEAN,
+    Database,
+    INTEGER,
+    REAL,
+    Schema,
+    TEXT,
+    load_csv,
+)
+
+__all__ = ["CommandShell", "main"]
+
+_TYPES = {
+    "text": TEXT,
+    "string": TEXT,
+    "int": INTEGER,
+    "integer": INTEGER,
+    "real": REAL,
+    "float": REAL,
+    "bool": BOOLEAN,
+    "boolean": BOOLEAN,
+}
+
+
+class CommandError(ReproError):
+    """A CLI command was malformed."""
+
+
+class CommandShell:
+    """State + command dispatch for the PCQE shell."""
+
+    def __init__(self) -> None:
+        self.db = Database("cli")
+        self.policies = PolicyStore(default_threshold=0.0)
+        self.solver = "greedy"
+        self._commands: dict[str, Callable[[str], str]] = {
+            "create": self._cmd_create,
+            "load": self._cmd_load,
+            "tables": self._cmd_tables,
+            "sql": self._cmd_sql,
+            "explain": self._cmd_explain,
+            "profile": self._cmd_profile,
+            "role": self._cmd_role,
+            "purpose": self._cmd_purpose,
+            "user": self._cmd_user,
+            "policy": self._cmd_policy,
+            "solver": self._cmd_solver,
+            "ask": self._cmd_ask,
+            "demo": self._cmd_demo,
+            "help": self._cmd_help,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+
+    def execute_line(self, line: str) -> str:
+        """Run one command line; returns its printable output."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return ""
+        keyword, _, rest = line.partition(" ")
+        handler = self._commands.get(keyword.lower())
+        if handler is None:
+            raise CommandError(
+                f"unknown command {keyword!r}; try 'help'"
+            )
+        return handler(rest.strip())
+
+    # -- schema / data -------------------------------------------------------
+
+    def _cmd_create(self, rest: str) -> str:
+        name, _, column_spec = rest.partition(" ")
+        if not name or not column_spec:
+            raise CommandError("usage: create <table> name:type, name:type ...")
+        columns = []
+        for part in column_spec.split(","):
+            column_name, _, type_name = part.strip().partition(":")
+            dtype = _TYPES.get(type_name.strip().lower())
+            if not column_name or dtype is None:
+                raise CommandError(
+                    f"bad column {part.strip()!r}; types: "
+                    f"{', '.join(sorted(set(_TYPES)))}"
+                )
+            columns.append((column_name, dtype))
+        self.db.create_table(name, Schema.of(*columns))
+        return f"created table {name} ({len(columns)} columns)"
+
+    def _cmd_load(self, rest: str) -> str:
+        parts = shlex.split(rest)
+        if len(parts) != 2:
+            raise CommandError("usage: load <table> <csv-path>")
+        table_name, path = parts
+        count = load_csv(self.db.table(table_name), path)
+        return f"loaded {count} rows into {table_name}"
+
+    def _cmd_tables(self, rest: str) -> str:
+        lines = []
+        for table in self.db.tables():
+            columns = ", ".join(
+                f"{column.name}:{column.dtype}" for column in table.schema
+            )
+            lines.append(f"{table.name} ({len(table)} rows): {columns}")
+        for name in self.db.view_names():
+            lines.append(f"{name} (view): {self.db.view_definition(name)}")
+        return "\n".join(lines) if lines else "(no tables)"
+
+    # -- querying -------------------------------------------------------------
+
+    def _cmd_sql(self, rest: str) -> str:
+        if not rest:
+            raise CommandError(
+                "usage: sql <SELECT | INSERT | UPDATE | DELETE | "
+                "CREATE TABLE | DROP TABLE ...>"
+            )
+        result = execute_sql(self.db, rest)
+        if isinstance(result, DmlResult):
+            return str(result)
+        lines = [" | ".join(result.schema.names) + " | confidence"]
+        for row, confidence in result.with_confidences(self.db):
+            cells = " | ".join("NULL" if v is None else str(v) for v in row.values)
+            lines.append(f"{cells} | {confidence:.3f}")
+        lines.append(f"({len(result)} rows)")
+        return "\n".join(lines)
+
+    def _cmd_explain(self, rest: str) -> str:
+        if not rest:
+            raise CommandError("usage: explain <SELECT ...>")
+        return plan_sql(self.db, rest).explain()
+
+    def _cmd_profile(self, rest: str) -> str:
+        if not rest:
+            raise CommandError("usage: profile <table>")
+        profile = table_confidence_profile(self.db.table(rest))
+        if profile.count == 0:
+            return f"{rest}: empty"
+        bars = " ".join(str(count) for count in profile.histogram)
+        return (
+            f"{rest}: n={profile.count} mean={profile.mean:.3f} "
+            f"min={profile.minimum:.3f} p50={profile.quantiles[1]:.3f} "
+            f"max={profile.maximum:.3f}\n"
+            f"histogram[0..1): {bars}"
+        )
+
+    # -- policy administration -------------------------------------------------
+
+    def _cmd_role(self, rest: str) -> str:
+        parts = shlex.split(rest)
+        if len(parts) >= 2 and parts[0] == "add":
+            inherits = []
+            if len(parts) >= 4 and parts[2] == "inherits":
+                inherits = parts[3].split(",")
+            self.policies.add_role(parts[1], inherits=inherits)
+            return f"role {parts[1]} added"
+        raise CommandError("usage: role add <name> [inherits a,b]")
+
+    def _cmd_purpose(self, rest: str) -> str:
+        parts = shlex.split(rest)
+        if len(parts) >= 2 and parts[0] == "add":
+            parent = parts[3] if len(parts) >= 4 and parts[2] == "under" else None
+            self.policies.add_purpose(parts[1], parent=parent)
+            return f"purpose {parts[1]} added"
+        raise CommandError("usage: purpose add <name> [under <parent>]")
+
+    def _cmd_user(self, rest: str) -> str:
+        parts = shlex.split(rest)
+        if len(parts) >= 2 and parts[0] == "add":
+            roles = parts[2].split(",") if len(parts) >= 3 else []
+            self.policies.add_user(parts[1], roles=roles)
+            return f"user {parts[1]} added with roles {roles or '[]'}"
+        raise CommandError("usage: user add <name> [role,role]")
+
+    def _cmd_policy(self, rest: str) -> str:
+        parts = shlex.split(rest)
+        if len(parts) == 4 and parts[0] == "add":
+            policy = self.policies.add_policy(
+                parts[1], parts[2], float(parts[3])
+            )
+            return f"policy {policy} added"
+        if parts and parts[0] == "list":
+            policies = self.policies.policies()
+            if not policies:
+                return "(no policies)"
+            return "\n".join(str(policy) for policy in policies)
+        if len(parts) == 2 and parts[0] == "save":
+            from .policy import save_store
+
+            save_store(self.policies, parts[1])
+            return f"policy store saved to {parts[1]}"
+        if len(parts) == 2 and parts[0] == "load":
+            from .policy import load_store
+
+            self.policies = load_store(parts[1])
+            return f"policy store loaded from {parts[1]}"
+        raise CommandError(
+            "usage: policy add <role> <purpose> <threshold> | policy list | "
+            "policy save <path> | policy load <path>"
+        )
+
+    def _cmd_solver(self, rest: str) -> str:
+        if rest not in ("heuristic", "greedy", "dnc"):
+            raise CommandError("usage: solver heuristic|greedy|dnc")
+        self.solver = rest
+        return f"solver set to {rest}"
+
+    # -- the pipeline -----------------------------------------------------------
+
+    def _cmd_ask(self, rest: str) -> str:
+        parts = rest.split(maxsplit=3)
+        if len(parts) != 4:
+            raise CommandError(
+                "usage: ask <user> <purpose> <required-fraction> <SELECT ...>"
+            )
+        user, purpose, fraction_text, sql = parts
+        engine = PCQEngine(self.db, self.policies, solver=self.solver)
+        reply = engine.execute(
+            QueryRequest(sql, purpose, float(fraction_text)), user=user
+        )
+        lines = [
+            f"status: {reply.status.value} (threshold {reply.threshold})"
+        ]
+        if reply.quote is not None:
+            lines.append(
+                f"quote: cost {reply.quote.cost:.2f} for "
+                f"{reply.quote.shortfall} missing row(s)"
+            )
+        if reply.receipt is not None:
+            lines.append(
+                f"improved {reply.receipt.tuples_improved} tuple(s) for "
+                f"{reply.receipt.total_cost:.2f}"
+            )
+        for row, confidence in reply.released:
+            cells = " | ".join(
+                "NULL" if value is None else str(value) for value in row.values
+            )
+            lines.append(f"{cells} | {confidence:.3f}")
+        lines.append(
+            f"({len(reply.released)} released, {reply.withheld_count} withheld)"
+        )
+        return "\n".join(lines)
+
+    def _cmd_demo(self, rest: str) -> str:
+        from .workload import venture_capital_database
+
+        scenario = venture_capital_database()
+        self.db = scenario.db
+        self.policies = scenario.policies
+        return (
+            "loaded the paper's running example "
+            "(tables Proposal/CompanyInfo; users alice/bob; try:\n"
+            f"  ask bob investment 1.0 {scenario.QUERY})"
+        )
+
+    def _cmd_help(self, rest: str) -> str:
+        return (
+            "commands: create, load, tables, sql, explain, profile, "
+            "role, purpose, user, policy, solver, ask, demo, help, quit"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = CommandShell()
+
+    def run(line: str) -> int:
+        try:
+            output = shell.execute_line(line)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if output:
+            print(output)
+        return 0
+
+    if argv and argv[0] == "-c":
+        status = 0
+        for line in argv[1:]:
+            status |= run(line)
+        return status
+    if argv:
+        status = 0
+        for path in argv:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    status |= run(line)
+        return status
+
+    print("PCQE shell — 'help' for commands, 'quit' to exit")
+    while True:
+        try:
+            line = input("pcqe> ")
+        except (EOFError, KeyboardInterrupt, BrokenPipeError):
+            break
+        if line.strip().lower() in ("quit", "exit"):
+            break
+        try:
+            run(line)
+        except BrokenPipeError:  # stdout closed (e.g. piped to head)
+            break
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

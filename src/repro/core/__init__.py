@@ -1,0 +1,21 @@
+"""The PCQE framework (paper Figure 1): query → policy → increment → reply."""
+
+from .framework import (
+    BatchResult,
+    CostQuote,
+    PCQEngine,
+    PCQEResult,
+    QueryRequest,
+    QueryStatus,
+    make_solver,
+)
+
+__all__ = [
+    "PCQEngine",
+    "BatchResult",
+    "QueryRequest",
+    "QueryStatus",
+    "PCQEResult",
+    "CostQuote",
+    "make_solver",
+]

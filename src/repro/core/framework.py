@@ -1,0 +1,389 @@
+"""The PCQE framework: the paper's Figure-1 pipeline, end to end.
+
+A user submits ``⟨Q, pu, perc⟩`` — a SQL query, a purpose, and the fraction
+of results they need to receive.  The engine then:
+
+1. evaluates the query with lineage propagation and computes each result's
+   confidence (elements 1–2);
+2. selects the confidence policy for (user's roles, purpose) and filters
+   results below the threshold (element 3);
+3. if fewer than ``perc`` of the results survive, runs strategy finding to
+   compute a minimum-cost confidence-increment plan, quotes its cost
+   through the approval hook, and — on approval — has the improvement
+   service raise the stored confidences and re-evaluates (element 4).
+
+The approval hook models the paper's "the increment cost ... will be
+reported to the manager.  If the manager agrees ... actions will be taken";
+pass ``approval=lambda quote: True`` (the default) for an auto-approving
+system, or a callback that asks a human / checks a budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..algebra.rows import AnnotatedTuple, ResultSet
+from ..errors import InfeasibleIncrementError, ReproError
+from ..increment import (
+    DncOptions,
+    GreedyOptions,
+    HeuristicOptions,
+    IncrementPlan,
+    IncrementProblem,
+    SimulatedImprovementService,
+    solve_dnc,
+    solve_greedy,
+    solve_heuristic,
+)
+from ..increment.improvement import ImprovementReceipt, ImprovementService
+from ..policy import FilterOutcome, PolicyEvaluator, PolicyStore
+from ..sql import run_sql
+from ..storage.database import Database
+
+__all__ = [
+    "QueryRequest",
+    "QueryStatus",
+    "PCQEResult",
+    "BatchResult",
+    "CostQuote",
+    "PCQEngine",
+    "make_solver",
+]
+
+Solver = Callable[[IncrementProblem], IncrementPlan]
+
+
+def make_solver(name: str, **options) -> Solver:
+    """A solver callable from a name:
+    ``"heuristic" | "greedy" | "dnc" | "local-search"``.
+
+    Keyword arguments are forwarded into the corresponding options class.
+    """
+    if name == "heuristic":
+        configured = HeuristicOptions(**options)
+        return lambda problem: solve_heuristic(problem, configured)
+    if name == "greedy":
+        configured_greedy = GreedyOptions(**options)
+        return lambda problem: solve_greedy(problem, configured_greedy)
+    if name == "dnc":
+        configured_dnc = DncOptions(**options)
+        return lambda problem: solve_dnc(problem, configured_dnc)
+    if name == "local-search":
+        from ..increment import LocalSearchOptions, solve_local_search
+
+        configured_ls = LocalSearchOptions(**options)
+        return lambda problem: solve_local_search(problem, configured_ls)
+    raise ReproError(f"unknown solver {name!r}")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """The user's input ``⟨Q, pu, perc⟩`` (§3.2)."""
+
+    sql: str
+    purpose: str
+    required_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.required_fraction <= 1.0:
+            raise ReproError(
+                f"required_fraction must be in [0, 1], "
+                f"got {self.required_fraction}"
+            )
+
+
+class QueryStatus(enum.Enum):
+    """How a policy-compliant evaluation concluded."""
+
+    #: Enough results passed the policy without any improvement.
+    SATISFIED = "satisfied"
+    #: Improvement was applied; the released results reflect it.
+    IMPROVED = "improved"
+    #: A plan was quoted but the approval hook declined it.
+    QUOTED = "quoted"
+    #: No increment can reach the requested fraction.
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class CostQuote:
+    """What the engine offers the user before improving data."""
+
+    plan: IncrementPlan
+    cost: float
+    shortfall: int
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a multi-query session (:meth:`PCQEngine.execute_many`)."""
+
+    results: "list[PCQEResult]"
+    quote: "CostQuote | None"
+    receipt: "ImprovementReceipt | None"
+
+    @property
+    def improved(self) -> bool:
+        return self.receipt is not None
+
+
+@dataclass
+class PCQEResult:
+    """Outcome of one policy-compliant query evaluation."""
+
+    status: QueryStatus
+    threshold: float
+    released: list[tuple[AnnotatedTuple, float]]
+    withheld_count: int
+    outcome: FilterOutcome
+    quote: CostQuote | None = None
+    receipt: ImprovementReceipt | None = None
+    raw_result: ResultSet | None = field(default=None, repr=False)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Released value tuples (what the user actually sees)."""
+        return [row.values for row, _confidence in self.released]
+
+    @property
+    def released_fraction(self) -> float:
+        total = len(self.released) + self.withheld_count
+        return 1.0 if total == 0 else len(self.released) / total
+
+
+class PCQEngine:
+    """Policy-compliant query evaluation over a database + policy store."""
+
+    def __init__(
+        self,
+        db: Database,
+        policies: PolicyStore,
+        solver: "str | Solver" = "dnc",
+        improvement: ImprovementService | None = None,
+        approval: Callable[[CostQuote], bool] | None = None,
+        delta: float = 0.1,
+    ) -> None:
+        self.db = db
+        self.policies = policies
+        self.solver: Solver = (
+            make_solver(solver) if isinstance(solver, str) else solver
+        )
+        self.improvement: ImprovementService = (
+            improvement if improvement is not None else SimulatedImprovementService()
+        )
+        self.approval = approval if approval is not None else (lambda _quote: True)
+        self.delta = delta
+        self._evaluator = PolicyEvaluator(policies)
+
+    # -- pipeline ----------------------------------------------------------
+
+    def execute(self, request: QueryRequest, user: str) -> PCQEResult:
+        """Run the full Figure-1 pipeline for *user*'s request."""
+        result = run_sql(self.db, request.sql)
+        threshold = self.policies.threshold_for(user, request.purpose)
+        outcome = self._evaluator.apply_threshold(result, self.db, threshold)
+
+        if outcome.satisfies(request.required_fraction):
+            return PCQEResult(
+                status=QueryStatus.SATISFIED,
+                threshold=threshold,
+                released=list(outcome.released),
+                withheld_count=len(outcome.withheld),
+                outcome=outcome,
+                raw_result=result,
+            )
+
+        shortfall = outcome.shortfall(request.required_fraction)
+        try:
+            plan = self._find_strategy(outcome, threshold, shortfall)
+        except InfeasibleIncrementError:
+            return PCQEResult(
+                status=QueryStatus.INFEASIBLE,
+                threshold=threshold,
+                released=list(outcome.released),
+                withheld_count=len(outcome.withheld),
+                outcome=outcome,
+                raw_result=result,
+            )
+        quote = CostQuote(plan, plan.total_cost, shortfall)
+        if not self.approval(quote):
+            return PCQEResult(
+                status=QueryStatus.QUOTED,
+                threshold=threshold,
+                released=list(outcome.released),
+                withheld_count=len(outcome.withheld),
+                outcome=outcome,
+                quote=quote,
+                raw_result=result,
+            )
+
+        receipt = self.improvement.apply(self.db, plan)
+        improved_outcome = self._evaluator.apply_threshold(
+            result, self.db, threshold
+        )
+        return PCQEResult(
+            status=QueryStatus.IMPROVED,
+            threshold=threshold,
+            released=list(improved_outcome.released),
+            withheld_count=len(improved_outcome.withheld),
+            outcome=improved_outcome,
+            quote=quote,
+            receipt=receipt,
+            raw_result=result,
+        )
+
+    def execute_many(
+        self, requests: "list[QueryRequest]", user: str
+    ) -> "BatchResult":
+        """The §4 multi-query extension: several queries, one increment.
+
+        Every query is evaluated and policy-filtered; the shortfalls are
+        combined into a single multi-requirement increment problem (the
+        search space is the union of all queries' base tuples, and a
+        solution must satisfy *every* query's requirement).  One quote is
+        issued and — on approval — one improvement benefits all queries.
+        """
+        from ..increment.problem import _has_negation
+
+        evaluations = []
+        group_specs: list[tuple[list, int]] = []
+        liftable_rows: list = []
+        for request in requests:
+            result = run_sql(self.db, request.sql)
+            threshold = self.policies.threshold_for(user, request.purpose)
+            outcome = self._evaluator.apply_threshold(result, self.db, threshold)
+            evaluations.append((request, result, threshold, outcome))
+            shortfall = outcome.shortfall(request.required_fraction)
+            if shortfall == 0:
+                continue
+            if threshold >= 1.0:
+                raise InfeasibleIncrementError(
+                    "no result can exceed a confidence threshold of 1.0"
+                )
+            members = []
+            for row, _confidence in outcome.withheld:
+                if _has_negation(row.lineage):
+                    continue
+                members.append(len(liftable_rows))
+                liftable_rows.append((row, threshold))
+            if shortfall > len(members):
+                raise InfeasibleIncrementError(
+                    f"query for {request.purpose!r}: {shortfall} more results "
+                    f"required but only {len(members)} can be improved"
+                )
+            group_specs.append((members, shortfall))
+
+        if not group_specs:
+            return BatchResult(
+                results=[
+                    self._settled(threshold, outcome, result)
+                    for _request, result, threshold, outcome in evaluations
+                ],
+                quote=None,
+                receipt=None,
+            )
+
+        # Solve one problem at the strictest involved threshold per row's
+        # own policy: each result must clear *its* query's threshold, so the
+        # problem threshold must be per-result.  The shared solvers use one
+        # β, so we conservatively target each row at its own threshold by
+        # lifting the problem threshold to the row's requirement via the
+        # maximum involved threshold.  (Thresholds usually coincide across
+        # a session; the conservative choice never under-delivers.)
+        strict = min(
+            1.0, max(threshold for _row, threshold in liftable_rows) + 1e-6
+        )
+        problem = IncrementProblem.from_results(
+            [row.lineage for row, _threshold in liftable_rows],
+            self.db,
+            threshold=strict,
+            required_count=0,
+            delta=self.delta,
+        )
+        problem = IncrementProblem(
+            problem.results,
+            problem.tuples,
+            strict,
+            delta=self.delta,
+            requirement_groups=group_specs,
+        )
+        problem.check_feasible()
+        plan = self.solver(problem)
+        total_shortfall = sum(count for _members, count in group_specs)
+        quote = CostQuote(plan, plan.total_cost, total_shortfall)
+        if not self.approval(quote):
+            return BatchResult(
+                results=[
+                    self._settled(threshold, outcome, result, QueryStatus.QUOTED)
+                    for _request, result, threshold, outcome in evaluations
+                ],
+                quote=quote,
+                receipt=None,
+            )
+        receipt = self.improvement.apply(self.db, plan)
+        results = []
+        for _request, result, threshold, _old in evaluations:
+            outcome = self._evaluator.apply_threshold(result, self.db, threshold)
+            results.append(
+                self._settled(threshold, outcome, result, QueryStatus.IMPROVED)
+            )
+        return BatchResult(results=results, quote=quote, receipt=receipt)
+
+    @staticmethod
+    def _settled(
+        threshold: float,
+        outcome: FilterOutcome,
+        result: ResultSet,
+        status: QueryStatus = QueryStatus.SATISFIED,
+    ) -> PCQEResult:
+        return PCQEResult(
+            status=status,
+            threshold=threshold,
+            released=list(outcome.released),
+            withheld_count=len(outcome.withheld),
+            outcome=outcome,
+            raw_result=result,
+        )
+
+    def _find_strategy(
+        self, outcome: FilterOutcome, threshold: float, shortfall: int
+    ) -> IncrementPlan:
+        """Build and solve the increment problem for the withheld rows.
+
+        Rows with negated lineage (e.g. from EXCEPT) cannot be lifted by
+        raising base confidences and are excluded; if the shortfall exceeds
+        the liftable rows, the request is infeasible.
+        """
+        from ..increment.problem import _has_negation  # shared predicate
+
+        if threshold >= 1.0:
+            # Policies release rows strictly above the threshold, so a
+            # threshold of 1.0 admits nothing no matter how much is spent.
+            raise InfeasibleIncrementError(
+                "no result can exceed a confidence threshold of 1.0"
+            )
+        liftable = [
+            row
+            for row, _confidence in outcome.withheld
+            if not _has_negation(row.lineage)
+        ]
+        if shortfall > len(liftable):
+            raise InfeasibleIncrementError(
+                f"{shortfall} more results required but only {len(liftable)} "
+                f"withheld results can be improved"
+            )
+        # Policies release rows with confidence strictly above the
+        # threshold; nudge the solver's target up so a plan landing exactly
+        # on β cannot be filtered again after improvement.
+        strict_threshold = min(1.0, threshold + 1e-6)
+        problem = IncrementProblem.from_results(
+            [row.lineage for row in liftable],
+            self.db,
+            threshold=strict_threshold,
+            required_count=shortfall,
+            delta=self.delta,
+        )
+        problem.check_feasible()
+        return self.solver(problem)

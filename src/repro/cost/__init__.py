@@ -1,0 +1,28 @@
+"""Cost-of-confidence models (paper §1, §5.1).
+
+See :mod:`repro.cost.functions` for the model catalogue and
+:mod:`repro.cost.sampling` for the random model factory used by the
+synthetic workload generator.
+"""
+
+from .functions import (
+    BinomialCost,
+    CostModel,
+    ExponentialCost,
+    FreeCost,
+    LinearCost,
+    LogarithmicCost,
+    TabulatedCost,
+)
+from .sampling import CostModelSampler
+
+__all__ = [
+    "CostModel",
+    "LinearCost",
+    "BinomialCost",
+    "ExponentialCost",
+    "LogarithmicCost",
+    "TabulatedCost",
+    "FreeCost",
+    "CostModelSampler",
+]

@@ -1,0 +1,195 @@
+"""Exception hierarchy for the PCQE reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems raise the most
+specific subclass that applies; error messages always name the offending
+object (table, column, role, tuple id, ...) to make failures actionable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "TypeMismatchError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "AmbiguousColumnError",
+    "DuplicateTableError",
+    "DuplicateColumnError",
+    "StorageError",
+    "UnknownTupleError",
+    "InvalidConfidenceError",
+    "SqlError",
+    "SqlSyntaxError",
+    "BindError",
+    "PlanError",
+    "ExecutionError",
+    "LineageError",
+    "PolicyError",
+    "UnknownRoleError",
+    "UnknownUserError",
+    "UnknownPurposeError",
+    "PolicyViolationError",
+    "NoApplicablePolicyError",
+    "CostModelError",
+    "IncrementError",
+    "InfeasibleIncrementError",
+    "ImprovementRejectedError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# --------------------------------------------------------------------------
+# Schema / catalog
+# --------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or used inconsistently."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not match the declared column type."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the catalog."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in the schema in scope."""
+
+
+class AmbiguousColumnError(SchemaError):
+    """An unqualified column name matches more than one column in scope."""
+
+
+class DuplicateTableError(SchemaError):
+    """A table with the same name is already registered."""
+
+
+class DuplicateColumnError(SchemaError):
+    """A schema declares the same column name twice."""
+
+
+# --------------------------------------------------------------------------
+# Storage
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Low-level storage failure."""
+
+
+class UnknownTupleError(StorageError):
+    """A tuple id does not identify a stored tuple."""
+
+
+class InvalidConfidenceError(StorageError, ValueError):
+    """A confidence value lies outside [0, 1] or above the tuple's cap."""
+
+
+# --------------------------------------------------------------------------
+# SQL front end and execution
+# --------------------------------------------------------------------------
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """Name resolution or type checking of a parsed query failed."""
+
+
+class PlanError(SqlError):
+    """A bound query could not be converted into an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed at execution time (e.g. division by zero)."""
+
+
+# --------------------------------------------------------------------------
+# Lineage
+# --------------------------------------------------------------------------
+
+
+class LineageError(ReproError):
+    """A lineage formula is malformed or cannot be evaluated."""
+
+
+# --------------------------------------------------------------------------
+# Policy
+# --------------------------------------------------------------------------
+
+
+class PolicyError(ReproError):
+    """Base class for policy-engine errors."""
+
+
+class UnknownRoleError(PolicyError):
+    """A referenced role is not registered."""
+
+
+class UnknownUserError(PolicyError):
+    """A referenced user is not registered."""
+
+
+class UnknownPurposeError(PolicyError):
+    """A referenced purpose is not registered."""
+
+
+class PolicyViolationError(PolicyError):
+    """An operation was denied by policy."""
+
+
+class NoApplicablePolicyError(PolicyError):
+    """No confidence policy covers the (role, purpose) pair and the store
+    is configured to deny by default."""
+
+
+# --------------------------------------------------------------------------
+# Cost models and confidence increment
+# --------------------------------------------------------------------------
+
+
+class CostModelError(ReproError):
+    """A cost model is misconfigured or asked for an invalid increment."""
+
+
+class IncrementError(ReproError):
+    """Base class for strategy-finding errors."""
+
+
+class InfeasibleIncrementError(IncrementError):
+    """No assignment of confidence values can satisfy the requirement,
+    even raising every base tuple to its maximum confidence."""
+
+
+class ImprovementRejectedError(IncrementError):
+    """The user (or approval hook) declined the proposed increment cost."""
+
+
+# --------------------------------------------------------------------------
+# Workload generation
+# --------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """A synthetic-workload specification is invalid."""

@@ -1,0 +1,266 @@
+"""Exact branch-and-bound solver with the paper's heuristics H1–H4 (§4.1).
+
+The search assigns a confidence value to one base tuple per tree level,
+drawn from the δ-grid ``{p, p+δ, …, max}``.  Values are tried cheapest
+first, costs accumulate down the path, and a completed requirement
+(``satisfied ≥ required``) records a candidate solution whose cost becomes
+the incumbent upper bound.
+
+Pruning rules (all individually toggleable for the Figure 11(a)/(d)
+ablation):
+
+* **Bound** (always on — the paper's "Naive"): abandon any node whose cost
+  already reaches the incumbent.  Because values are tried in increasing
+  order, the node's right siblings are abandoned too.
+* **H1 — variable ordering**: sort base tuples by descending ``costβ``
+  (minimum cost to push at least one result to β; tuples that cannot are
+  penalised by ``cost_max / (F_max/β)``), so cheap, effective tuples are
+  assigned deepest where they are explored most.
+* **H2 — saturated-variable pruning**: if every result depending on the
+  current tuple is already satisfied, larger values of that tuple are
+  skipped (they only raise cost).
+* **H3 — potential pruning**: if setting all *remaining* tuples to their
+  maximum still cannot reach the requirement, do not descend.
+* **H4 — cost-to-go pruning**: if the current cost plus the cheapest
+  possible single δ-step among remaining tuples already reaches the
+  incumbent (and we are not yet satisfied), do not descend.
+
+With monotone lineage and increasing cost functions every rule is sound,
+so the returned plan is cost-optimal; an exhausted node or time budget
+degrades gracefully to the best incumbent (``stats.completed = False``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..errors import IncrementError
+from ..storage.tuples import TupleId
+from .problem import (
+    IncrementPlan,
+    IncrementProblem,
+    SearchState,
+    SolverStats,
+)
+
+__all__ = ["HeuristicOptions", "solve_heuristic", "cost_beta"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class HeuristicOptions:
+    """Knobs for the branch-and-bound solver.
+
+    ``use_h1``–``use_h4`` correspond to the paper's Heuristics 1–4; the
+    cost-bound pruning of the "Naive" configuration is always active.
+    ``initial_upper_bound`` seeds the incumbent (Figure 11(d) passes the
+    greedy solution's cost here).  ``node_limit``/``time_limit_seconds``
+    bound the search for benchmarking; when hit, the best plan found so far
+    is returned with ``stats.completed = False``.
+    """
+
+    use_h1: bool = True
+    use_h2: bool = True
+    use_h3: bool = True
+    use_h4: bool = True
+    initial_upper_bound: float | None = None
+    node_limit: int | None = None
+    time_limit_seconds: float | None = None
+
+    @classmethod
+    def naive(cls) -> "HeuristicOptions":
+        """Only the incumbent cost bound (the paper's "Naive")."""
+        return cls(use_h1=False, use_h2=False, use_h3=False, use_h4=False)
+
+    @classmethod
+    def only(cls, heuristic: str) -> "HeuristicOptions":
+        """Exactly one of ``"h1".."h4"`` enabled (Figure 11(a) series)."""
+        options = cls.naive()
+        attribute = f"use_{heuristic.lower()}"
+        if not hasattr(options, attribute):
+            raise IncrementError(f"unknown heuristic {heuristic!r}")
+        setattr(options, attribute, True)
+        return options
+
+
+def cost_beta(problem: IncrementProblem, tid: TupleId) -> float:
+    """``costβ`` of a base tuple (Heuristics 1).
+
+    The minimum cost, raising only this tuple, for at least one of its
+    results to reach β.  When unreachable, the paper's penalty
+    ``cost_max / (F_max / β)`` applies, ranking tuples by how far their
+    best result stays from the threshold per unit of money.
+    """
+    state = problem.tuples[tid]
+    assignment = problem.initial_assignment()
+    best = math.inf
+    f_max = 0.0
+    for index in problem.results_by_tuple[tid]:
+        result = problem.results[index]
+        for value in state.levels(problem.delta):
+            assignment[tid] = value
+            confidence = result.evaluate(assignment)
+            if problem.satisfied(confidence):
+                best = min(best, state.cost_to(value))
+                break
+        assignment[tid] = state.maximum
+        f_max = max(f_max, result.evaluate(assignment))
+    if best < math.inf:
+        return best
+    cost_max = state.cost_to(state.maximum)
+    if f_max <= 0.0:
+        return math.inf
+    return cost_max / (f_max / problem.threshold)
+
+
+class _Budget:
+    """Node / wall-clock budget shared across the recursion."""
+
+    def __init__(self, options: HeuristicOptions) -> None:
+        self.node_limit = options.node_limit
+        self.deadline = (
+            time.perf_counter() + options.time_limit_seconds
+            if options.time_limit_seconds is not None
+            else None
+        )
+        self.nodes = 0
+        self.exhausted = False
+
+    def charge(self) -> bool:
+        """Count one node; True while the budget holds."""
+        self.nodes += 1
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            self.exhausted = True
+        elif self.deadline is not None and self.nodes % 256 == 0:
+            if time.perf_counter() > self.deadline:
+                self.exhausted = True
+        return not self.exhausted
+
+
+def solve_heuristic(
+    problem: IncrementProblem, options: HeuristicOptions | None = None
+) -> IncrementPlan:
+    """Exact (given budget) branch-and-bound solution of *problem*."""
+    options = options or HeuristicOptions()
+    stats = SolverStats()
+    started = time.perf_counter()
+
+    if problem.is_trivial():
+        stats.elapsed_seconds = time.perf_counter() - started
+        state = SearchState(problem)
+        return IncrementPlan({}, 0.0, state.satisfied_indexes(), "heuristic", stats)
+    problem.check_feasible()
+
+    order = list(problem.tuples)
+    if options.use_h1:
+        scores = {tid: cost_beta(problem, tid) for tid in order}
+        order.sort(key=lambda tid: (-scores[tid], tid))
+
+    levels = {tid: problem.tuples[tid].levels(problem.delta) for tid in order}
+    # H4: cheapest single δ-step from initial among tuples at position ≥ j.
+    step_costs = [
+        problem.tuples[tid].cost_model.marginal_cost(
+            problem.tuples[tid].initial, problem.delta
+        )
+        for tid in order
+    ]
+    suffix_min_step = [math.inf] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        suffix_min_step[position] = min(
+            step_costs[position], suffix_min_step[position + 1]
+        )
+
+    state = SearchState(problem)
+    budget = _Budget(options)
+    best_cost = (
+        options.initial_upper_bound
+        if options.initial_upper_bound is not None
+        else math.inf
+    )
+    best_targets: dict[TupleId, float] | None = None
+    best_satisfied: tuple[int, ...] = ()
+
+    # H3 runs on a mirror state where every *unassigned* tuple sits at its
+    # maximum: its satisfied count is exactly "what is still reachable from
+    # here".  Assignments are mirrored into it incrementally, which makes
+    # the H3 check O(affected results) per node instead of O(k · results).
+    potential_state: SearchState | None = None
+    if options.use_h3:
+        potential_state = SearchState(problem)
+        for tid in order:
+            potential_state.set_value(tid, problem.tuples[tid].maximum)
+
+    def descend(position: int) -> None:
+        nonlocal best_cost, best_targets, best_satisfied
+        if budget.exhausted or position == len(order):
+            return
+        tid = order[position]
+        affected = problem.results_by_tuple[tid]
+        for value_index, value in enumerate(levels[tid]):
+            if value_index > 0 and options.use_h2:
+                if all(state.satisfied_flags[index] for index in affected):
+                    stats.nodes_pruned_h2 += 1
+                    break
+            old_value = state.value_of(tid)
+            undo = state.set_value(tid, value)
+            potential_old = 0.0
+            potential_undo: list[tuple[int, float]] = []
+            if potential_state is not None:
+                potential_old = potential_state.value_of(tid)
+                potential_undo = potential_state.set_value(tid, value)
+
+            def unwind() -> None:
+                if potential_state is not None:
+                    potential_state.undo(tid, potential_old, potential_undo)
+                state.undo(tid, old_value, undo)
+
+            if not budget.charge():
+                unwind()
+                return
+            stats.nodes_explored += 1
+            if state.cost >= best_cost - _EPS:
+                stats.nodes_pruned_bound += 1
+                unwind()
+                break
+            if state.is_satisfied():
+                best_cost = state.cost
+                best_targets = state.snapshot_targets()
+                best_satisfied = state.satisfied_indexes()
+                unwind()
+                break
+            prune = False
+            if potential_state is not None and not potential_state.is_satisfied():
+                stats.nodes_pruned_h3 += 1
+                prune = True
+            if (
+                not prune
+                and options.use_h4
+                and state.cost + suffix_min_step[position + 1] >= best_cost - _EPS
+            ):
+                stats.nodes_pruned_h4 += 1
+                prune = True
+            if not prune:
+                descend(position + 1)
+            unwind()
+            if budget.exhausted:
+                return
+
+    descend(0)
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    stats.completed = not budget.exhausted
+    if best_targets is None:
+        if options.initial_upper_bound is not None:
+            raise IncrementError(
+                "no solution at or below the supplied initial upper bound "
+                f"{options.initial_upper_bound}"
+            )
+        raise IncrementError(
+            "branch-and-bound budget exhausted before any solution was found"
+        )
+    return IncrementPlan(
+        best_targets, best_cost, best_satisfied, "heuristic", stats
+    )

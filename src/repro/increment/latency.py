@@ -1,0 +1,141 @@
+"""Improvement-latency estimation (the paper's future-work item).
+
+The paper closes: "Since actually improving data quality may take some
+time, the user can submit the query in advance ... and statistics can be
+used to let the user know 'how much time' in advance he needs to issue the
+query."  This module implements that estimator.
+
+A :class:`VerificationLatencyModel` turns one tuple's confidence increment
+into a duration (a fixed dispatch overhead plus time proportional to the
+increment and to its *cost* — expensive verifications, like chart
+abstraction or on-site audits, also tend to be slow).  Plans are scheduled
+LPT (longest processing time first) onto ``parallelism`` verification
+workers; :func:`estimate_lead_time` returns the makespan, i.e. how far in
+advance the query should be issued.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import IncrementError
+from ..storage.tuples import TupleId
+from .problem import IncrementPlan, IncrementProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.database import Database
+
+__all__ = ["VerificationLatencyModel", "LeadTimeEstimate", "estimate_lead_time"]
+
+
+@dataclass(frozen=True)
+class VerificationLatencyModel:
+    """Duration of one verification action.
+
+    duration = ``dispatch_overhead``
+             + ``per_confidence_unit`` · (target − current)
+             + ``per_cost_unit`` · action cost
+    """
+
+    dispatch_overhead: float = 1.0
+    per_confidence_unit: float = 10.0
+    per_cost_unit: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(
+            self.dispatch_overhead,
+            self.per_confidence_unit,
+            self.per_cost_unit,
+        ) < 0:
+            raise IncrementError("latency coefficients must be non-negative")
+
+    def duration(
+        self, current: float, target: float, cost: float
+    ) -> float:
+        """Estimated duration of raising one tuple ``current → target``."""
+        if target <= current:
+            return 0.0
+        return (
+            self.dispatch_overhead
+            + self.per_confidence_unit * (target - current)
+            + self.per_cost_unit * cost
+        )
+
+
+@dataclass(frozen=True)
+class LeadTimeEstimate:
+    """How long a plan's improvements will take."""
+
+    makespan: float
+    total_work: float
+    actions: int
+    parallelism: int
+    critical_tuple: TupleId | None
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"lead time {self.makespan:.1f} "
+            f"({self.actions} verifications on {self.parallelism} workers)"
+        )
+
+
+def estimate_lead_time(
+    plan: IncrementPlan,
+    source: "IncrementProblem | Database",
+    model: VerificationLatencyModel | None = None,
+    parallelism: int = 1,
+) -> LeadTimeEstimate:
+    """Estimate how far in advance the user must issue the query.
+
+    *source* supplies each tuple's current confidence and cost model —
+    either the :class:`IncrementProblem` the plan was solved from or the
+    live :class:`~repro.storage.Database`.  Verifications are independent
+    tasks; with ``parallelism`` > 1 they are scheduled longest-first onto
+    that many workers (the classic LPT 4/3-approximation of the optimal
+    makespan).
+    """
+    if parallelism < 1:
+        raise IncrementError(f"parallelism must be >= 1, got {parallelism}")
+    model = model or VerificationLatencyModel()
+
+    durations: list[tuple[float, TupleId]] = []
+    for tid, target in plan.targets.items():
+        if isinstance(source, IncrementProblem):
+            state = source.tuples.get(tid)
+            if state is None:
+                raise IncrementError(f"plan tuple {tid} not in problem")
+            current, cost_model = state.initial, state.cost_model
+        else:
+            stored = source.resolve(tid)
+            current, cost_model = stored.confidence, stored.cost_model
+        if target <= current:
+            continue
+        cost = cost_model.increment_cost(current, min(target, 1.0))
+        durations.append((model.duration(current, target, cost), tid))
+
+    if not durations:
+        return LeadTimeEstimate(0.0, 0.0, 0, parallelism, None)
+
+    durations.sort(reverse=True)
+    total_work = sum(duration for duration, _tid in durations)
+    workers = [0.0] * min(parallelism, len(durations))
+    finish_tuple: dict[int, TupleId] = {}
+    heap = [(0.0, index) for index in range(len(workers))]
+    heapq.heapify(heap)
+    for duration, tid in durations:
+        load, index = heapq.heappop(heap)
+        load += duration
+        finish_tuple[index] = tid
+        heapq.heappush(heap, (load, index))
+    makespan = max(load for load, _index in heap)
+    # The tuple finishing last on the most-loaded worker.
+    most_loaded = max(heap)[1]
+    return LeadTimeEstimate(
+        makespan=makespan,
+        total_work=total_work,
+        actions=len(durations),
+        parallelism=parallelism,
+        critical_tuple=finish_tuple.get(most_loaded),
+    )

@@ -1,0 +1,199 @@
+"""Iterated local search — a fourth solver, beyond the paper.
+
+The paper's greedy walk-back (phase 2) only ever *lowers* confidences one
+tuple at a time, so it cannot escape solutions where spending a little more
+on tuple B would free a lot of spending on tuple A.  This solver adds
+exactly that move:
+
+1. **Start** from the two-phase greedy solution (always feasible).
+2. **Descend**: alternate single-tuple lowering sweeps (greedy phase-2
+   style) with randomized *swap* moves — raise one tuple a level, then try
+   to lower another below its current level; accept when the net cost
+   drops and feasibility holds.
+3. **Perturb and repeat** (classic ILS): randomly bump a few tuples,
+   re-descend, keep the result only if it improves the best known plan.
+
+Deterministic for a fixed seed.  Cost is never worse than greedy's (the
+greedy plan is the fallback incumbent); run time is a small multiple of
+greedy's.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..errors import IncrementError
+from ..storage.tuples import TupleId
+from .greedy import GreedyOptions, _phase_two, _previous_level, _step_gain, solve_greedy
+from .problem import (
+    IncrementPlan,
+    IncrementProblem,
+    SearchState,
+    SolverStats,
+)
+
+__all__ = ["LocalSearchOptions", "solve_local_search"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class LocalSearchOptions:
+    """Knobs for the iterated-local-search solver.
+
+    ``initial_plan`` seeds the search from an existing feasible plan
+    (e.g. a D&C result, to polish its allocation) instead of running
+    greedy first.
+    """
+
+    seed: int = 0
+    restarts: int = 3
+    swap_attempts: int = 400
+    perturbation_size: int = 3
+    greedy: GreedyOptions | None = None
+    initial_plan: IncrementPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.restarts < 1:
+            raise IncrementError(f"restarts must be >= 1, got {self.restarts}")
+        if self.swap_attempts < 0 or self.perturbation_size < 0:
+            raise IncrementError("swap/perturbation sizes must be >= 0")
+
+
+def solve_local_search(
+    problem: IncrementProblem, options: LocalSearchOptions | None = None
+) -> IncrementPlan:
+    """Approximate solution by iterated local search over the δ-grid."""
+    options = options or LocalSearchOptions()
+    stats = SolverStats()
+    started = time.perf_counter()
+    rng = random.Random(options.seed)
+
+    if options.initial_plan is not None:
+        seed_plan = options.initial_plan
+    else:
+        seed_plan = solve_greedy(problem, options.greedy)
+        stats.gain_evaluations += seed_plan.stats.gain_evaluations
+
+    state = SearchState(problem)
+    for tid, target in seed_plan.targets.items():
+        state.set_value(tid, target)
+    if not state.is_satisfied():
+        raise IncrementError(
+            "local search requires a feasible initial plan"
+        )
+
+    best_cost = state.cost
+    best_targets = dict(seed_plan.targets)
+    best_satisfied = state.satisfied_indexes()
+
+    for _restart in range(options.restarts):
+        _descend(problem, state, rng, options, stats)
+        if state.is_satisfied() and state.cost < best_cost - _EPS:
+            best_cost = state.cost
+            best_targets = state.snapshot_targets()
+            best_satisfied = state.satisfied_indexes()
+        _perturb(problem, state, rng, options)
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return IncrementPlan(
+        best_targets, best_cost, best_satisfied, "local-search", stats
+    )
+
+
+def _changed_tuples(problem: IncrementProblem, state: SearchState) -> list[TupleId]:
+    return [
+        tid
+        for tid, value in state.assignment.items()
+        if value > problem.tuples[tid].initial + _EPS
+    ]
+
+
+def _descend(
+    problem: IncrementProblem,
+    state: SearchState,
+    rng: random.Random,
+    options: LocalSearchOptions,
+    stats: SolverStats,
+) -> None:
+    """Lowering sweeps + randomized swap moves until no move improves."""
+    improved = True
+    while improved:
+        improved = False
+        # Single-tuple lowering sweep (phase-2 style, ascending gain).
+        changed = _changed_tuples(problem, state)
+        if changed:
+            before = stats.phase2_reductions
+            gains = {
+                tid: _step_gain(problem, state, tid, "all", stats)
+                for tid in changed
+            }
+            _phase_two(problem, state, gains, stats)
+            if stats.phase2_reductions > before:
+                improved = True
+        # Randomized swap moves: raise B one level, then try to lower A.
+        for _ in range(options.swap_attempts):
+            if _try_swap(problem, state, rng):
+                improved = True
+
+
+def _try_swap(
+    problem: IncrementProblem, state: SearchState, rng: random.Random
+) -> bool:
+    """One raise-B / lower-A move; True if it reduced cost feasibly."""
+    changed = _changed_tuples(problem, state)
+    if not changed:
+        return False
+    lower_tid = rng.choice(changed)
+    candidates = [tid for tid in problem.tuples if tid != lower_tid]
+    if not candidates:
+        return False
+    raise_tid = rng.choice(candidates)
+    raise_state = problem.tuples[raise_tid]
+    current_raise = state.value_of(raise_tid)
+    if current_raise >= raise_state.maximum - _EPS:
+        return False
+
+    cost_before = state.cost
+    raise_old = state.value_of(raise_tid)
+    raise_undo = state.set_value(
+        raise_tid, min(raise_old + problem.delta, raise_state.maximum)
+    )
+    # Lower the chosen tuple as far as feasibility allows.
+    lower_old = state.value_of(lower_tid)
+    initial = problem.tuples[lower_tid].initial
+    lowered_any = False
+    while state.value_of(lower_tid) > initial + _EPS:
+        current = state.value_of(lower_tid)
+        lowered = _previous_level(problem, lower_tid, current)
+        undo = state.set_value(lower_tid, lowered)
+        if not state.is_satisfied():
+            state.undo(lower_tid, current, undo)
+            break
+        lowered_any = True
+    if lowered_any and state.is_satisfied() and state.cost < cost_before - _EPS:
+        return True
+    # Net loss (or infeasible): roll everything back.
+    state.set_value(lower_tid, lower_old)
+    state.undo(raise_tid, raise_old, raise_undo)
+    return False
+
+
+def _perturb(
+    problem: IncrementProblem,
+    state: SearchState,
+    rng: random.Random,
+    options: LocalSearchOptions,
+) -> None:
+    """Random kick: bump a few tuples one level (keeps feasibility)."""
+    tuple_ids = list(problem.tuples)
+    for _ in range(options.perturbation_size):
+        tid = rng.choice(tuple_ids)
+        tuple_state = problem.tuples[tid]
+        current = state.value_of(tid)
+        if current < tuple_state.maximum - _EPS:
+            state.set_value(
+                tid, min(current + problem.delta, tuple_state.maximum)
+            )

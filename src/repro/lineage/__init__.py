@@ -1,0 +1,53 @@
+"""Lineage formulas and confidence computation (paper element 2).
+
+Query results carry boolean lineage over base tuples; confidence is the
+probability of the lineage under tuple independence.  Exact evaluation uses
+independence decomposition plus Shannon expansion; a Monte-Carlo estimator
+covers adversarial formulas.
+"""
+
+from .confidence import ConfidenceFunction
+from .explain import explain, minimal_witnesses, rank_influence
+from .formula import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Lineage,
+    Not,
+    Or,
+    Top,
+    Var,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    restrict,
+    var,
+)
+from .montecarlo import MonteCarloEstimate, estimate_probability
+from .probability import probability, sensitivity
+
+__all__ = [
+    "Lineage",
+    "Var",
+    "And",
+    "Or",
+    "Not",
+    "Top",
+    "Bottom",
+    "TOP",
+    "BOTTOM",
+    "var",
+    "lineage_and",
+    "lineage_or",
+    "lineage_not",
+    "restrict",
+    "probability",
+    "sensitivity",
+    "ConfidenceFunction",
+    "minimal_witnesses",
+    "rank_influence",
+    "explain",
+    "estimate_probability",
+    "MonteCarloEstimate",
+]

@@ -1,0 +1,118 @@
+"""Per-result confidence functions.
+
+The strategy-finding algorithms (paper §4) treat each intermediate result's
+confidence as a function ``F(p1, …, pk)`` of its base tuples' confidences and
+evaluate it thousands of times while exploring candidate increments.
+:class:`ConfidenceFunction` wraps a result's lineage formula with:
+
+* a stable, sorted tuple of the variables it depends on;
+* memoization keyed on the *values* of exactly those variables, so re-probes
+  under a global assignment where unrelated tuples changed hit the cache;
+* exact finite-difference and derivative helpers used by the greedy gain and
+  the heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..storage.tuples import TupleId
+from .formula import Lineage
+from .probability import compile_probability, sensitivity
+
+__all__ = ["ConfidenceFunction"]
+
+
+class ConfidenceFunction:
+    """Callable view of one result tuple's confidence ``F(p_λ01, …, p_λ0k)``.
+
+    The lineage is compiled once (:func:`~repro.lineage.compile_probability`)
+    so repeated evaluation under changing assignments is cheap arithmetic.
+
+    Parameters
+    ----------
+    formula:
+        The result's lineage.
+    label:
+        Optional display name (e.g. the result tuple's identifier).
+    """
+
+    __slots__ = ("formula", "label", "_vars", "_cache", "_compiled")
+
+    def __init__(self, formula: Lineage, label: str | None = None) -> None:
+        self.formula = formula
+        self.label = label
+        self._vars: tuple[TupleId, ...] = tuple(sorted(formula.variables))
+        self._cache: dict[tuple[float, ...], float] = {}
+        self._compiled = compile_probability(formula)
+
+    @property
+    def variables(self) -> tuple[TupleId, ...]:
+        """The base tuples this result depends on, in sorted order."""
+        return self._vars
+
+    def arity(self) -> int:
+        return len(self._vars)
+
+    def evaluate(self, assignment: Mapping[TupleId, float]) -> float:
+        """``F`` under *assignment* (which may also cover unrelated tuples)."""
+        key = tuple(assignment[tid] for tid in self._vars)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._compiled(assignment)
+        if len(self._cache) > 100_000:  # bound memory on long searches
+            self._cache.clear()
+        self._cache[key] = value
+        return value
+
+    __call__ = evaluate
+
+    def delta(
+        self,
+        assignment: Mapping[TupleId, float],
+        tid: TupleId,
+        new_value: float,
+    ) -> float:
+        """``F(assignment[tid := new_value]) − F(assignment)``.
+
+        Zero if the result does not depend on *tid* (no copies made in that
+        case).
+        """
+        if tid not in self.formula.variables:
+            return 0.0
+        base = self.evaluate(assignment)
+        patched = dict(assignment)
+        patched[tid] = new_value
+        return self.evaluate(patched) - base
+
+    def derivative(
+        self, assignment: Mapping[TupleId, float], tid: TupleId
+    ) -> float:
+        """Exact ``∂F/∂p(tid)`` at *assignment* (multilinear slope)."""
+        return sensitivity(self.formula, assignment, tid)
+
+    def max_value(
+        self,
+        assignment: Mapping[TupleId, float],
+        ceilings: Mapping[TupleId, float] | None = None,
+    ) -> float:
+        """``F`` with every variable raised to its ceiling (default 1.0).
+
+        This is ``F_max`` from the paper's Heuristics 1/3: the best this
+        result can ever reach.  Note: lineage with negation is not monotone,
+        so this is an upper bound only for negation-free lineage — which is
+        all the increment algorithms accept.
+        """
+        raised = dict(assignment)
+        for tid in self._vars:
+            ceiling = 1.0 if ceilings is None else ceilings.get(tid, 1.0)
+            raised[tid] = ceiling
+        return self.evaluate(raised)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        name = self.label or "F"
+        return f"ConfidenceFunction({name}, arity={self.arity()})"

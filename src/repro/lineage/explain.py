@@ -1,0 +1,136 @@
+"""Lineage explanation: witnesses, influence, and human-readable forms.
+
+Tools for answering *why* a result exists and *which base tuple to verify
+first*:
+
+* :func:`minimal_witnesses` — the minimal sets of base tuples that alone
+  make the lineage true (why-provenance; the prime implicants of a
+  monotone formula).
+* :func:`rank_influence` — base tuples ordered by their Birnbaum
+  importance ``∂P/∂p · (1 − p)``: the confidence gained by making that
+  tuple certain.  This is the single-tuple headroom the greedy solver's
+  gain chases, exposed for analysis and UIs.
+* :func:`explain` — an indented, annotated rendering of a lineage formula
+  with per-node probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import LineageError
+from ..storage.tuples import TupleId
+from .formula import And, Bottom, Lineage, Not, Or, Top, Var
+from .probability import probability, sensitivity
+
+__all__ = ["minimal_witnesses", "rank_influence", "explain"]
+
+
+def minimal_witnesses(
+    formula: Lineage, limit: int = 1000
+) -> list[frozenset[TupleId]]:
+    """The minimal base-tuple sets that make *formula* true.
+
+    Only monotone (negation-free) lineage is supported — with negation,
+    "witness" would need a three-valued definition.  Results are sorted by
+    size then lexicographically; *limit* bounds the output (DNF can be
+    exponential), raising :class:`~repro.errors.LineageError` when
+    exceeded so callers never silently miss witnesses.
+    """
+    witnesses = _witnesses(formula, limit)
+    return sorted(witnesses, key=lambda witness: (len(witness), sorted(witness)))
+
+
+def _witnesses(formula: Lineage, limit: int) -> set[frozenset[TupleId]]:
+    if isinstance(formula, Top):
+        return {frozenset()}
+    if isinstance(formula, Bottom):
+        return set()
+    if isinstance(formula, Var):
+        return {frozenset((formula.tid,))}
+    if isinstance(formula, Not):
+        raise LineageError("witnesses are defined for monotone lineage only")
+    if isinstance(formula, Or):
+        combined: set[frozenset[TupleId]] = set()
+        for child in formula.children:
+            combined |= _witnesses(child, limit)
+            if len(combined) > limit:
+                raise LineageError(
+                    f"more than {limit} witnesses; raise the limit"
+                )
+        return _minimize(combined)
+    if isinstance(formula, And):
+        current: set[frozenset[TupleId]] = {frozenset()}
+        for child in formula.children:
+            child_witnesses = _witnesses(child, limit)
+            current = {
+                left | right for left in current for right in child_witnesses
+            }
+            if len(current) > limit:
+                raise LineageError(
+                    f"more than {limit} witnesses; raise the limit"
+                )
+        return _minimize(current)
+    raise LineageError(f"cannot enumerate witnesses of {formula!r}")
+
+
+def _minimize(witnesses: set[frozenset[TupleId]]) -> set[frozenset[TupleId]]:
+    """Drop witnesses that are supersets of another witness."""
+    ordered = sorted(witnesses, key=len)
+    kept: list[frozenset[TupleId]] = []
+    for candidate in ordered:
+        if not any(existing <= candidate for existing in kept):
+            kept.append(candidate)
+    return set(kept)
+
+
+def rank_influence(
+    formula: Lineage, probabilities: Mapping[TupleId, float]
+) -> list[tuple[TupleId, float]]:
+    """Base tuples ranked by achievable confidence gain.
+
+    For each variable ``v``: ``influence(v) = ∂P/∂p_v · (1 − p_v)`` — the
+    exact increase in the formula's probability if ``v`` were verified to
+    certainty, by multilinearity.  Sorted descending; ties by tuple id.
+    """
+    scores = []
+    for tid in sorted(formula.variables):
+        slope = sensitivity(formula, probabilities, tid)
+        headroom = 1.0 - probabilities[tid]
+        scores.append((tid, slope * headroom))
+    scores.sort(key=lambda item: (-item[1], item[0]))
+    return scores
+
+
+def explain(
+    formula: Lineage,
+    probabilities: Mapping[TupleId, float] | None = None,
+    indent: int = 0,
+) -> str:
+    """An indented rendering of *formula*, with probabilities if given.
+
+    >>> print(explain(lineage, db.confidences(lineage.variables)))
+    AND  p=0.058
+      OR  p=0.580
+        Proposal:1  p=0.300
+        Proposal:2  p=0.400
+      CompanyInfo:2  p=0.100
+    """
+    pad = "  " * indent
+    suffix = ""
+    if probabilities is not None:
+        suffix = f"  p={probability(formula, probabilities):.3f}"
+    if isinstance(formula, Var):
+        return f"{pad}{formula.tid}{suffix}"
+    if isinstance(formula, Top):
+        return f"{pad}TRUE{suffix}"
+    if isinstance(formula, Bottom):
+        return f"{pad}FALSE{suffix}"
+    if isinstance(formula, Not):
+        body = explain(formula.child, probabilities, indent + 1)
+        return f"{pad}NOT{suffix}\n{body}"
+    keyword = "AND" if isinstance(formula, And) else "OR"
+    lines = [f"{pad}{keyword}{suffix}"]
+    for child in formula.children:
+        lines.append(explain(child, probabilities, indent + 1))
+    return "\n".join(lines)

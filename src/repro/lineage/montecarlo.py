@@ -1,0 +1,86 @@
+"""Monte-Carlo estimation of lineage probability.
+
+Exact evaluation (:func:`repro.lineage.probability.probability`) is #P-hard
+in general; for adversarial lineage (wide non-read-once formulas from heavy
+self-joins) :func:`estimate_probability` gives an unbiased estimate with a
+standard-error report, by sampling possible worlds: each base tuple is
+independently present with its probability and the formula is evaluated on
+the sampled world.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import LineageError
+from ..storage.tuples import TupleId
+from .formula import Lineage
+
+__all__ = ["MonteCarloEstimate", "estimate_probability"]
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Result of a sampling run."""
+
+    probability: float
+    samples: int
+    standard_error: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation interval clipped to ``[0, 1]``."""
+        half = z * self.standard_error
+        return (
+            max(0.0, self.probability - half),
+            min(1.0, self.probability + half),
+        )
+
+
+def estimate_probability(
+    formula: Lineage,
+    probabilities: Mapping[TupleId, float],
+    samples: int = 10_000,
+    rng: random.Random | None = None,
+) -> MonteCarloEstimate:
+    """Estimate ``P(formula)`` from *samples* sampled worlds.
+
+    Parameters
+    ----------
+    formula:
+        The lineage to evaluate.
+    probabilities:
+        Per-tuple presence probability; must cover ``formula.variables``.
+    samples:
+        Number of worlds to draw (must be positive).
+    rng:
+        Source of randomness; defaults to a fresh seeded generator so repeat
+        calls are reproducible.
+    """
+    if samples <= 0:
+        raise LineageError(f"samples must be positive, got {samples}")
+    generator = rng if rng is not None else random.Random(0)
+    variables = sorted(formula.variables)
+    for tid in variables:
+        if tid not in probabilities:
+            raise LineageError(f"no probability supplied for base tuple {tid}")
+        p = probabilities[tid]
+        if not 0.0 <= p <= 1.0:
+            raise LineageError(f"probability {p} of {tid} outside [0, 1]")
+
+    hits = 0
+    world: dict[TupleId, bool] = {}
+    for _ in range(samples):
+        for tid in variables:
+            world[tid] = generator.random() < probabilities[tid]
+        if formula.evaluate(world):
+            hits += 1
+    estimate = hits / samples
+    variance = estimate * (1.0 - estimate) / samples
+    return MonteCarloEstimate(
+        probability=estimate,
+        samples=samples,
+        standard_error=math.sqrt(variance),
+    )

@@ -1,0 +1,290 @@
+"""Exact probability of a lineage formula under tuple independence.
+
+Base tuples are assumed independent (as in Trio / Dalvi-Suciu probabilistic
+databases, which the paper builds on).  The probability of a formula is then
+well defined and computed by :func:`probability` with three rules, tried in
+order:
+
+1. **Structural base cases** — constants, single variables, negation
+   (``P(¬f) = 1 − P(f)``).
+2. **Independence decomposition** — if the children of an AND/OR can be
+   grouped into variable-disjoint clusters, the clusters are independent
+   events: ``P(AND) = Π P(cluster)`` and ``P(OR) = 1 − Π (1 − P(cluster))``.
+   Read-once formulas (every variable appears once), which dominate in
+   practice, are evaluated in linear time by this rule alone.
+3. **Shannon expansion** — otherwise pick the variable shared by the most
+   children and condition on it:
+   ``P(f) = p·P(f|v=1) + (1−p)·P(f|v=0)``.  Cofactors simplify (restrict
+   folds constants), and a per-call memo table keyed on the simplified
+   formula avoids recomputing shared cofactors.
+
+Worst case is exponential (#P-hard problem), but lineages from SPJU queries
+over the paper's workloads stay small; for adversarial formulas use
+:mod:`repro.lineage.montecarlo`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Mapping
+
+from ..errors import LineageError
+from ..storage.tuples import TupleId
+from .formula import And, Bottom, Lineage, Not, Or, Top, Var, restrict
+
+__all__ = ["probability", "sensitivity", "compile_probability"]
+
+ProbabilityMap = Mapping[TupleId, float]
+
+
+def _check_probability(tid: TupleId, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise LineageError(f"probability {value} of {tid} outside [0, 1]")
+    return value
+
+
+def _independent_clusters(children: tuple[Lineage, ...]) -> list[list[Lineage]]:
+    """Group children into variable-disjoint clusters (union-find)."""
+    parent = list(range(len(children)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    owner: dict[TupleId, int] = {}
+    for index, child in enumerate(children):
+        for tid in child.variables:
+            if tid in owner:
+                union(owner[tid], index)
+            else:
+                owner[tid] = index
+
+    clusters: dict[int, list[Lineage]] = {}
+    for index, child in enumerate(children):
+        clusters.setdefault(find(index), []).append(child)
+    return list(clusters.values())
+
+
+def _pick_branch_variable(children: tuple[Lineage, ...]) -> TupleId:
+    """The variable occurring in the most children (ties by ordering)."""
+    counts: Counter[TupleId] = Counter()
+    for child in children:
+        counts.update(child.variables)
+    # max by (count, tid) — deterministic for reproducible run times
+    return max(counts, key=lambda tid: (counts[tid], tid))
+
+
+def probability(formula: Lineage, probabilities: ProbabilityMap) -> float:
+    """Exact ``P(formula)`` given independent base-tuple *probabilities*.
+
+    Raises :class:`~repro.errors.LineageError` if a variable is missing from
+    *probabilities* or a probability is out of range.
+    """
+    memo: dict[Lineage, float] = {}
+
+    def lookup(tid: TupleId) -> float:
+        try:
+            return _check_probability(tid, probabilities[tid])
+        except KeyError:
+            raise LineageError(
+                f"no probability supplied for base tuple {tid}"
+            ) from None
+
+    def prob(node: Lineage) -> float:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        result = _prob_uncached(node)
+        memo[node] = result
+        return result
+
+    def _prob_uncached(node: Lineage) -> float:
+        if isinstance(node, Top):
+            return 1.0
+        if isinstance(node, Bottom):
+            return 0.0
+        if isinstance(node, Var):
+            return lookup(node.tid)
+        if isinstance(node, Not):
+            return 1.0 - prob(node.child)
+        if isinstance(node, (And, Or)):
+            clusters = _independent_clusters(node.children)
+            if len(clusters) > 1 or all(len(c) == 1 for c in clusters):
+                # Independent clusters: combine by product / inclusion of
+                # complements.  (The all-singletons case also lands here.)
+                if isinstance(node, And):
+                    result = 1.0
+                    for cluster in clusters:
+                        result *= prob(_rebuild(node, cluster))
+                    return result
+                result = 1.0
+                for cluster in clusters:
+                    result *= 1.0 - prob(_rebuild(node, cluster))
+                return 1.0 - result
+            # One entangled cluster: Shannon-expand on the busiest variable.
+            branch = _pick_branch_variable(node.children)
+            p = lookup(branch)
+            high = prob(restrict(node, branch, True))
+            low = prob(restrict(node, branch, False))
+            return p * high + (1.0 - p) * low
+        raise LineageError(f"cannot evaluate {node!r}")  # pragma: no cover
+
+    def _rebuild(node: Lineage, cluster: list[Lineage]) -> Lineage:
+        if len(cluster) == 1:
+            return cluster[0]
+        if isinstance(node, And):
+            return And(tuple(cluster))
+        return Or(tuple(cluster))
+
+    value = prob(formula)
+    # Clamp tiny float drift so callers can rely on [0, 1].
+    return min(1.0, max(0.0, value))
+
+
+def sensitivity(
+    formula: Lineage,
+    probabilities: ProbabilityMap,
+    tid: TupleId,
+) -> float:
+    """``∂P(formula)/∂p(tid)`` — how much confidence grows per unit of the
+    base tuple's probability.
+
+    By multilinearity of the probability polynomial this equals
+    ``P(f|tid=1) − P(f|tid=0)``; it is what the greedy algorithm's *gain*
+    approximates with finite differences, exposed here exactly for analysis
+    and ablation benchmarks.
+    """
+    if tid not in formula.variables:
+        return 0.0
+    high = probability(restrict(formula, tid, True), probabilities)
+    low = probability(restrict(formula, tid, False), probabilities)
+    return high - low
+
+
+def compile_probability(formula: Lineage) -> Callable[[ProbabilityMap], float]:
+    """Compile *formula* into a fast probability evaluator.
+
+    All structural analysis — independence partitioning and Shannon
+    expansion — happens once, at compile time; the returned closure only
+    performs arithmetic and dictionary lookups, which makes it suitable for
+    the strategy-finding algorithms' inner loops (thousands of evaluations
+    of the same formula under changing probabilities).
+
+    Compilation can be exponential for adversarially entangled formulas
+    (the problem is #P-hard); shared cofactors are deduplicated through a
+    per-compilation memo table keyed on the simplified formula.
+
+    The closure raises :class:`~repro.errors.LineageError` when the
+    supplied probability map is missing a needed variable.  Values are not
+    range-checked (the storage layer guarantees [0, 1]); use
+    :func:`probability` for one-off, validated evaluation.
+    """
+    memo: dict[Lineage, Callable[[ProbabilityMap], float]] = {}
+
+    def build(node: Lineage) -> Callable[[ProbabilityMap], float]:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        compiled = _build_uncached(node)
+        memo[node] = compiled
+        return compiled
+
+    def _build_uncached(node: Lineage) -> Callable[[ProbabilityMap], float]:
+        if isinstance(node, Top):
+            return lambda probabilities: 1.0
+        if isinstance(node, Bottom):
+            return lambda probabilities: 0.0
+        if isinstance(node, Var):
+            tid = node.tid
+
+            def read(probabilities: ProbabilityMap, tid=tid) -> float:
+                try:
+                    return probabilities[tid]
+                except KeyError:
+                    raise LineageError(
+                        f"no probability supplied for base tuple {tid}"
+                    ) from None
+
+            return read
+        if isinstance(node, Not):
+            inner = build(node.child)
+            return lambda probabilities: 1.0 - inner(probabilities)
+        if isinstance(node, (And, Or)):
+            clusters = _independent_clusters(node.children)
+            if len(clusters) > 1 or all(len(c) == 1 for c in clusters):
+                parts = [
+                    build(_rebuild_connective(node, cluster))
+                    for cluster in clusters
+                ]
+                if isinstance(node, And):
+
+                    def conjoin(probabilities: ProbabilityMap, parts=parts) -> float:
+                        result = 1.0
+                        for part in parts:
+                            result *= part(probabilities)
+                        return result
+
+                    return conjoin
+
+                def disjoin(probabilities: ProbabilityMap, parts=parts) -> float:
+                    result = 1.0
+                    for part in parts:
+                        result *= 1.0 - part(probabilities)
+                    return 1.0 - result
+
+                return disjoin
+            branch = _pick_branch_variable(node.children)
+            high = build(restrict(node, branch, True))
+            low = build(restrict(node, branch, False))
+            read_branch = build(Var(branch))
+
+            def shannon(
+                probabilities: ProbabilityMap,
+                read_branch=read_branch,
+                high=high,
+                low=low,
+            ) -> float:
+                p = read_branch(probabilities)
+                return p * high(probabilities) + (1.0 - p) * low(probabilities)
+
+            return shannon
+        raise LineageError(f"cannot compile {node!r}")  # pragma: no cover
+
+    compiled = build(formula)
+
+    def evaluate(probabilities: ProbabilityMap) -> float:
+        value = compiled(probabilities)
+        # Clamp tiny float drift so callers can rely on [0, 1].
+        if value < 0.0:
+            return 0.0
+        if value > 1.0:
+            return 1.0
+        return value
+
+    return evaluate
+
+
+def _rebuild_connective(node: Lineage, cluster: list[Lineage]) -> Lineage:
+    if len(cluster) == 1:
+        return cluster[0]
+    if isinstance(node, And):
+        return And(tuple(cluster))
+    return Or(tuple(cluster))
+
+
+def make_probability_fn(
+    formula: Lineage,
+) -> Callable[[ProbabilityMap], float]:
+    """A closure computing this formula's probability (no extra caching)."""
+
+    def evaluate(probabilities: ProbabilityMap) -> float:
+        return probability(formula, probabilities)
+
+    return evaluate

@@ -1,0 +1,38 @@
+"""Confidence policies and enforcement (paper element 3).
+
+Roles (with inheritance), purposes (a tree), users and ``⟨role, purpose,
+threshold⟩`` confidence policies live in a :class:`PolicyStore`;
+:class:`PolicyEvaluator` filters query results against the selected
+threshold and reports the shortfall that triggers confidence increment.
+"""
+
+from .analysis import (
+    ConfidenceProfile,
+    PolicyImpact,
+    policy_impact,
+    table_confidence_profile,
+    threshold_sweep,
+)
+from .enforcement import FilterOutcome, PolicyEvaluator
+from .model import ConfidencePolicy, Purpose, Role, User
+from .serialization import load_store, save_store, store_from_dict, store_to_dict
+from .store import PolicyStore
+
+__all__ = [
+    "Role",
+    "User",
+    "Purpose",
+    "ConfidencePolicy",
+    "PolicyStore",
+    "PolicyEvaluator",
+    "FilterOutcome",
+    "ConfidenceProfile",
+    "table_confidence_profile",
+    "threshold_sweep",
+    "PolicyImpact",
+    "policy_impact",
+    "store_to_dict",
+    "store_from_dict",
+    "save_store",
+    "load_store",
+]

@@ -1,0 +1,100 @@
+"""Policy evaluation over query results (paper element 3).
+
+:class:`PolicyEvaluator` implements the Figure-1 "Policy Evaluation"
+component: given a result set with confidences and an effective threshold,
+it partitions rows into released and withheld and reports whether the
+user's requested fraction of results survived — the trigger for strategy
+finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..algebra.rows import AnnotatedTuple, ResultSet
+from ..errors import PolicyError
+from ..storage.tuples import TupleId
+from .store import PolicyStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.database import Database
+
+__all__ = ["FilterOutcome", "PolicyEvaluator"]
+
+
+@dataclass
+class FilterOutcome:
+    """Result of applying one confidence threshold to a result set."""
+
+    threshold: float
+    released: list[tuple[AnnotatedTuple, float]]
+    withheld: list[tuple[AnnotatedTuple, float]]
+
+    @property
+    def total(self) -> int:
+        return len(self.released) + len(self.withheld)
+
+    @property
+    def released_fraction(self) -> float:
+        """θ′ in the paper: the fraction of results above the threshold."""
+        if self.total == 0:
+            return 1.0
+        return len(self.released) / self.total
+
+    def satisfies(self, required_fraction: float) -> bool:
+        """Whether at least *required_fraction* (θ) of results survived."""
+        return self.released_fraction >= required_fraction
+
+    def shortfall(self, required_fraction: float) -> int:
+        """How many more rows must clear the threshold to reach θ.
+
+        The paper's ``(θ − θ′)·n``, rounded up to whole rows.
+        """
+        import math
+
+        needed = math.ceil(required_fraction * self.total - 1e-9)
+        return max(0, needed - len(self.released))
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"FilterOutcome(threshold={self.threshold}, "
+            f"released={len(self.released)}/{self.total})"
+        )
+
+
+class PolicyEvaluator:
+    """Applies confidence policies from a store to query results."""
+
+    def __init__(self, store: PolicyStore) -> None:
+        self.store = store
+
+    def evaluate(
+        self,
+        result: ResultSet,
+        source: "Database | Mapping[TupleId, float]",
+        subject: str,
+        purpose: str,
+        subject_is_user: bool = True,
+    ) -> FilterOutcome:
+        """Filter *result* under the policy for (subject, purpose)."""
+        threshold = self.store.threshold_for(subject, purpose, subject_is_user)
+        return self.apply_threshold(result, source, threshold)
+
+    @staticmethod
+    def apply_threshold(
+        result: ResultSet,
+        source: "Database | Mapping[TupleId, float]",
+        threshold: float,
+    ) -> FilterOutcome:
+        """Partition rows by ``confidence > threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise PolicyError(f"threshold {threshold} outside [0, 1]")
+        released: list[tuple[AnnotatedTuple, float]] = []
+        withheld: list[tuple[AnnotatedTuple, float]] = []
+        for row, confidence in result.with_confidences(source):
+            if confidence > threshold:
+                released.append((row, confidence))
+            else:
+                withheld.append((row, confidence))
+        return FilterOutcome(threshold, released, withheld)

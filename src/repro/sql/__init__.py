@@ -1,0 +1,92 @@
+"""SQL front end: lexer, parser, and planner.
+
+High-level helpers:
+
+* :func:`parse_sql` — SQL text → AST
+* :func:`plan_sql` — SQL text → optimized logical plan
+* :func:`run_sql` — SQL text → :class:`~repro.algebra.ResultSet` with lineage
+
+>>> result = run_sql(db, "SELECT Company, Income FROM ...")
+>>> result.with_confidences(db)
+"""
+
+from __future__ import annotations
+
+from ..algebra.executor import execute
+from ..algebra.optimizer import optimize
+from ..algebra.plan import PlanNode
+from ..algebra.rows import ResultSet
+from ..storage.database import Database
+from .ast import (
+    AggregateCall,
+    DerivedTable,
+    JoinClause,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SetStatement,
+    Star,
+    Statement,
+)
+from .dml import DmlResult, execute_dml
+from .lexer import Token, TokenType, tokenize
+from .parser import parse, parse_command
+from .planner import plan_statement
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_command",
+    "parse_sql",
+    "plan_statement",
+    "plan_sql",
+    "run_sql",
+    "execute_sql",
+    "DmlResult",
+    "execute_dml",
+    "Statement",
+    "SelectStatement",
+    "SetStatement",
+    "SelectItem",
+    "Star",
+    "NamedTable",
+    "DerivedTable",
+    "JoinClause",
+    "OrderItem",
+    "AggregateCall",
+]
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse SQL text into an AST."""
+    return parse(sql)
+
+
+def plan_sql(db: Database, sql: str, optimized: bool = True) -> PlanNode:
+    """Parse and plan SQL text against *db*."""
+    plan = plan_statement(db, parse(sql))
+    return optimize(plan) if optimized else plan
+
+
+def run_sql(db: Database, sql: str, optimized: bool = True) -> ResultSet:
+    """Parse, plan, and execute SQL text against *db*."""
+    return execute(plan_sql(db, sql, optimized))
+
+
+def execute_sql(
+    db: Database, sql: str, optimized: bool = True
+) -> "ResultSet | DmlResult":
+    """Run any supported SQL command: queries return a
+    :class:`~repro.algebra.ResultSet`, DML/DDL a :class:`DmlResult`."""
+    from .ast import SelectStatement, SetStatement
+
+    command = parse_command(sql)
+    if isinstance(command, (SelectStatement, SetStatement)):
+        plan = plan_statement(db, command)
+        if optimized:
+            plan = optimize(plan)
+        return execute(plan)
+    return execute_dml(db, command)

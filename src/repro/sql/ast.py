@@ -1,0 +1,270 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+The dialect covers the paper's needs and a practical superset:
+
+* ``SELECT [DISTINCT] items FROM refs [WHERE] [GROUP BY [HAVING]]``
+* explicit ``JOIN``/``LEFT JOIN``/``CROSS JOIN`` and comma cross products
+* derived tables ``(SELECT …) AS alias``
+* ``UNION [ALL]`` / ``INTERSECT`` / ``EXCEPT``
+* ``ORDER BY`` / ``LIMIT`` / ``OFFSET``
+* scalar expressions with the operators in :mod:`repro.algebra.expressions`
+* aggregates ``COUNT(*) | COUNT([DISTINCT] e) | SUM | AVG | MIN | MAX``
+
+Expression AST nodes reuse :class:`repro.algebra.expressions.Expression`
+directly (the parser builds algebra expressions), except aggregates, which
+only make sense inside a SELECT list / HAVING and get their own node here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..algebra.expressions import Expression
+
+__all__ = [
+    "SelectItem",
+    "Star",
+    "InSubquery",
+    "ColumnDefinition",
+    "CreateTableStatement",
+    "DropTableStatement",
+    "CreateViewStatement",
+    "DropViewStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "Command",
+    "TableRef",
+    "NamedTable",
+    "DerivedTable",
+    "JoinClause",
+    "AggregateCall",
+    "OrderItem",
+    "SelectStatement",
+    "SetStatement",
+    "Statement",
+]
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """An aggregate function call appearing in SELECT or HAVING.
+
+    Participates in the ``Expression`` tree so aggregates can appear inside
+    arithmetic (``SUM(x) / COUNT(*)``); the planner extracts every
+    ``AggregateCall`` into the Aggregate operator and rewrites references.
+    """
+
+    function: str
+    argument: Expression | None  # None only for COUNT(*)
+    distinct: bool = False
+
+    def bind(self, schema):  # pragma: no cover - planner rewrites these away
+        from ..errors import BindError
+
+        raise BindError(
+            f"aggregate {self.function} outside of SELECT/HAVING planning"
+        )
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.argument.references() if self.argument else set()
+
+    def __hash__(self) -> int:
+        return hash(("agg", self.function, self.argument, self.distinct))
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT …)``.
+
+    Not a scalar expression: the planner rewrites top-level WHERE conjuncts
+    of this shape into semi-/anti-join operators whose lineage combines the
+    outer row with the matching subquery rows (Trio-style).
+    """
+
+    operand: Expression
+    query: "Statement"
+    negated: bool = False
+
+    def bind(self, schema):  # pragma: no cover - planner rewrites these away
+        from ..errors import BindError
+
+        raise BindError(
+            "IN (SELECT ...) is only supported as a top-level WHERE conjunct"
+        )
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def __hash__(self) -> int:
+        return hash(("in-subquery", self.operand, id(self.query), self.negated))
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in a SELECT list."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression (or star) with optional alias."""
+
+    expression: Union[Expression, Star]
+    alias: str | None = None
+
+
+class TableRef:
+    """Base class of FROM-clause table references."""
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    """A stored table, optionally aliased."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    """A parenthesised subquery with a mandatory alias."""
+
+    query: "Statement"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One JOIN step applied to the running FROM expression."""
+
+    kind: str  # "inner" | "left" | "cross"
+    table: TableRef
+    condition: Expression | None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: expression or 1-based output position."""
+
+    expression: Expression | int
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A single SELECT block (no set operations)."""
+
+    items: Sequence[SelectItem]
+    from_tables: Sequence[TableRef]
+    joins: Sequence[JoinClause] = ()
+    where: Expression | None = None
+    group_by: Sequence[Expression] = ()
+    having: Expression | None = None
+    distinct: bool = False
+    order_by: Sequence[OrderItem] = ()
+    limit: int | None = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class SetStatement:
+    """Two statements combined with UNION/INTERSECT/EXCEPT.
+
+    ORDER BY / LIMIT attach to the outermost set statement.
+    """
+
+    left: "Statement"
+    right: "Statement"
+    kind: str  # "union" | "union_all" | "intersect" | "except"
+    order_by: Sequence[OrderItem] = ()
+    limit: int | None = None
+    offset: int = 0
+
+
+Statement = Union[SelectStatement, SetStatement]
+
+
+# ---------------------------------------------------------------------------
+# DML / DDL statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """One column of a ``CREATE TABLE``: name, type keyword, nullability."""
+
+    name: str
+    type_name: str
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    name: str
+    columns: Sequence[ColumnDefinition]
+
+
+@dataclass(frozen=True)
+class DropTableStatement:
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateViewStatement:
+    """``CREATE VIEW name AS SELECT ...``.
+
+    ``query`` is the parsed definition (validated at CREATE time);
+    ``definition_sql`` the original SELECT text, which the catalog stores.
+    """
+
+    name: str
+    query: "Statement"
+    definition_sql: str
+
+
+@dataclass(frozen=True)
+class DropViewStatement:
+    name: str
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO t [(cols)] VALUES (...), ... [WITH CONFIDENCE p]``."""
+
+    table: str
+    columns: Sequence[str] | None
+    rows: Sequence[Sequence[Expression]]
+    confidence: Expression | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """``UPDATE t SET c = e, ... [WHERE p] [WITH CONFIDENCE p]``."""
+
+    table: str
+    assignments: Sequence[tuple[str, Expression]]
+    where: Expression | None = None
+    confidence: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM t [WHERE p]``."""
+
+    table: str
+    where: Expression | None = None
+
+
+Command = Union[
+    Statement,
+    CreateTableStatement,
+    DropTableStatement,
+    CreateViewStatement,
+    DropViewStatement,
+    InsertStatement,
+    UpdateStatement,
+    DeleteStatement,
+]

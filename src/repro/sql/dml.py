@@ -1,0 +1,208 @@
+"""Execution of DML / DDL commands against a database.
+
+Queries go through the planner/executor; the commands here mutate storage
+directly:
+
+* ``CREATE TABLE t (c TEXT NOT NULL, …)`` / ``DROP TABLE t``
+* ``INSERT INTO t [(cols)] VALUES (…), … [WITH CONFIDENCE p]`` — the
+  confidence clause is this dialect's annotation hook (element 1): new
+  facts enter with an explicit trustworthiness instead of a blind 1.0.
+* ``UPDATE t SET c = e, … [WHERE p] [WITH CONFIDENCE p]`` — corrections
+  keep the tuple's identity (lineage over the id still refers to it); the
+  optional confidence clause re-scores the corrected fact.
+* ``DELETE FROM t [WHERE p]``
+
+Value expressions in INSERT are constants (no row in scope); UPDATE/DELETE
+expressions evaluate against the target table's schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.expressions import Expression
+from ..errors import BindError, PlanError, SqlError
+from ..storage.database import Database
+from ..storage.schema import Column, Schema
+from ..storage.types import BOOLEAN, INTEGER, REAL, TEXT, DataType
+from ..storage.tuples import TupleId
+from .ast import (
+    CreateTableStatement,
+    CreateViewStatement,
+    DeleteStatement,
+    DropTableStatement,
+    DropViewStatement,
+    InsertStatement,
+    UpdateStatement,
+)
+
+__all__ = ["DmlResult", "execute_dml"]
+
+_TYPE_NAMES: dict[str, DataType] = {
+    "TEXT": TEXT,
+    "STRING": TEXT,
+    "VARCHAR": TEXT,
+    "INT": INTEGER,
+    "INTEGER": INTEGER,
+    "REAL": REAL,
+    "FLOAT": REAL,
+    "DOUBLE": REAL,
+    "BOOL": BOOLEAN,
+    "BOOLEAN": BOOLEAN,
+}
+
+_EMPTY_SCHEMA = Schema([Column("__none__", TEXT)])
+
+
+@dataclass(frozen=True)
+class DmlResult:
+    """Outcome of a non-query command."""
+
+    command: str
+    rows_affected: int
+    tuple_ids: tuple[TupleId, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return f"{self.command}: {self.rows_affected} row(s)"
+
+
+def execute_dml(db: Database, command) -> DmlResult:
+    """Apply one DML/DDL *command* to *db*."""
+    if isinstance(command, CreateTableStatement):
+        return _create_table(db, command)
+    if isinstance(command, DropTableStatement):
+        db.drop_table(command.name)
+        return DmlResult("DROP TABLE", 0)
+    if isinstance(command, CreateViewStatement):
+        # Validate the definition against the current catalog before
+        # registering it (the text is what the catalog stores).
+        from .planner import plan_statement
+
+        db.create_view(command.name, command.definition_sql)
+        try:
+            plan_statement(db, command.query)
+        except Exception:
+            db.drop_view(command.name)
+            raise
+        return DmlResult("CREATE VIEW", 0)
+    if isinstance(command, DropViewStatement):
+        db.drop_view(command.name)
+        return DmlResult("DROP VIEW", 0)
+    if isinstance(command, InsertStatement):
+        return _insert(db, command)
+    if isinstance(command, UpdateStatement):
+        return _update(db, command)
+    if isinstance(command, DeleteStatement):
+        return _delete(db, command)
+    raise PlanError(f"not a DML command: {type(command).__name__}")
+
+
+def _create_table(db: Database, command: CreateTableStatement) -> DmlResult:
+    columns = []
+    for definition in command.columns:
+        dtype = _TYPE_NAMES.get(definition.type_name.upper())
+        if dtype is None:
+            raise SqlError(
+                f"unknown column type {definition.type_name!r}; supported: "
+                f"{', '.join(sorted(set(_TYPE_NAMES)))}"
+            )
+        columns.append(Column(definition.name, dtype, nullable=definition.nullable))
+    db.create_table(command.name, Schema(columns))
+    return DmlResult("CREATE TABLE", 0)
+
+
+def _constant(expression: Expression, context: str):
+    """Evaluate a row-independent expression (INSERT values, confidence)."""
+    from ..errors import SchemaError
+
+    try:
+        bound = expression.bind(_EMPTY_SCHEMA)
+    except (BindError, SchemaError) as error:
+        raise BindError(
+            f"{context} must be a constant expression: {error}"
+        ) from error
+    return bound.evaluate(("__none__",))
+
+
+def _confidence_value(expression: Expression | None) -> float | None:
+    if expression is None:
+        return None
+    value = _constant(expression, "WITH CONFIDENCE")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SqlError(f"WITH CONFIDENCE expects a number, got {value!r}")
+    if not 0.0 <= float(value) <= 1.0:
+        raise SqlError(f"confidence {value} outside [0, 1]")
+    return float(value)
+
+
+def _insert(db: Database, command: InsertStatement) -> DmlResult:
+    table = db.table(command.table)
+    schema = table.schema
+    if command.columns is None:
+        positions = list(range(len(schema)))
+    else:
+        positions = [schema.index_of(name) for name in command.columns]
+        if len(set(positions)) != len(positions):
+            raise SqlError("duplicate column in INSERT column list")
+    confidence = _confidence_value(command.confidence)
+    tids = []
+    for row in command.rows:
+        if len(row) != len(positions):
+            raise SqlError(
+                f"INSERT row has {len(row)} values for {len(positions)} columns"
+            )
+        values: list = [None] * len(schema)
+        for position, expression in zip(positions, row):
+            values[position] = _constant(expression, "INSERT value")
+        tids.append(
+            table.insert(
+                values,
+                confidence=1.0 if confidence is None else confidence,
+            )
+        )
+    return DmlResult("INSERT", len(tids), tuple(tids))
+
+
+def _matching_rows(table, where: Expression | None):
+    if where is None:
+        return list(table.scan())
+    bound = where.bind(table.schema)
+    if bound.dtype is not BOOLEAN:
+        raise SqlError("WHERE clause must be boolean")
+    return [row for row in table.scan() if bound.evaluate(row.values) is True]
+
+
+def _update(db: Database, command: UpdateStatement) -> DmlResult:
+    table = db.table(command.table)
+    schema = table.schema
+    assignments = []
+    seen = set()
+    for name, expression in command.assignments:
+        position = schema.index_of(name)
+        if position in seen:
+            raise SqlError(f"column {name!r} assigned twice")
+        seen.add(position)
+        assignments.append((position, expression.bind(schema)))
+    confidence = _confidence_value(command.confidence)
+
+    affected = _matching_rows(table, command.where)
+    for row in affected:
+        values = list(row.values)
+        updates = [
+            (position, bound.evaluate(row.values))
+            for position, bound in assignments
+        ]
+        for position, value in updates:
+            values[position] = value
+        table.update(row.tid, values)
+        if confidence is not None:
+            table.set_confidence(row.tid, confidence)
+    return DmlResult("UPDATE", len(affected), tuple(row.tid for row in affected))
+
+
+def _delete(db: Database, command: DeleteStatement) -> DmlResult:
+    table = db.table(command.table)
+    affected = _matching_rows(table, command.where)
+    for row in affected:
+        table.delete(row.tid)
+    return DmlResult("DELETE", len(affected), tuple(row.tid for row in affected))

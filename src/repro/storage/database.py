@@ -1,0 +1,156 @@
+"""The database: a catalog of tables plus tuple-id resolution.
+
+:class:`Database` is the storage-engine entry point used by the SQL layer,
+the lineage engine (to read current base-tuple confidences) and the
+improvement service (to write increased confidences back).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import DuplicateTableError, UnknownTableError
+from .schema import Schema
+from .table import Table
+from .tuples import StoredTuple, TupleId
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of :class:`~repro.storage.table.Table` objects."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, str] = {}
+
+    # -- catalog ----------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create and register a new table.
+
+        Raises :class:`~repro.errors.DuplicateTableError` if the (case-
+        insensitive) name is taken.
+        """
+        key = name.lower()
+        if key in self._tables:
+            raise DuplicateTableError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (raises if unknown)."""
+        key = name.lower()
+        if key not in self._tables:
+            raise UnknownTableError(f"no table {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        """All tables, in creation order."""
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self._tables.values()]
+
+    def clone(self, name: str | None = None) -> "Database":
+        """A deep copy for what-if analysis.
+
+        Tuple ids, values, confidences, cost models, indexes and view
+        definitions are all copied, so an improvement plan can be applied
+        to the clone (e.g. to preview post-improvement query results)
+        without touching the original.  Cost-model objects are shared —
+        they are immutable.
+        """
+        copy = Database(name if name is not None else f"{self.name}-clone")
+        for table in self.tables():
+            cloned = copy.create_table(table.name, table.schema.unqualified())
+            for column_index in table._indexes:
+                cloned.create_index(table.schema[column_index].name)
+            for row in table.scan():
+                # Plain insert would renumber ordinals after deletes; keep
+                # the original ids so lineage stays valid across the clone.
+                cloned._force_insert(row)
+            cloned._next_ordinal = table._next_ordinal
+        for view in self.view_names():
+            copy.create_view(view, self.view_definition(view))
+        return copy
+
+    # -- views --------------------------------------------------------------
+    # The catalog stores view definitions as SQL text (as SQLite does); the
+    # SQL planner expands them at plan time, so views compose with lineage
+    # and confidence like any derived table.
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Register a named view over *sql* (a SELECT statement).
+
+        The definition is validated lazily, at first use; names share the
+        table namespace (a view cannot shadow a table).
+        """
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise DuplicateTableError(f"table or view {name!r} already exists")
+        self._views[key] = sql
+
+    def drop_view(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._views:
+            raise UnknownTableError(f"no view {name!r}")
+        del self._views[key]
+
+    def view_definition(self, name: str) -> str | None:
+        """The SQL text of view *name*, or None if no such view."""
+        return self._views.get(name.lower())
+
+    def view_names(self) -> list[str]:
+        return list(self._views)
+
+    # -- tuple-id resolution -----------------------------------------------
+
+    def resolve(self, tid: TupleId) -> StoredTuple:
+        """The stored tuple behind *tid*, wherever it lives."""
+        return self.table(tid.table).get(tid)
+
+    def confidence_of(self, tid: TupleId) -> float:
+        """Current confidence of base tuple *tid*."""
+        return self.resolve(tid).confidence
+
+    def confidences(self, tids: Iterable[TupleId]) -> dict[TupleId, float]:
+        """Current confidences for a batch of tuple ids."""
+        return {tid: self.confidence_of(tid) for tid in tids}
+
+    def set_confidence(self, tid: TupleId, confidence: float) -> None:
+        """Overwrite the stored confidence of base tuple *tid*."""
+        self.table(tid.table).set_confidence(tid, confidence)
+
+    def apply_confidences(self, updates: Mapping[TupleId, float]) -> None:
+        """Apply a batch of confidence updates atomically-in-effect.
+
+        All updates are validated before any is applied, so a bad target
+        leaves the database unchanged.
+        """
+        rows = [(self.resolve(tid), value) for tid, value in updates.items()]
+        for row, value in rows:
+            if value > row.max_confidence or not 0.0 <= value <= 1.0:
+                from ..errors import InvalidConfidenceError
+
+                raise InvalidConfidenceError(
+                    f"confidence {value} invalid for {row.tid} "
+                    f"(max {row.max_confidence})"
+                )
+        for row, value in rows:
+            row.set_confidence(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"Database({self.name!r}, tables={self.table_names()})"

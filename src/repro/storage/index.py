@@ -1,0 +1,59 @@
+"""Hash indexes over table columns.
+
+A :class:`HashIndex` maps a column value to the set of
+:class:`~repro.storage.tuples.TupleId` values holding it.  NULLs are indexed
+under a private sentinel so ``find(None)`` works, although SQL equality never
+matches NULL (the executor handles three-valued logic; the index is only an
+access path for non-NULL probes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from .tuples import TupleId
+
+__all__ = ["HashIndex"]
+
+_NULL_KEY = object()
+
+
+def _key(value: Any) -> Hashable:
+    return _NULL_KEY if value is None else value
+
+
+class HashIndex:
+    """Equality index: value -> ordered list of tuple ids."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[Hashable, list[TupleId]] = {}
+
+    def add(self, value: Any, tid: TupleId) -> None:
+        """Register *tid* under *value*."""
+        self._buckets.setdefault(_key(value), []).append(tid)
+
+    def remove(self, value: Any, tid: TupleId) -> None:
+        """Unregister *tid* from *value* (no-op if absent)."""
+        bucket = self._buckets.get(_key(value))
+        if bucket is None:
+            return
+        try:
+            bucket.remove(tid)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[_key(value)]
+
+    def find(self, value: Any) -> list[TupleId]:
+        """Tuple ids stored under *value*, in insertion order."""
+        return list(self._buckets.get(_key(value), ()))
+
+    def __contains__(self, value: Any) -> bool:
+        return _key(value) in self._buckets
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def values(self) -> Iterator[Hashable]:
+        """Distinct indexed values (NULL appears as the internal sentinel)."""
+        return iter(self._buckets)

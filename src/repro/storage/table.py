@@ -1,0 +1,244 @@
+"""In-memory tables with per-tuple confidence annotations.
+
+A :class:`Table` is a heap of :class:`~repro.storage.tuples.StoredTuple`
+objects over a fixed :class:`~repro.storage.schema.Schema`.  Inserts validate
+values against the schema and assign monotonically increasing ordinals (and
+hence stable :class:`~repro.storage.tuples.TupleId` values, even across
+deletes).  Hash indexes can be attached per column to accelerate equality
+scans and joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..cost import CostModel, FreeCost
+from ..errors import SchemaError, UnknownTupleError
+from .index import HashIndex
+from .schema import Schema
+from .tuples import StoredTuple, TupleId
+from .types import coerce_value
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named heap of annotated tuples.
+
+    Not thread-safe; the engine is single-threaded by design (the paper's
+    algorithms are CPU-bound search procedures, not concurrent workloads).
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if len(schema) == 0:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self._name = name
+        self._schema = schema.qualify(name)
+        self._rows: dict[int, StoredTuple] = {}
+        self._next_ordinal = 0
+        self._indexes: dict[int, HashIndex] = {}
+
+    # -- metadata --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        """The table schema, with columns qualified by the table name."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(
+        self,
+        values: Sequence[Any],
+        confidence: float = 1.0,
+        cost_model: CostModel | None = None,
+    ) -> TupleId:
+        """Insert one tuple; returns its new :class:`TupleId`.
+
+        Values are validated and coerced against the schema (ints widen to
+        float in REAL columns).  *confidence* defaults to fully trusted and
+        *cost_model* to free improvement.
+        """
+        if len(values) != len(self._schema):
+            raise SchemaError(
+                f"table {self._name!r} expects {len(self._schema)} values, "
+                f"got {len(values)}"
+            )
+        coerced = tuple(
+            coerce_value(value, column.dtype)
+            for value, column in zip(values, self._schema)
+        )
+        for value, column in zip(coerced, self._schema):
+            if value is None and not column.nullable:
+                raise SchemaError(
+                    f"column {column.qualified_name} is NOT NULL"
+                )
+        tid = TupleId(self._name, self._next_ordinal)
+        self._next_ordinal += 1
+        row = StoredTuple(
+            tid=tid,
+            values=coerced,
+            confidence=confidence,
+            cost_model=cost_model if cost_model is not None else FreeCost(),
+        )
+        self._rows[tid.ordinal] = row
+        for column_index, index in self._indexes.items():
+            index.add(coerced[column_index], tid)
+        return tid
+
+    def insert_many(
+        self,
+        rows: Iterable[Sequence[Any]],
+        confidence: float = 1.0,
+        cost_model: CostModel | None = None,
+    ) -> list[TupleId]:
+        """Insert many tuples sharing the same annotations."""
+        return [self.insert(row, confidence, cost_model) for row in rows]
+
+    def delete(self, tid: TupleId) -> None:
+        """Remove the tuple with id *tid*.
+
+        Raises :class:`~repro.errors.UnknownTupleError` if absent.
+        """
+        row = self._lookup(tid)
+        del self._rows[tid.ordinal]
+        for column_index, index in self._indexes.items():
+            index.remove(row.values[column_index], tid)
+
+    def set_confidence(self, tid: TupleId, confidence: float) -> None:
+        """Overwrite the stored confidence of tuple *tid*."""
+        self._lookup(tid).set_confidence(confidence)
+
+    def update(self, tid: TupleId, values: Sequence[Any]) -> None:
+        """Replace tuple *tid*'s values (validated against the schema).
+
+        The tuple keeps its id, confidence and cost model; indexes are
+        maintained.  Note that lineage referencing the id continues to
+        refer to the (now updated) tuple — UPDATE models a correction of
+        the stored fact, not a new fact.
+        """
+        row = self._lookup(tid)
+        if len(values) != len(self._schema):
+            raise SchemaError(
+                f"table {self._name!r} expects {len(self._schema)} values, "
+                f"got {len(values)}"
+            )
+        coerced = tuple(
+            coerce_value(value, column.dtype)
+            for value, column in zip(values, self._schema)
+        )
+        for value, column in zip(coerced, self._schema):
+            if value is None and not column.nullable:
+                raise SchemaError(f"column {column.qualified_name} is NOT NULL")
+        for column_index, index in self._indexes.items():
+            index.remove(row.values[column_index], tid)
+            index.add(coerced[column_index], tid)
+        row.values = coerced
+
+    # -- reading ---------------------------------------------------------
+
+    def get(self, tid: TupleId) -> StoredTuple:
+        """The stored tuple with id *tid* (raises if unknown)."""
+        return self._lookup(tid)
+
+    def confidence_of(self, tid: TupleId) -> float:
+        """Current confidence of tuple *tid*."""
+        return self._lookup(tid).confidence
+
+    def scan(self) -> Iterator[StoredTuple]:
+        """Iterate all tuples in insertion order."""
+        return iter(sorted(self._rows.values(), key=lambda row: row.tid.ordinal))
+
+    def __iter__(self) -> Iterator[StoredTuple]:
+        return self.scan()
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """All value tuples, in insertion order (convenience for tests)."""
+        return [row.values for row in self.scan()]
+
+    # -- indexing --------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Create (or no-op if present) a hash index on *column*."""
+        column_index = self._schema.index_of(column)
+        if column_index in self._indexes:
+            return
+        index = HashIndex()
+        for row in self._rows.values():
+            index.add(row.values[column_index], row.tid)
+        self._indexes[column_index] = index
+
+    def index_on(self, column: str) -> HashIndex | None:
+        """The hash index on *column*, if one exists."""
+        try:
+            column_index = self._schema.index_of(column)
+        except SchemaError:
+            return None
+        return self._indexes.get(column_index)
+
+    def lookup(self, column: str, value: Any) -> list[StoredTuple]:
+        """All tuples whose *column* equals *value*, via index if available."""
+        column_index = self._schema.index_of(column)
+        index = self._indexes.get(column_index)
+        if index is not None:
+            return [self._rows[tid.ordinal] for tid in index.find(value)]
+        return [
+            row
+            for row in self.scan()
+            if row.values[column_index] == value
+        ]
+
+    def _force_insert(self, row: StoredTuple) -> None:
+        """Insert a copy of *row* preserving its ordinal (clone support).
+
+        Used by :meth:`~repro.storage.Database.clone` so tuple ids — and
+        therefore existing lineage formulas — stay valid in the copy.
+        """
+        from ..errors import StorageError
+
+        if row.tid.table != self._name:
+            raise StorageError(
+                f"tuple {row.tid} does not belong to table {self._name!r}"
+            )
+        if row.tid.ordinal in self._rows:
+            raise StorageError(f"tuple {row.tid} already exists")
+        copy = StoredTuple(
+            tid=row.tid,
+            values=row.values,
+            confidence=row.confidence,
+            cost_model=row.cost_model,
+        )
+        self._rows[copy.tid.ordinal] = copy
+        self._next_ordinal = max(self._next_ordinal, copy.tid.ordinal + 1)
+        for column_index, index in self._indexes.items():
+            index.add(copy.values[column_index], copy.tid)
+
+    # -- bulk helpers ----------------------------------------------------
+
+    def assign_confidences(
+        self,
+        assigner: Callable[[StoredTuple], float],
+    ) -> None:
+        """Recompute every tuple's confidence with *assigner* (element 1).
+
+        Used by :mod:`repro.trust` to seed confidences from provenance.
+        """
+        for row in self._rows.values():
+            row.set_confidence(assigner(row))
+
+    def _lookup(self, tid: TupleId) -> StoredTuple:
+        if tid.table != self._name or tid.ordinal not in self._rows:
+            raise UnknownTupleError(f"no tuple {tid} in table {self._name!r}")
+        return self._rows[tid.ordinal]
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"Table({self._name!r}, {len(self)} rows)"

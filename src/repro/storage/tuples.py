@@ -1,0 +1,114 @@
+"""Tuple identities and stored tuples.
+
+Every base tuple stored in a table receives a :class:`TupleId` — the unit
+of lineage: query-result lineage formulas are boolean formulas over tuple
+ids, and the confidence-increment algorithms decide, per tuple id, how much
+to raise the stored confidence.
+
+A :class:`StoredTuple` couples the values with the tuple's *uncertainty
+annotations*: its current confidence, the cost model governing improvement,
+and the resulting maximum reachable confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cost import CostModel, FreeCost
+from ..errors import InvalidConfidenceError
+
+__all__ = ["TupleId", "StoredTuple"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True, order=True)
+class TupleId:
+    """Globally unique identity of a stored base tuple.
+
+    ``table`` is the owning table's catalog name and ``ordinal`` the tuple's
+    insertion index within that table.  The string form ``table:ordinal``
+    matches the paper's tuple labels (tuple "02" of *Proposal* is
+    ``Proposal:2``).
+    """
+
+    table: str
+    ordinal: int
+
+    def __str__(self) -> str:
+        return f"{self.table}:{self.ordinal}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TupleId":
+        """Inverse of ``str``: parse ``"table:ordinal"``."""
+        table, _, ordinal = text.rpartition(":")
+        if not table or not ordinal.isdigit():
+            raise ValueError(f"not a tuple id: {text!r}")
+        return cls(table, int(ordinal))
+
+
+def _check_confidence(value: float) -> float:
+    if not 0.0 <= value <= 1.0 + _EPS:
+        raise InvalidConfidenceError(f"confidence {value} outside [0, 1]")
+    return min(float(value), 1.0)
+
+
+@dataclass
+class StoredTuple:
+    """A base tuple plus its uncertainty annotations.
+
+    Attributes
+    ----------
+    tid:
+        The tuple's identity, referenced by lineage formulas.
+    values:
+        The tuple's attribute values, positionally matching the table schema.
+    confidence:
+        Current trustworthiness in ``[0, 1]`` (element 1 of the paper).
+    cost_model:
+        Cost of raising :attr:`confidence`; :class:`~repro.cost.FreeCost`
+        means the tuple is fully verified / improvement is free.
+    """
+
+    tid: TupleId
+    values: tuple[Any, ...]
+    confidence: float = 1.0
+    cost_model: CostModel = field(default_factory=FreeCost)
+
+    def __post_init__(self) -> None:
+        self.values = tuple(self.values)
+        self.confidence = _check_confidence(self.confidence)
+        if self.confidence > self.cost_model.max_confidence + _EPS:
+            raise InvalidConfidenceError(
+                f"confidence {self.confidence} of {self.tid} exceeds the cost "
+                f"model's maximum {self.cost_model.max_confidence}"
+            )
+
+    @property
+    def max_confidence(self) -> float:
+        """Highest confidence this tuple can be improved to."""
+        return self.cost_model.max_confidence
+
+    def set_confidence(self, value: float) -> None:
+        """Update the stored confidence, validating range and cap."""
+        value = _check_confidence(value)
+        if value > self.max_confidence + _EPS:
+            raise InvalidConfidenceError(
+                f"confidence {value} of {self.tid} exceeds maximum "
+                f"{self.max_confidence}"
+            )
+        self.confidence = value
+
+    def improvement_cost(self, target: float) -> float:
+        """Cost of raising this tuple's confidence to *target*."""
+        return self.cost_model.increment_cost(self.confidence, target)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]

@@ -1,0 +1,120 @@
+"""Column data types for the storage engine.
+
+The engine supports a deliberately small set of scalar types — enough to
+express the paper's schemas (``Proposal(Company:string, Proposal:string,
+Funding:real)`` etc.) and the synthetic workloads:
+
+* :data:`INTEGER` — Python ``int``
+* :data:`REAL` — Python ``float`` (``int`` values are accepted and widened)
+* :data:`TEXT` — Python ``str``
+* :data:`BOOLEAN` — Python ``bool``
+
+``None`` represents SQL ``NULL`` and is accepted by every type unless the
+column is declared ``NOT NULL``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..errors import TypeMismatchError
+
+__all__ = [
+    "DataType",
+    "INTEGER",
+    "REAL",
+    "TEXT",
+    "BOOLEAN",
+    "coerce_value",
+    "is_comparable",
+    "common_type",
+]
+
+
+class DataType(enum.Enum):
+    """Scalar column type."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type participate in arithmetic."""
+        return self in (DataType.INTEGER, DataType.REAL)
+
+
+INTEGER = DataType.INTEGER
+REAL = DataType.REAL
+TEXT = DataType.TEXT
+BOOLEAN = DataType.BOOLEAN
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.REAL: float,
+    DataType.TEXT: str,
+    DataType.BOOLEAN: bool,
+}
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Validate *value* against *dtype* and return the stored representation.
+
+    ``None`` passes through unchanged (NULL).  Integers widen to float for
+    REAL columns.  Booleans are *not* accepted as integers (and vice versa),
+    matching strict SQL engines rather than Python's bool/int subtyping.
+
+    Raises :class:`~repro.errors.TypeMismatchError` on any other mismatch.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.REAL:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"expected REAL, got boolean {value!r}")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"expected REAL, got {type(value).__name__} {value!r}")
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(
+                f"expected INTEGER, got {type(value).__name__} {value!r}"
+            )
+        return value
+    if dtype is DataType.BOOLEAN:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(
+                f"expected BOOLEAN, got {type(value).__name__} {value!r}"
+            )
+        return value
+    if dtype is DataType.TEXT:
+        if not isinstance(value, str):
+            raise TypeMismatchError(
+                f"expected TEXT, got {type(value).__name__} {value!r}"
+            )
+        return value
+    raise TypeMismatchError(f"unsupported data type {dtype!r}")  # pragma: no cover
+
+
+def is_comparable(left: DataType, right: DataType) -> bool:
+    """Whether values of the two types may be compared with ``=``/``<`` etc."""
+    if left is right:
+        return True
+    return left.is_numeric and right.is_numeric
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """The result type of an arithmetic expression over the two types.
+
+    Raises :class:`~repro.errors.TypeMismatchError` if either operand is not
+    numeric.
+    """
+    if not (left.is_numeric and right.is_numeric):
+        raise TypeMismatchError(f"no common numeric type for {left} and {right}")
+    if left is DataType.REAL or right is DataType.REAL:
+        return DataType.REAL
+    return DataType.INTEGER

@@ -1,0 +1,17 @@
+"""Provenance-based confidence assignment (paper element 1)."""
+
+from .provenance import (
+    CollectionMethod,
+    ConfidenceAssigner,
+    DataSource,
+    ProvenanceError,
+    ProvenanceRecord,
+)
+
+__all__ = [
+    "DataSource",
+    "CollectionMethod",
+    "ProvenanceRecord",
+    "ConfidenceAssigner",
+    "ProvenanceError",
+]

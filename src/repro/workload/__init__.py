@@ -1,0 +1,19 @@
+"""Synthetic workloads (paper §5.1) and concrete example scenarios."""
+
+from .generator import GeneratedWorkload, WorkloadSpec, generate_problem
+from .scenarios import (
+    HealthcareScenario,
+    VentureCapitalScenario,
+    healthcare_database,
+    venture_capital_database,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "GeneratedWorkload",
+    "generate_problem",
+    "VentureCapitalScenario",
+    "venture_capital_database",
+    "HealthcareScenario",
+    "healthcare_database",
+]

@@ -1,0 +1,152 @@
+"""Cross-module integration tests beyond the running example."""
+
+import pytest
+
+from repro import PCQEngine, QueryRequest, QueryStatus
+from repro.cost import BinomialCost, LinearCost
+from repro.increment import SimulatedImprovementService
+from repro.policy import PolicyStore
+from repro.sql import run_sql
+from repro.storage import Database, REAL, Schema, TEXT
+from repro.trust import (
+    CollectionMethod,
+    ConfidenceAssigner,
+    DataSource,
+    ProvenanceRecord,
+)
+from repro.workload import healthcare_database
+
+
+class TestTrustToPolicyPipeline:
+    """Element 1 (confidence assignment) feeding elements 2–4."""
+
+    def test_provenance_seeds_query_confidence(self):
+        db = Database()
+        table = db.create_table("facts", Schema.of(("k", TEXT), ("v", REAL)))
+        good = table.insert(["a", 1.0], cost_model=LinearCost(50.0))
+        bad = table.insert(["b", 2.0], cost_model=LinearCost(50.0))
+
+        assigner = ConfidenceAssigner(half_life_days=None)
+        bureau = DataSource("bureau", 0.9)
+        blog = DataSource("blog", 0.2)
+        feed = CollectionMethod("feed", 1.0)
+        assigner.assign(
+            table,
+            {
+                good: ProvenanceRecord(bureau, feed),
+                bad: ProvenanceRecord(blog, feed),
+            },
+        )
+
+        result = run_sql(db, "SELECT k FROM facts")
+        confidences = dict(
+            zip((row.values[0] for row in result), result.confidences(db))
+        )
+        assert confidences["a"] == pytest.approx(0.9)
+        assert confidences["b"] == pytest.approx(0.2)
+
+        policies = PolicyStore(default_threshold=0.5)
+        policies.add_role("analyst")
+        policies.add_purpose("reporting")
+        policies.add_user("u", roles=["analyst"])
+        engine = PCQEngine(db, policies)
+        outcome = engine.execute(
+            QueryRequest("SELECT k FROM facts", "reporting", 0.0), user="u"
+        )
+        assert outcome.status is QueryStatus.SATISFIED
+        assert outcome.rows == [("a",)]
+
+
+class TestHealthcareScenario:
+    def test_researcher_vs_oncologist_thresholds(self):
+        scenario = healthcare_database(patients=120, seed=4)
+        sql = (
+            "SELECT p.PatientId, t.Treatment, t.ResponseRate "
+            "FROM Patients p JOIN Treatments t ON p.PatientId = t.PatientId "
+            "WHERE p.Diagnosis = 'breast'"
+        )
+        engine = PCQEngine(scenario.db, scenario.policies)
+        research = engine.execute(
+            QueryRequest(sql, "hypothesis-generation", 0.0), user="rachel"
+        )
+        care = engine.execute(
+            QueryRequest(sql, "treatment-evaluation", 0.0), user="omar"
+        )
+        # The laxer research policy releases at least as many rows.
+        assert len(research.rows) >= len(care.rows)
+
+    def test_oncologist_improvement_flow(self):
+        scenario = healthcare_database(patients=60, seed=9)
+        sql = (
+            "SELECT p.PatientId, t.Treatment FROM Patients p "
+            "JOIN Treatments t ON p.PatientId = t.PatientId "
+            "WHERE p.Stage = 'IV'"
+        )
+        service = SimulatedImprovementService()
+        engine = PCQEngine(
+            scenario.db, scenario.policies, improvement=service, solver="greedy"
+        )
+        result = engine.execute(
+            QueryRequest(sql, "treatment-evaluation", 0.6), user="omar"
+        )
+        if result.status is QueryStatus.IMPROVED:
+            assert service.spent > 0
+            assert result.released_fraction >= 0.6 - 1e-9
+        else:
+            assert result.status in (
+                QueryStatus.SATISFIED,
+                QueryStatus.INFEASIBLE,
+            )
+
+
+class TestMultiQuerySession:
+    """§4's multi-query extension: improvements persist across queries."""
+
+    def test_shared_base_tuples_benefit_later_queries(self):
+        db = Database()
+        table = db.create_table("m", Schema.of(("k", TEXT), ("grp", TEXT)))
+        for key, group in [("a", "g1"), ("b", "g1"), ("c", "g2")]:
+            table.insert(
+                [key, group],
+                confidence=0.3,
+                cost_model=BinomialCost(10.0, 20.0),
+            )
+        policies = PolicyStore(default_threshold=0.5)
+        policies.add_role("r")
+        policies.add_purpose("p")
+        policies.add_user("u", roles=["r"])
+        engine = PCQEngine(db, policies, solver="greedy")
+
+        first = engine.execute(
+            QueryRequest("SELECT k FROM m WHERE grp = 'g1'", "p", 1.0), user="u"
+        )
+        assert first.status is QueryStatus.IMPROVED
+        # The same base tuples now answer an overlapping query directly.
+        second = engine.execute(
+            QueryRequest("SELECT k FROM m WHERE k = 'a'", "p", 1.0), user="u"
+        )
+        assert second.status is QueryStatus.SATISFIED
+
+
+class TestAggregateQueriesThroughPolicy:
+    def test_group_confidence_filtering(self):
+        db = Database()
+        table = db.create_table("sales", Schema.of(("region", TEXT), ("amt", REAL)))
+        table.insert(["east", 10.0], confidence=0.9)
+        table.insert(["east", 20.0], confidence=0.8)
+        table.insert(["west", 30.0], confidence=0.1)
+        policies = PolicyStore(default_threshold=0.5)
+        policies.add_role("r")
+        policies.add_purpose("p")
+        policies.add_user("u", roles=["r"])
+        engine = PCQEngine(db, policies)
+        result = engine.execute(
+            QueryRequest(
+                "SELECT region, SUM(amt) AS total FROM sales GROUP BY region",
+                "p",
+                0.0,
+            ),
+            user="u",
+        )
+        regions = {row[0] for row in result.rows}
+        assert regions == {"east"}  # west's group confidence is 0.1

@@ -1,0 +1,157 @@
+"""One long end-to-end tour of the SQL dialect.
+
+Builds a small warehouse entirely through SQL (DDL + DML with confidence
+annotations), then exercises every major query feature against it,
+checking values *and* confidences at each step — the closest thing to a
+user session the test suite has.
+"""
+
+import pytest
+
+from repro.sql import execute_sql, run_sql
+from repro.storage import Database
+
+
+@pytest.fixture
+def warehouse() -> Database:
+    db = Database("warehouse")
+    ddl = [
+        "CREATE TABLE products (sku TEXT NOT NULL, category TEXT, price REAL)",
+        "CREATE TABLE orders (sku TEXT, qty INT, region TEXT)",
+        "CREATE TABLE restricted (category TEXT)",
+    ]
+    dml = [
+        "INSERT INTO products VALUES "
+        "('P1','tools',10.0), ('P2','tools',25.0), ('P3','toys',8.0), "
+        "('P4','toys',15.0), ('P5','garden',30.0) WITH CONFIDENCE 0.9",
+        "INSERT INTO orders VALUES "
+        "('P1',3,'east'), ('P1',1,'west'), ('P2',2,'east'), "
+        "('P3',5,'west'), ('P4',2,'east'), ('P9',1,'east') WITH CONFIDENCE 0.7",
+        "INSERT INTO restricted VALUES ('toys') WITH CONFIDENCE 0.6",
+        "CREATE VIEW east_orders AS SELECT sku, qty FROM orders "
+        "WHERE region = 'east'",
+    ]
+    for statement in ddl + dml:
+        execute_sql(db, statement)
+    return db
+
+
+class TestDialectTour:
+    def test_join_with_aggregation_and_having(self, warehouse):
+        result = run_sql(
+            warehouse,
+            "SELECT p.category, SUM(o.qty * p.price) AS revenue "
+            "FROM orders o JOIN products p ON o.sku = p.sku "
+            "GROUP BY p.category HAVING SUM(o.qty) > 2 "
+            "ORDER BY revenue DESC",
+        )
+        assert result.values() == [
+            ("tools", pytest.approx(90.0)),
+            ("toys", pytest.approx(70.0)),
+        ]
+
+    def test_view_join_confidence(self, warehouse):
+        result = run_sql(
+            warehouse,
+            "SELECT e.sku, p.price FROM east_orders e "
+            "JOIN products p ON e.sku = p.sku ORDER BY e.sku",
+        )
+        # order row (0.7) AND product row (0.9)
+        for _row, confidence in result.with_confidences(warehouse):
+            assert confidence == pytest.approx(0.63)
+
+    def test_left_join_finds_unknown_sku(self, warehouse):
+        result = run_sql(
+            warehouse,
+            "SELECT o.sku, p.category FROM orders o "
+            "LEFT JOIN products p ON o.sku = p.sku "
+            "WHERE p.category IS NULL",
+        )
+        # Probabilistic LEFT JOIN: the truly unmatched sku surfaces at full
+        # confidence; matched skus also emit a low-confidence "the product
+        # record might be wrong" row (0.7 × (1−0.9)).  A policy threshold
+        # is what separates them in practice.
+        by_sku = dict(
+            (row.values[0], confidence)
+            for row, confidence in result.with_confidences(warehouse)
+        )
+        assert by_sku["P9"] == pytest.approx(0.7)
+        assert by_sku["P1"] == pytest.approx(0.7 * 0.1)
+        confident = {
+            sku for sku, confidence in by_sku.items() if confidence > 0.5
+        }
+        assert confident == {"P9"}
+
+    def test_not_in_subquery_excludes_restricted(self, warehouse):
+        result = run_sql(
+            warehouse,
+            "SELECT sku FROM products WHERE category NOT IN "
+            "(SELECT category FROM restricted) ORDER BY sku",
+        )
+        skus = [row.values[0] for row in result]
+        # Non-toys keep high confidence; toys survive with reduced
+        # confidence (the restriction row is only 60% certain).
+        assert skus == ["P1", "P2", "P3", "P4", "P5"]
+        by_sku = dict(
+            (row.values[0], confidence)
+            for row, confidence in result.with_confidences(warehouse)
+        )
+        assert by_sku["P1"] == pytest.approx(0.9)
+        assert by_sku["P3"] == pytest.approx(0.9 * 0.4)
+
+    def test_case_bucketing_with_group(self, warehouse):
+        result = run_sql(
+            warehouse,
+            "SELECT CASE WHEN price < 12 THEN 'cheap' ELSE 'pricey' END "
+            "AS bucket, COUNT(*) FROM products "
+            "GROUP BY CASE WHEN price < 12 THEN 'cheap' ELSE 'pricey' END "
+            "ORDER BY bucket",
+        )
+        assert result.values() == [("cheap", 2), ("pricey", 3)]
+
+    def test_union_of_views_and_tables(self, warehouse):
+        result = run_sql(
+            warehouse,
+            "SELECT sku FROM east_orders UNION SELECT sku FROM products "
+            "ORDER BY 1",
+        )
+        skus = [row.values[0] for row in result]
+        assert skus == ["P1", "P2", "P3", "P4", "P5", "P9"]
+
+    def test_update_propagates_through_views(self, warehouse):
+        execute_sql(
+            warehouse,
+            "UPDATE orders SET qty = 10 WHERE sku = 'P1' AND region = 'east'",
+        )
+        result = run_sql(
+            warehouse, "SELECT qty FROM east_orders WHERE sku = 'P1'"
+        )
+        assert result.values() == [(10,)]
+
+    def test_delete_then_counts(self, warehouse):
+        execute_sql(warehouse, "DELETE FROM orders WHERE sku = 'P9'")
+        result = run_sql(warehouse, "SELECT COUNT(*) FROM orders")
+        assert result.rows[0].values == (5,)
+
+    def test_policy_pipeline_over_dialect(self, warehouse):
+        from repro import PCQEngine, QueryRequest, QueryStatus
+        from repro.policy import PolicyStore
+
+        policies = PolicyStore(default_threshold=0.65)
+        policies.add_role("buyer")
+        policies.add_purpose("purchasing")
+        policies.add_user("quinn", roles=["buyer"])
+        engine = PCQEngine(warehouse, policies)
+        reply = engine.execute(
+            QueryRequest(
+                "SELECT e.sku, p.price FROM east_orders e "
+                "JOIN products p ON e.sku = p.sku",
+                "purchasing",
+                required_fraction=0.0,
+            ),
+            user="quinn",
+        )
+        # Joined confidence 0.63 < 0.65: everything withheld by policy.
+        assert reply.status is QueryStatus.SATISFIED
+        assert reply.rows == []
+        assert reply.withheld_count == 3

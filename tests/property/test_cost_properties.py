@@ -1,0 +1,88 @@
+"""Property-based tests for cost models: monotonicity and additivity."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import (
+    BinomialCost,
+    CostModelSampler,
+    ExponentialCost,
+    LinearCost,
+    LogarithmicCost,
+)
+
+MODELS = st.one_of(
+    st.builds(
+        LinearCost,
+        rate=st.floats(min_value=0.1, max_value=500.0),
+    ),
+    st.builds(
+        BinomialCost,
+        linear=st.floats(min_value=0.1, max_value=100.0),
+        quadratic=st.floats(min_value=0.1, max_value=200.0),
+    ),
+    st.builds(
+        ExponentialCost,
+        scale=st.floats(min_value=0.1, max_value=50.0),
+        shape=st.floats(min_value=0.5, max_value=5.0),
+    ),
+    st.builds(
+        LogarithmicCost,
+        scale=st.floats(min_value=0.1, max_value=100.0),
+        saturation=st.floats(min_value=0.5, max_value=0.98),
+    ),
+)
+
+
+def confidences():
+    return st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(MODELS, confidences(), confidences())
+def test_increment_cost_non_negative(model, a, b):
+    low, high = sorted((a, b))
+    assert model.increment_cost(low, high) >= 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(MODELS, confidences(), confidences(), confidences())
+def test_increment_cost_additive(model, a, b, c):
+    """cost(a→c) = cost(a→b) + cost(b→c) for a ≤ b ≤ c."""
+    low, mid, high = sorted((a, b, c))
+    direct = model.increment_cost(low, high)
+    split = model.increment_cost(low, mid) + model.increment_cost(mid, high)
+    assert abs(direct - split) < 1e-6 * max(1.0, direct)
+
+
+@settings(max_examples=200, deadline=None)
+@given(MODELS, confidences(), confidences(), confidences())
+def test_increment_cost_monotone_in_target(model, start, a, b):
+    lo_target, hi_target = sorted((a, b))
+    start = min(start, lo_target)
+    assert model.increment_cost(start, hi_target) >= model.increment_cost(
+        start, lo_target
+    ) - 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(MODELS, confidences())
+def test_zero_increment_costs_nothing(model, p):
+    assert model.increment_cost(p, p) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sampler_produces_valid_models(seed):
+    model = CostModelSampler().sample(random.Random(seed))
+    assert 0.0 < model.max_confidence <= 1.0
+    cap = model.max_confidence
+    assert model.increment_cost(0.0, cap) > 0.0
+    # Cumulative is non-decreasing on a coarse grid.
+    grid = [cap * i / 10 for i in range(11)]
+    values = [model.cumulative(p) for p in grid]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

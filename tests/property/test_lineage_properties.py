@@ -1,0 +1,148 @@
+"""Property-based tests for lineage formulas and probability computation.
+
+Strategy: generate random monotone-or-negated formulas over a small variable
+pool, then check algebraic invariants against brute-force world enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lineage import (
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    probability,
+    restrict,
+    sensitivity,
+    var,
+)
+from repro.lineage.probability import compile_probability
+from repro.storage import TupleId
+
+POOL = [TupleId("t", i) for i in range(5)]
+
+
+def formulas(max_depth=4, allow_not=True):
+    """Random formula trees over POOL."""
+    leaves = st.sampled_from(POOL).map(var)
+
+    def extend(children):
+        options = [
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: lineage_and(*parts)
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: lineage_or(*parts)
+            ),
+        ]
+        if allow_not:
+            options.append(children.map(lineage_not))
+        return st.one_of(*options)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def probability_maps():
+    return st.fixed_dictionaries(
+        {tid: st.floats(min_value=0.0, max_value=1.0) for tid in POOL}
+    )
+
+
+def brute_force(formula, probs):
+    variables = sorted(formula.variables)
+    total = 0.0
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        world = dict(zip(variables, bits))
+        weight = 1.0
+        for tid, bit in world.items():
+            weight *= probs[tid] if bit else 1.0 - probs[tid]
+        if formula.evaluate(world):
+            total += weight
+    return total
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas(), probability_maps())
+def test_probability_matches_brute_force(formula, probs):
+    assert abs(probability(formula, probs) - brute_force(formula, probs)) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), probability_maps())
+def test_compiled_matches_interpreter(formula, probs):
+    compiled = compile_probability(formula)
+    assert abs(compiled(probs) - probability(formula, probs)) < 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), probability_maps())
+def test_probability_in_unit_interval(formula, probs):
+    value = probability(formula, probs)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), probability_maps())
+def test_negation_complements(formula, probs):
+    direct = probability(formula, probs)
+    complement = probability(lineage_not(formula), probs)
+    assert abs(direct + complement - 1.0) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), probability_maps(), st.sampled_from(POOL))
+def test_shannon_identity(formula, probs, tid):
+    """P(f) = p·P(f|v=1) + (1−p)·P(f|v=0) for every variable."""
+    p = probs[tid]
+    high = probability(restrict(formula, tid, True), probs)
+    low = probability(restrict(formula, tid, False), probs)
+    assert abs(probability(formula, probs) - (p * high + (1 - p) * low)) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(allow_not=False), probability_maps(), st.sampled_from(POOL))
+def test_monotone_formulas_have_nonnegative_sensitivity(formula, probs, tid):
+    assert sensitivity(formula, probs, tid) >= -1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    formulas(allow_not=False),
+    probability_maps(),
+    st.sampled_from(POOL),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_monotone_formulas_increase_with_probability(formula, probs, tid, bump):
+    base = probability(formula, probs)
+    raised = dict(probs)
+    raised[tid] = max(raised[tid], bump)
+    assert probability(formula, raised) >= base - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), formulas(), probability_maps())
+def test_de_morgan(left, right, probs):
+    lhs = probability(lineage_not(lineage_and(left, right)), probs)
+    rhs = probability(
+        lineage_or(lineage_not(left), lineage_not(right)), probs
+    )
+    assert abs(lhs - rhs) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_smart_constructor_idempotence(formula):
+    assert lineage_and(formula, formula) == formula
+    assert lineage_or(formula, formula) == formula
+    assert lineage_not(lineage_not(formula)) == formula
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), st.sampled_from(POOL), st.booleans())
+def test_restrict_removes_variable(formula, tid, value):
+    restricted = restrict(formula, tid, value)
+    assert tid not in restricted.variables

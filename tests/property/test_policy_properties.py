@@ -1,0 +1,126 @@
+"""Property-based tests for the policy store and enforcement."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.rows import AnnotatedTuple, ResultSet
+from repro.lineage import var
+from repro.policy import PolicyEvaluator, PolicyStore
+from repro.storage import Schema, TEXT, TupleId
+
+ROLES = ["intern", "analyst", "manager", "director"]
+PURPOSES = ["ops", "ops.reporting", "ops.reporting.daily", "audit"]
+
+
+def stores():
+    @st.composite
+    def build(draw):
+        store = PolicyStore(default_threshold=0.0)
+        # Linear role chain: each role inherits the previous one.
+        for index, role in enumerate(ROLES):
+            store.add_role(role, inherits=ROLES[index - 1 : index] if index else [])
+        parents = {"ops.reporting": "ops", "ops.reporting.daily": "ops.reporting"}
+        for purpose in PURPOSES:
+            store.add_purpose(purpose, parent=parents.get(purpose))
+        store.add_user("u", roles=[draw(st.sampled_from(ROLES))])
+        policy_count = draw(st.integers(min_value=0, max_value=6))
+        for _ in range(policy_count):
+            store.add_policy(
+                draw(st.sampled_from(ROLES)),
+                draw(st.sampled_from(PURPOSES)),
+                draw(
+                    st.floats(min_value=0.0, max_value=1.0).map(
+                        lambda x: round(x, 3)
+                    )
+                ),
+            )
+        return store
+
+    return build()
+
+
+@settings(max_examples=80, deadline=None)
+@given(stores(), st.sampled_from(PURPOSES))
+def test_threshold_is_max_of_applicable(store, purpose):
+    applicable = store.applicable_policies("u", purpose)
+    threshold = store.threshold_for("u", purpose)
+    if applicable:
+        assert threshold == max(policy.threshold for policy in applicable)
+    else:
+        assert threshold == 0.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(stores(), st.sampled_from(PURPOSES))
+def test_senior_roles_are_at_least_as_restricted(store, purpose):
+    """Granting a senior role can only add applicable policies."""
+    store.add_user("junior", roles=["intern"])
+    store.add_user("senior", roles=["director"])
+    junior = store.threshold_for("junior", purpose)
+    senior = store.threshold_for("senior", purpose)
+    assert senior >= junior  # director inherits everything intern has
+
+
+@settings(max_examples=80, deadline=None)
+@given(stores(), st.sampled_from(["ops.reporting.daily"]))
+def test_child_purpose_at_least_as_restricted_as_parent(store, purpose):
+    parent_threshold = store.threshold_for("u", "ops.reporting")
+    child_threshold = store.threshold_for("u", purpose)
+    assert child_threshold >= parent_threshold
+
+
+def result_sets():
+    @st.composite
+    def build(draw):
+        confidences = draw(
+            st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=12)
+        )
+        rows = []
+        probabilities = {}
+        for index, confidence in enumerate(confidences):
+            tid = TupleId("t", index)
+            rows.append(AnnotatedTuple((f"r{index}",), var(tid)))
+            probabilities[tid] = confidence
+        return ResultSet(Schema.of(("label", TEXT)), rows), probabilities
+
+    return build()
+
+
+@settings(max_examples=80, deadline=None)
+@given(result_sets(), st.floats(min_value=0.0, max_value=1.0))
+def test_partition_is_exact(result_and_probs, threshold):
+    result, probabilities = result_and_probs
+    outcome = PolicyEvaluator.apply_threshold(result, probabilities, threshold)
+    assert len(outcome.released) + len(outcome.withheld) == len(result)
+    for _row, confidence in outcome.released:
+        assert confidence > threshold
+    for _row, confidence in outcome.withheld:
+        assert confidence <= threshold
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    result_sets(),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_release_fraction_antitone_in_threshold(result_and_probs, a, b):
+    result, probabilities = result_and_probs
+    low, high = sorted((a, b))
+    lax = PolicyEvaluator.apply_threshold(result, probabilities, low)
+    strict = PolicyEvaluator.apply_threshold(result, probabilities, high)
+    assert len(strict.released) <= len(lax.released)
+
+
+@settings(max_examples=80, deadline=None)
+@given(result_sets(), st.floats(min_value=0.0, max_value=1.0))
+def test_shortfall_consistent_with_satisfies(result_and_probs, threshold):
+    result, probabilities = result_and_probs
+    outcome = PolicyEvaluator.apply_threshold(result, probabilities, threshold)
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        if outcome.satisfies(fraction):
+            assert outcome.shortfall(fraction) == 0
+        else:
+            assert outcome.shortfall(fraction) > 0

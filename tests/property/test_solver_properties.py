@@ -1,0 +1,119 @@
+"""Property-based tests for the strategy-finding solvers.
+
+Random small instances from the workload generator, checked for the
+invariants that define a correct solver:
+
+* every returned plan actually satisfies the requirement;
+* targets never exceed per-tuple maxima and never go below current values;
+* the exact solver's cost lower-bounds both approximations;
+* reported costs equal the cost recomputed from the targets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.increment import (
+    solve_dnc,
+    solve_greedy,
+    solve_heuristic,
+)
+from repro.workload import WorkloadSpec, generate_problem
+
+_EPS = 1e-6
+
+
+def small_problems(max_size=10, delta=0.1):
+    """Exact-solver-sized instances (≤ 10 base tuples).
+
+    *delta* controls the per-tuple grid; weakly-pruned configurations
+    (e.g. only-H2) explore O(levels^tuples) nodes, so tests that solve
+    them should pass a coarse delta.
+    """
+
+    @st.composite
+    def build(draw):
+        data_size = draw(st.integers(min_value=4, max_value=max_size))
+        per_result = draw(
+            st.integers(min_value=2, max_value=min(4, data_size))
+        )
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        or_bias = draw(st.sampled_from([0.3, 0.5, 0.8]))
+        spec = WorkloadSpec(
+            data_size=data_size,
+            tuples_per_result=per_result,
+            threshold=0.5,
+            theta=0.5,
+            or_bias=or_bias,
+            delta=delta,
+        )
+        return generate_problem(spec, seed=seed).problem
+
+    return build()
+
+
+def medium_problems():
+    @st.composite
+    def build(draw):
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        spec = WorkloadSpec(
+            data_size=draw(st.integers(min_value=20, max_value=60)),
+            tuples_per_result=draw(st.integers(min_value=2, max_value=5)),
+            threshold=0.5,
+        )
+        return generate_problem(spec, seed=seed).problem
+
+    return build()
+
+
+def check_plan_valid(problem, plan):
+    assignment = problem.initial_assignment()
+    for tid, target in plan.targets.items():
+        state = problem.tuples[tid]
+        assert target <= state.maximum + _EPS
+        assert target >= state.initial - _EPS
+        assignment[tid] = target
+    assert problem.satisfied_count(assignment) >= problem.required_count
+    recomputed = sum(
+        problem.tuples[tid].cost_to(target)
+        for tid, target in plan.targets.items()
+    )
+    assert abs(plan.total_cost - recomputed) < _EPS * max(1.0, recomputed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_problems())
+def test_heuristic_plan_valid(problem):
+    check_plan_valid(problem, solve_heuristic(problem))
+
+
+@settings(max_examples=40, deadline=None)
+@given(medium_problems())
+def test_greedy_plan_valid(problem):
+    check_plan_valid(problem, solve_greedy(problem))
+
+
+@settings(max_examples=40, deadline=None)
+@given(medium_problems())
+def test_dnc_plan_valid(problem):
+    check_plan_valid(problem, solve_dnc(problem))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_problems(max_size=8))
+def test_exact_lower_bounds_approximations(problem):
+    exact = solve_heuristic(problem)
+    assert exact.total_cost <= solve_greedy(problem).total_cost + _EPS
+    assert exact.total_cost <= solve_dnc(problem).total_cost + _EPS
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_problems(max_size=7, delta=0.25))
+def test_heuristic_configurations_agree_on_optimum(problem):
+    from repro.increment import HeuristicOptions
+
+    reference = solve_heuristic(problem).total_cost
+    for name in ("h1", "h2", "h3", "h4"):
+        plan = solve_heuristic(problem, HeuristicOptions.only(name))
+        assert abs(plan.total_cost - reference) < _EPS * max(1.0, reference)

@@ -1,0 +1,142 @@
+"""Property-based tests for the SQL engine.
+
+Random relations are checked against a reference implementation built on
+plain Python sets/lists, and SQL-level algebraic identities are verified
+(e.g. UNION commutativity on values, WHERE/LIMIT interactions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import run_sql
+from repro.storage import Database, INTEGER, Schema, TEXT
+
+
+def make_db(rows_t, rows_u):
+    db = Database()
+    t = db.create_table("t", Schema.of(("k", TEXT), ("v", INTEGER)))
+    for key, value in rows_t:
+        t.insert([key, value])
+    u = db.create_table("u", Schema.of(("k", TEXT), ("w", INTEGER)))
+    for key, value in rows_u:
+        u.insert([key, value])
+    return db
+
+
+rows = st.lists(
+    st.tuples(st.sampled_from("abcd"), st.integers(min_value=-5, max_value=5)),
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows, st.integers(min_value=-5, max_value=5))
+def test_where_matches_python_filter(data, bound):
+    db = make_db(data, [])
+    result = run_sql(db, f"SELECT k, v FROM t WHERE v > {bound}")
+    expected = Counter(row for row in data if row[1] > bound)
+    assert Counter(result.values()) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows)
+def test_distinct_matches_python_set(data):
+    db = make_db(data, [])
+    result = run_sql(db, "SELECT DISTINCT k FROM t")
+    assert {row[0] for row in result.values()} == {key for key, _ in data}
+    assert len(result) == len({key for key, _ in data})
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows, rows)
+def test_inner_join_matches_nested_loop(data_t, data_u):
+    db = make_db(data_t, data_u)
+    result = run_sql(db, "SELECT t.k, v, w FROM t JOIN u ON t.k = u.k")
+    expected = Counter(
+        (tk, tv, uw)
+        for tk, tv in data_t
+        for uk, uw in data_u
+        if tk == uk
+    )
+    assert Counter(result.values()) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows, rows)
+def test_union_values_commutative(data_t, data_u):
+    db = make_db(data_t, data_u)
+    forward = run_sql(db, "SELECT k FROM t UNION SELECT k FROM u")
+    backward = run_sql(db, "SELECT k FROM u UNION SELECT k FROM t")
+    assert sorted(forward.values()) == sorted(backward.values())
+    assert {row[0] for row in forward.values()} == (
+        {key for key, _ in data_t} | {key for key, _ in data_u}
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows)
+def test_group_count_matches_counter(data):
+    db = make_db(data, [])
+    result = run_sql(db, "SELECT k, COUNT(*) FROM t GROUP BY k")
+    expected = Counter(key for key, _ in data)
+    assert {row[0]: row[1] for row in result.values()} == dict(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows)
+def test_aggregates_match_python(data):
+    db = make_db(data, [])
+    result = run_sql(db, "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t")
+    count, total, low, high = result.rows[0].values
+    assert count == len(data)
+    if data:
+        values = [value for _, value in data]
+        assert total == sum(values)
+        assert low == min(values)
+        assert high == max(values)
+    else:
+        assert (total, low, high) == (None, None, None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows, st.integers(min_value=0, max_value=10))
+def test_limit_is_prefix_of_sorted(data, limit):
+    db = make_db(data, [])
+    full = run_sql(db, "SELECT k, v FROM t ORDER BY v, k")
+    limited = run_sql(db, f"SELECT k, v FROM t ORDER BY v, k LIMIT {limit}")
+    assert limited.values() == full.values()[:limit]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows)
+def test_optimizer_never_changes_results(data):
+    db = make_db(data, data[:4])
+    sql = (
+        "SELECT t.k, v FROM t JOIN u ON t.k = u.k "
+        "WHERE v > -3 AND w < 5"
+    )
+    optimized = run_sql(db, sql, optimized=True)
+    raw = run_sql(db, sql, optimized=False)
+    assert Counter(optimized.values()) == Counter(raw.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows)
+def test_union_confidence_never_below_operands(data):
+    """Merging duplicates with OR can only raise confidence."""
+    db = Database()
+    t = db.create_table("t", Schema.of(("k", TEXT)))
+    for index, (key, _value) in enumerate(data):
+        t.insert([key], confidence=0.1 + 0.8 * (index % 7) / 7)
+    plain = run_sql(db, "SELECT k FROM t")
+    merged = run_sql(db, "SELECT DISTINCT k FROM t")
+    plain_best: dict[str, float] = {}
+    for row, confidence in plain.with_confidences(db):
+        key = row.values[0]
+        plain_best[key] = max(plain_best.get(key, 0.0), confidence)
+    for row, confidence in merged.with_confidences(db):
+        assert confidence >= plain_best[row.values[0]] - 1e-9

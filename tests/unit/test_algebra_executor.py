@@ -1,0 +1,385 @@
+"""Unit tests for plan nodes and the lineage-propagating executor."""
+
+import pytest
+
+from repro.algebra import (
+    AggregateSpec,
+    Query,
+    col,
+    lit,
+)
+from repro.algebra.plan import (
+    Aggregate,
+    Alias,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    ProjectItem,
+    Scan,
+    SetOperation,
+    Sort,
+    SortKey,
+)
+from repro.errors import PlanError
+from repro.lineage import And, Not, Or, Var
+from repro.storage import Database, INTEGER, REAL, Schema, TEXT
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    people = database.create_table(
+        "people", Schema.of(("name", TEXT), ("dept", TEXT), ("salary", REAL))
+    )
+    for name, dept, salary, conf in [
+        ("ann", "eng", 100.0, 0.9),
+        ("bob", "eng", 80.0, 0.8),
+        ("cat", "ops", 70.0, 0.7),
+        ("dan", "ops", 90.0, 0.6),
+    ]:
+        people.insert([name, dept, salary], confidence=conf)
+    departments = database.create_table(
+        "departments", Schema.of(("dept", TEXT), ("floor", INTEGER))
+    )
+    departments.insert(["eng", 3], confidence=0.5)
+    departments.insert(["ops", 2], confidence=0.4)
+    return database
+
+
+class TestScanAndFilter:
+    def test_scan_lineage_is_var(self, db):
+        result = Query.scan(db.table("people")).run()
+        assert len(result) == 4
+        assert all(isinstance(row.lineage, Var) for row in result)
+
+    def test_filter_keeps_lineage(self, db):
+        result = Query.scan(db.table("people")).where(col("salary") > 85).run()
+        assert sorted(row.values[0] for row in result) == ["ann", "dan"]
+        assert all(isinstance(row.lineage, Var) for row in result)
+
+    def test_filter_null_predicate_drops_row(self, db):
+        db.table("people").insert([None, "eng", None], confidence=1.0)
+        result = Query.scan(db.table("people")).where(col("salary") > 85).run()
+        assert len(result) == 2  # NULL comparison is not true
+
+    def test_filter_requires_boolean(self, db):
+        with pytest.raises(PlanError):
+            Filter(Scan(db.table("people")), col("salary") + lit(1))
+
+
+class TestProject:
+    def test_plain_projection(self, db):
+        result = Query.scan(db.table("people")).select("name", "salary").run()
+        assert result.schema.names == ("name", "salary")
+
+    def test_computed_column_with_alias(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .select((col("salary") * lit(2), "double"))
+            .run()
+        )
+        assert result.schema.names == ("double",)
+        assert result.rows[0].values == (200.0,)
+
+    def test_distinct_merges_lineage_with_or(self, db):
+        result = Query.scan(db.table("people")).select("dept", distinct=True).run()
+        assert len(result) == 2
+        for row in result:
+            assert isinstance(row.lineage, Or)
+            assert len(row.lineage.children) == 2
+
+    def test_empty_projection_rejected(self, db):
+        with pytest.raises(PlanError):
+            Project(Scan(db.table("people")), [])
+
+
+class TestJoin:
+    def test_inner_join_lineage_is_and(self, db):
+        q = Query.scan(db.table("people")).join(
+            db.table("departments"),
+            on=col("people.dept") == col("departments.dept"),
+        )
+        result = q.run()
+        assert len(result) == 4
+        assert all(isinstance(row.lineage, And) for row in result)
+
+    def test_cross_join_cardinality(self, db):
+        result = Query.scan(db.table("people")).cross_join(
+            db.table("departments")
+        ).run()
+        assert len(result) == 8
+
+    def test_left_join_unmatched_padded(self, db):
+        db.table("people").insert(["eve", "hr", 50.0], confidence=1.0)
+        q = Query.scan(db.table("people")).join(
+            db.table("departments"),
+            on=col("people.dept") == col("departments.dept"),
+            kind="left",
+        )
+        result = q.run()
+        eve_rows = [row for row in result if row.values[0] == "eve"]
+        assert len(eve_rows) == 1
+        assert eve_rows[0].values[3:] == (None, None)
+        assert isinstance(eve_rows[0].lineage, Var)
+
+    def test_left_join_matched_also_emits_absent_world(self, db):
+        q = Query.scan(db.table("people")).join(
+            db.table("departments"),
+            on=col("people.dept") == col("departments.dept"),
+            kind="left",
+        )
+        result = q.run()
+        ann_rows = [row for row in result if row.values[0] == "ann"]
+        # One matched row plus one NULL-padded "department record wrong" row.
+        assert len(ann_rows) == 2
+        padded = [row for row in ann_rows if row.values[3] is None]
+        assert len(padded) == 1
+        assert any(
+            isinstance(child, Not) for child in padded[0].lineage.children
+        )
+
+    def test_theta_join_falls_back_to_nested_loop(self, db):
+        q = Query.scan(db.table("people")).join(
+            db.table("departments"),
+            on=col("salary") > lit(75),
+        )
+        result = q.run()
+        assert len(result) == 6  # ann, bob, dan each match both departments
+
+    def test_join_requires_condition(self, db):
+        with pytest.raises(PlanError):
+            Join(Scan(db.table("people")), Scan(db.table("departments")), None)
+
+    def test_cross_join_rejects_condition(self, db):
+        with pytest.raises(PlanError):
+            Join(
+                Scan(db.table("people")),
+                Scan(db.table("departments")),
+                col("salary") > lit(0),
+                "cross",
+            )
+
+    def test_null_keys_do_not_match(self, db):
+        db.table("people").insert(["nul", None, 10.0], confidence=1.0)
+        q = Query.scan(db.table("people")).join(
+            db.table("departments"),
+            on=col("people.dept") == col("departments.dept"),
+        )
+        assert all(row.values[0] != "nul" for row in q.run())
+
+
+class TestSetOperations:
+    def test_union_all_concatenates(self, db):
+        left = Query.scan(db.table("people")).select("dept")
+        right = Query.scan(db.table("departments")).select("dept")
+        assert len(left.union(right, all=True).run()) == 6
+
+    def test_union_merges_duplicates(self, db):
+        left = Query.scan(db.table("people")).select("dept")
+        right = Query.scan(db.table("departments")).select("dept")
+        result = left.union(right).run()
+        assert len(result) == 2
+        for row in result:
+            assert isinstance(row.lineage, Or)
+            assert len(row.lineage.children) == 3  # 2 people + 1 department
+
+    def test_intersect(self, db):
+        left = Query.scan(db.table("people")).select("dept")
+        right = Query.scan(db.table("departments")).select("dept")
+        result = left.intersect(right).run()
+        assert sorted(row.values[0] for row in result) == ["eng", "ops"]
+        assert all(isinstance(row.lineage, And) for row in result)
+
+    def test_except_keeps_probabilistic_row(self, db):
+        left = Query.scan(db.table("people")).select("dept")
+        right = Query.scan(db.table("departments")).select("dept")
+        result = left.except_(right).run()
+        # Both depts appear on the right, but the right tuples are uncertain:
+        # rows survive with lineage AND(left-or, NOT(right-or)).
+        assert len(result) == 2
+        confidences = result.confidences(db)
+        assert all(0.0 < confidence < 1.0 for confidence in confidences)
+
+    def test_except_certain_right_gives_zero_confidence(self, db):
+        db.table("departments").set_confidence(
+            next(iter(db.table("departments").scan())).tid, 1.0
+        )
+        left = Query.scan(db.table("people")).select("dept")
+        right = Query.scan(db.table("departments")).select("dept")
+        result = left.except_(right).run()
+        by_value = {row.values[0]: row.confidence(db.confidences(row.lineage.variables)) for row in result}
+        assert by_value["eng"] == pytest.approx(0.0)
+
+    def test_arity_mismatch_rejected(self, db):
+        left = Query.scan(db.table("people")).select("dept", "salary")
+        right = Query.scan(db.table("departments")).select("dept")
+        with pytest.raises(PlanError):
+            left.union(right)
+
+    def test_type_mismatch_rejected(self, db):
+        left = Query.scan(db.table("people")).select("name")
+        right = Query.scan(db.table("departments")).select("floor")
+        with pytest.raises(PlanError):
+            left.union(right)
+
+    def test_numeric_widening(self, db):
+        left = Query.scan(db.table("departments")).select("floor")
+        right = Query.scan(db.table("people")).select("salary")
+        result = left.union(right, all=True).run()
+        assert all(isinstance(row.values[0], float) for row in result)
+
+
+class TestAggregate:
+    def test_group_lineage_is_or(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .group_by(["dept"], [AggregateSpec("COUNT")])
+            .run()
+        )
+        assert len(result) == 2
+        assert all(isinstance(row.lineage, Or) for row in result)
+
+    def test_aggregate_values(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .group_by(
+                ["dept"],
+                [
+                    AggregateSpec("COUNT", alias="n"),
+                    AggregateSpec("SUM", col("salary"), "total"),
+                    AggregateSpec("AVG", col("salary"), "mean"),
+                    AggregateSpec("MIN", col("salary"), "lo"),
+                    AggregateSpec("MAX", col("salary"), "hi"),
+                ],
+            )
+            .run()
+        )
+        by_dept = {row.values[0]: row.values[1:] for row in result}
+        assert by_dept["eng"] == (2, 180.0, 90.0, 80.0, 100.0)
+
+    def test_count_skips_nulls_sum_ignores_nulls(self, db):
+        db.table("people").insert(["eve", "eng", None], confidence=1.0)
+        result = (
+            Query.scan(db.table("people"))
+            .group_by(
+                ["dept"],
+                [
+                    AggregateSpec("COUNT", alias="rows"),
+                    AggregateSpec("COUNT", col("salary"), "salaries"),
+                ],
+            )
+            .run()
+        )
+        by_dept = {row.values[0]: row.values[1:] for row in result}
+        assert by_dept["eng"] == (3, 2)
+
+    def test_distinct_aggregate(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .aggregate(AggregateSpec("COUNT", col("dept"), "depts", distinct=True))
+            .run()
+        )
+        assert result.rows[0].values == (2,)
+
+    def test_global_aggregate_on_empty_input(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .where(col("salary") > 10_000)
+            .aggregate(
+                AggregateSpec("COUNT", alias="n"),
+                AggregateSpec("SUM", col("salary"), "total"),
+            )
+            .run()
+        )
+        assert result.rows[0].values == (0, None)
+        assert result.rows[0].confidence({}) == 1.0
+
+    def test_sum_requires_numeric(self, db):
+        with pytest.raises(PlanError):
+            Aggregate(
+                Scan(db.table("people")),
+                [],
+                [AggregateSpec("SUM", col("name"))],
+            )
+
+    def test_count_star_requires_no_argument(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("SUM")
+
+
+class TestSortAndLimit:
+    def test_order_by_descending(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .order_by(("salary", True))
+            .select("name")
+            .run()
+        )
+        assert [row.values[0] for row in result] == ["ann", "dan", "bob", "cat"]
+
+    def test_multi_key_sort(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .order_by("dept", ("salary", True))
+            .select("name")
+            .run()
+        )
+        assert [row.values[0] for row in result] == ["ann", "bob", "dan", "cat"]
+
+    def test_nulls_first_ascending(self, db):
+        db.table("people").insert(["eve", "eng", None], confidence=1.0)
+        result = Query.scan(db.table("people")).order_by("salary").run()
+        assert result.rows[0].values[0] == "eve"
+
+    def test_limit_and_offset(self, db):
+        result = (
+            Query.scan(db.table("people"))
+            .order_by("name")
+            .limit(2, offset=1)
+            .run()
+        )
+        assert [row.values[0] for row in result] == ["bob", "cat"]
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(PlanError):
+            Limit(Scan(db.table("people")), -1)
+
+
+class TestAliasAndExplain:
+    def test_alias_requalifies(self, db):
+        q = Query.scan(db.table("people")).select("name").alias("p")
+        result = q.run()
+        assert result.schema[0].table == "p"
+
+    def test_empty_alias_rejected(self, db):
+        with pytest.raises(PlanError):
+            Alias(Scan(db.table("people")), "")
+
+    def test_explain_shows_tree(self, db):
+        text = (
+            Query.scan(db.table("people"))
+            .where(col("salary") > 50)
+            .select("name")
+            .explain(optimized=False)
+        )
+        assert "Project" in text and "Filter" in text and "Scan(people)" in text
+
+
+class TestResultSet:
+    def test_base_tuples_union(self, db):
+        result = Query.scan(db.table("people")).run()
+        assert len(result.base_tuples()) == 4
+
+    def test_confidences_from_database(self, db):
+        result = Query.scan(db.table("people")).run()
+        assert sorted(result.confidences(db)) == [0.6, 0.7, 0.8, 0.9]
+
+    def test_confidences_from_mapping(self, db):
+        result = Query.scan(db.table("people")).run()
+        probabilities = {tid: 0.5 for tid in result.base_tuples()}
+        assert result.confidences(probabilities) == [0.5] * 4
+
+    def test_values(self, db):
+        result = Query.scan(db.table("departments")).run()
+        assert ("eng", 3) in result.values()

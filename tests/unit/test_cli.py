@@ -1,0 +1,183 @@
+"""Unit tests for the PCQE command shell."""
+
+import pytest
+
+from repro.cli import CommandError, CommandShell
+from repro.errors import ReproError, UnknownTableError
+
+
+@pytest.fixture
+def shell() -> CommandShell:
+    return CommandShell()
+
+
+def bootstrap(shell: CommandShell) -> None:
+    shell.execute_line("create items name:text, price:real")
+    shell.execute_line("role add analyst")
+    shell.execute_line("purpose add reporting")
+    shell.execute_line("user add mira analyst")
+    shell.execute_line("policy add analyst reporting 0.5")
+
+
+class TestSchemaCommands:
+    def test_create_and_tables(self, shell):
+        output = shell.execute_line("create t a:text, b:int, c:real, d:bool")
+        assert "created table t" in output
+        listing = shell.execute_line("tables")
+        assert "t (0 rows)" in listing
+        assert "b:INTEGER" in listing
+
+    def test_create_bad_type(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("create t a:quaternion")
+
+    def test_create_missing_args(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("create t")
+
+    def test_load_csv(self, shell, tmp_path):
+        shell.execute_line("create items name:text, price:real")
+        csv_path = tmp_path / "items.csv"
+        csv_path.write_text(
+            "name,price,__confidence__\napple,1.0,0.4\npear,2.0,0.9\n"
+        )
+        output = shell.execute_line(f"load items {csv_path}")
+        assert "loaded 2 rows" in output
+
+    def test_load_unknown_table(self, shell, tmp_path):
+        csv_path = tmp_path / "x.csv"
+        csv_path.write_text("a\n1\n")
+        with pytest.raises(UnknownTableError):
+            shell.execute_line(f"load missing {csv_path}")
+
+    def test_empty_and_comment_lines(self, shell):
+        assert shell.execute_line("") == ""
+        assert shell.execute_line("# a comment") == ""
+
+    def test_unknown_command(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("teleport now")
+
+
+class TestQueryCommands:
+    def test_sql_prints_rows_and_confidence(self, shell):
+        shell.execute_line("create t a:text")
+        shell.db.table("t").insert(["x"], confidence=0.25)
+        output = shell.execute_line("sql SELECT a FROM t")
+        assert "x | 0.250" in output
+        assert "(1 rows)" in output
+
+    def test_explain_prints_plan(self, shell):
+        shell.execute_line("create t a:text")
+        output = shell.execute_line("explain SELECT a FROM t")
+        assert "Scan(t)" in output
+
+    def test_profile(self, shell):
+        shell.execute_line("create t a:text")
+        shell.db.table("t").insert(["x"], confidence=0.25)
+        output = shell.execute_line("profile t")
+        assert "n=1" in output and "mean=0.250" in output
+
+    def test_profile_empty(self, shell):
+        shell.execute_line("create t a:text")
+        assert "empty" in shell.execute_line("profile t")
+
+
+class TestPolicyCommands:
+    def test_policy_lifecycle(self, shell):
+        bootstrap(shell)
+        listing = shell.execute_line("policy list")
+        assert "<analyst, reporting, 0.5>" in listing
+
+    def test_policy_list_empty(self, shell):
+        assert shell.execute_line("policy list") == "(no policies)"
+
+    def test_role_inherits(self, shell):
+        shell.execute_line("role add junior")
+        shell.execute_line("role add senior inherits junior")
+        assert shell.policies.role_closure("senior") == {"senior", "junior"}
+
+    def test_purpose_under(self, shell):
+        shell.execute_line("purpose add care")
+        shell.execute_line("purpose add surgery under care")
+        assert shell.policies.purpose_ancestry("surgery") == ["surgery", "care"]
+
+    def test_bad_policy_usage(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("policy add too few")
+
+    def test_solver_selection(self, shell):
+        assert "dnc" in shell.execute_line("solver dnc")
+        with pytest.raises(CommandError):
+            shell.execute_line("solver quantum")
+
+
+class TestAskCommand:
+    def test_ask_satisfied(self, shell):
+        bootstrap(shell)
+        shell.db.table("items").insert(["apple", 1.0], confidence=0.9)
+        output = shell.execute_line(
+            "ask mira reporting 1.0 SELECT name FROM items"
+        )
+        assert "status: satisfied" in output
+        assert "apple | 0.900" in output
+
+    def test_ask_improves(self, shell):
+        from repro.cost import LinearCost
+
+        bootstrap(shell)
+        shell.db.table("items").insert(
+            ["apple", 1.0], confidence=0.2, cost_model=LinearCost(10.0)
+        )
+        output = shell.execute_line(
+            "ask mira reporting 1.0 SELECT name FROM items"
+        )
+        assert "status: improved" in output
+        assert "quote:" in output
+
+    def test_ask_usage_error(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("ask onlyuser")
+
+
+class TestDemo:
+    def test_demo_loads_running_example(self, shell):
+        output = shell.execute_line("demo")
+        assert "running example" in output
+        result = shell.execute_line(
+            "ask bob investment 1.0 "
+            "SELECT ci.Company, ci.Income FROM (SELECT DISTINCT Company "
+            "FROM Proposal WHERE Funding < 1.0) AS cand JOIN CompanyInfo "
+            "AS ci ON cand.Company = ci.Company"
+        )
+        assert "status: improved" in result
+        assert "quote: cost 10.00" in result
+
+
+class TestMainEntry:
+    def test_main_with_commands(self, capsys):
+        from repro.cli import main
+
+        status = main(["-c", "create t a:text", "tables"])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "created table t" in captured.out
+
+    def test_main_reports_errors(self, capsys):
+        from repro.cli import main
+
+        status = main(["-c", "sql SELECT * FROM missing"])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_main_script_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "setup.pcqe"
+        script.write_text("create t a:text\ntables\n")
+        assert main([str(script)]) == 0
+        assert "t (0 rows)" in capsys.readouterr().out
+
+    def test_help(self):
+        shell = CommandShell()
+        assert "ask" in shell.execute_line("help")

@@ -1,0 +1,88 @@
+"""Unit tests for the exception hierarchy contract.
+
+Applications catch :class:`~repro.errors.ReproError` to handle anything the
+library raises; these tests pin that contract and the subsystem groupings.
+"""
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+def all_error_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, errors.ReproError), cls.__name__
+
+    def test_all_exports_are_defined(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name), name
+
+    def test_every_public_error_is_exported(self):
+        exported = set(errors.__all__)
+        for cls in all_error_classes():
+            assert cls.__name__ in exported, cls.__name__
+
+    def test_subsystem_groupings(self):
+        assert issubclass(errors.UnknownColumnError, errors.SchemaError)
+        assert issubclass(errors.AmbiguousColumnError, errors.SchemaError)
+        assert issubclass(errors.UnknownTupleError, errors.StorageError)
+        assert issubclass(errors.SqlSyntaxError, errors.SqlError)
+        assert issubclass(errors.BindError, errors.SqlError)
+        assert issubclass(errors.PlanError, errors.SqlError)
+        assert issubclass(errors.UnknownRoleError, errors.PolicyError)
+        assert issubclass(errors.NoApplicablePolicyError, errors.PolicyError)
+        assert issubclass(
+            errors.InfeasibleIncrementError, errors.IncrementError
+        )
+        assert issubclass(
+            errors.ImprovementRejectedError, errors.IncrementError
+        )
+
+    def test_invalid_confidence_is_also_value_error(self):
+        # Callers using plain `except ValueError` still catch range bugs.
+        assert issubclass(errors.InvalidConfidenceError, ValueError)
+
+    def test_syntax_error_formats_position(self):
+        error = errors.SqlSyntaxError("boom", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_syntax_error_without_position(self):
+        error = errors.SqlSyntaxError("boom")
+        assert str(error) == "boom"
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_library(self):
+        from repro.sql import run_sql
+        from repro.storage import Database
+
+        db = Database()
+        with pytest.raises(errors.ReproError):
+            run_sql(db, "SELECT broken FROM nowhere")
+        with pytest.raises(errors.ReproError):
+            run_sql(db, "NOT EVEN SQL")
+
+    def test_provenance_error_reachable_via_base(self):
+        from repro.trust import DataSource
+
+        with pytest.raises(errors.ReproError):
+            DataSource("x", trust=99.0)
+
+    def test_cli_command_error_reachable_via_base(self):
+        from repro.cli import CommandShell
+
+        with pytest.raises(errors.ReproError):
+            CommandShell().execute_line("frobnicate")

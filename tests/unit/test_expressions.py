@@ -1,0 +1,213 @@
+"""Unit tests for repro.algebra.expressions."""
+
+import pytest
+
+from repro.algebra import col, lit
+from repro.algebra.expressions import FunctionCall, Negate
+from repro.errors import BindError, ExecutionError
+from repro.storage import Schema
+from repro.storage.types import BOOLEAN, INTEGER, REAL, TEXT
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of(
+        ("name", TEXT), ("qty", INTEGER), ("price", REAL), ("active", BOOLEAN),
+        table="items",
+    )
+
+
+def run(expression, schema, values):
+    return expression.bind(schema).evaluate(tuple(values))
+
+
+ROW = ("widget", 3, 2.5, True)
+
+
+class TestLiteralsAndColumns:
+    def test_literal_types(self, schema):
+        assert lit(5).bind(schema).dtype is INTEGER
+        assert lit(5.0).bind(schema).dtype is REAL
+        assert lit("x").bind(schema).dtype is TEXT
+        assert lit(True).bind(schema).dtype is BOOLEAN
+
+    def test_unsupported_literal(self, schema):
+        with pytest.raises(BindError):
+            lit(object()).bind(schema)
+
+    def test_column_lookup(self, schema):
+        assert run(col("qty"), schema, ROW) == 3
+
+    def test_qualified_column(self, schema):
+        assert run(col("items.price"), schema, ROW) == 2.5
+
+    def test_references(self):
+        expression = (col("a") + col("t.b")) > lit(1)
+        assert expression.references() == {(None, "a"), ("t", "b")}
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, schema):
+        assert run(col("qty") + lit(2), schema, ROW) == 5
+        assert run(col("qty") - lit(1), schema, ROW) == 2
+        assert run(col("price") * lit(2), schema, ROW) == 5.0
+
+    def test_mixed_types_widen(self, schema):
+        bound = (col("qty") * col("price")).bind(schema)
+        assert bound.dtype is REAL
+        assert bound.evaluate(ROW) == 7.5
+
+    def test_division_always_real(self, schema):
+        bound = (col("qty") / lit(2)).bind(schema)
+        assert bound.dtype is REAL
+        assert bound.evaluate(ROW) == 1.5
+
+    def test_division_by_zero_raises(self, schema):
+        with pytest.raises(ExecutionError):
+            run(col("qty") / lit(0), schema, ROW)
+
+    def test_modulo(self, schema):
+        from repro.algebra.expressions import Arithmetic
+
+        assert run(Arithmetic("%", col("qty"), lit(2)), schema, ROW) == 1
+
+    def test_modulo_by_zero_raises(self, schema):
+        from repro.algebra.expressions import Arithmetic
+
+        with pytest.raises(ExecutionError):
+            run(Arithmetic("%", col("qty"), lit(0)), schema, ROW)
+
+    def test_null_propagates(self, schema):
+        assert run(col("qty") + lit(None), schema, ROW) is None
+
+    def test_text_concatenation(self, schema):
+        assert run(col("name") + lit("!"), schema, ROW) == "widget!"
+
+    def test_text_arithmetic_rejected(self, schema):
+        with pytest.raises(BindError):
+            (col("name") - lit("x")).bind(schema)
+
+    def test_negate(self, schema):
+        assert run(Negate(col("qty")), schema, ROW) == -3
+
+    def test_negate_text_rejected(self, schema):
+        with pytest.raises(BindError):
+            Negate(col("name")).bind(schema)
+
+
+class TestComparisons:
+    def test_all_operators(self, schema):
+        assert run(col("qty") == lit(3), schema, ROW) is True
+        assert run(col("qty") != lit(3), schema, ROW) is False
+        assert run(col("qty") < lit(4), schema, ROW) is True
+        assert run(col("qty") <= lit(3), schema, ROW) is True
+        assert run(col("qty") > lit(3), schema, ROW) is False
+        assert run(col("qty") >= lit(4), schema, ROW) is False
+
+    def test_null_comparison_is_null(self, schema):
+        assert run(col("qty") == lit(None), schema, ROW) is None
+
+    def test_cross_type_comparison_rejected(self, schema):
+        with pytest.raises(BindError):
+            (col("name") > lit(3)).bind(schema)
+
+    def test_numeric_cross_type_allowed(self, schema):
+        assert run(col("price") > col("qty"), schema, ROW) is False
+
+
+class TestLogical:
+    def test_kleene_and(self, schema):
+        true = lit(True)
+        false = lit(False)
+        null = lit(None) == lit(1)  # NULL boolean
+        assert run(true & false, schema, ROW) is False
+        assert run(false & null, schema, ROW) is False  # false dominates
+        assert run(true & null, schema, ROW) is None
+
+    def test_kleene_or(self, schema):
+        true = lit(True)
+        false = lit(False)
+        null = lit(None) == lit(1)
+        assert run(true | null, schema, ROW) is True  # true dominates
+        assert run(false | null, schema, ROW) is None
+
+    def test_not(self, schema):
+        null = lit(None) == lit(1)
+        assert run(~lit(True), schema, ROW) is False
+        assert run(~null, schema, ROW) is None
+
+    def test_non_boolean_operand_rejected(self, schema):
+        with pytest.raises(BindError):
+            (col("qty") & lit(True)).bind(schema)
+
+
+class TestPredicates:
+    def test_is_null(self, schema):
+        assert run(col("name").is_null(), schema, (None, 1, 1.0, True)) is True
+        assert run(col("name").is_not_null(), schema, ROW) is True
+
+    def test_like(self, schema):
+        assert run(col("name").like("wid%"), schema, ROW) is True
+        assert run(col("name").like("w_dget"), schema, ROW) is True
+        assert run(col("name").like("xyz%"), schema, ROW) is False
+
+    def test_like_escapes_regex_metacharacters(self, schema):
+        assert run(col("name").like("wid.et"), schema, ROW) is False
+
+    def test_like_on_null_is_null(self, schema):
+        assert run(col("name").like("%"), schema, (None, 1, 1.0, True)) is None
+
+    def test_like_requires_text(self, schema):
+        with pytest.raises(BindError):
+            col("qty").like("3").bind(schema)
+
+    def test_in_list(self, schema):
+        assert run(col("qty").in_([1, 2, 3]), schema, ROW) is True
+        assert run(col("qty").in_([7, 8]), schema, ROW) is False
+
+    def test_in_with_null_option(self, schema):
+        # 3 IN (1, NULL) is NULL; 3 IN (3, NULL) is TRUE.
+        assert run(col("qty").in_([1, None]), schema, ROW) is None
+        assert run(col("qty").in_([3, None]), schema, ROW) is True
+
+    def test_empty_in_rejected(self, schema):
+        with pytest.raises(BindError):
+            col("qty").in_([])
+
+    def test_between(self, schema):
+        assert run(col("qty").between(1, 5), schema, ROW) is True
+        assert run(col("qty").between(4, 5), schema, ROW) is False
+
+    def test_between_null_bound(self, schema):
+        assert run(col("qty").between(None, 5), schema, ROW) is None
+
+
+class TestFunctions:
+    def test_abs(self, schema):
+        assert run(FunctionCall("ABS", [Negate(col("qty"))]), schema, ROW) == 3
+
+    def test_length(self, schema):
+        assert run(FunctionCall("LENGTH", [col("name")]), schema, ROW) == 6
+
+    def test_lower_upper(self, schema):
+        assert run(FunctionCall("UPPER", [col("name")]), schema, ROW) == "WIDGET"
+        assert run(FunctionCall("LOWER", [lit("ABC")]), schema, ROW) == "abc"
+
+    def test_round(self, schema):
+        assert run(
+            FunctionCall("ROUND", [col("price"), lit(0)]), schema, ROW
+        ) == pytest.approx(2.0)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(BindError):
+            FunctionCall("NOPE", [lit(1)])
+
+    def test_type_checked(self, schema):
+        with pytest.raises(BindError):
+            FunctionCall("LENGTH", [col("qty")]).bind(schema)
+
+    def test_null_argument_propagates(self, schema):
+        assert (
+            run(FunctionCall("LENGTH", [col("name")]), schema, (None, 1, 1.0, True))
+            is None
+        )

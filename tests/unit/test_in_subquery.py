@@ -1,0 +1,166 @@
+"""Unit tests for IN/NOT IN subqueries (lineage-aware semi-/anti-joins)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.lineage import And, Not, Var
+from repro.sql import execute_sql, plan_sql, run_sql
+from repro.storage import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    execute_sql(database, "CREATE TABLE emp (name TEXT, dept TEXT)")
+    execute_sql(
+        database,
+        "INSERT INTO emp VALUES ('ann','eng'), ('bob','ops'), ('cat','eng') "
+        "WITH CONFIDENCE 0.8",
+    )
+    execute_sql(database, "CREATE TABLE good (dept TEXT)")
+    execute_sql(
+        database, "INSERT INTO good VALUES ('eng') WITH CONFIDENCE 0.5"
+    )
+    return database
+
+
+class TestSemiJoinSemantics:
+    def test_in_filters_and_conjoins_lineage(self, db):
+        result = run_sql(
+            db, "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good)"
+        )
+        assert sorted(row.values[0] for row in result) == ["ann", "cat"]
+        for row, confidence in result.with_confidences(db):
+            assert isinstance(row.lineage, And)
+            assert confidence == pytest.approx(0.8 * 0.5)
+
+    def test_not_in_keeps_all_candidates_with_negated_lineage(self, db):
+        result = run_sql(
+            db,
+            "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM good)",
+        )
+        by_name = {
+            row.values[0]: (row, confidence)
+            for row, confidence in result.with_confidences(db)
+        }
+        # bob never matches: plain lineage, full confidence.
+        assert isinstance(by_name["bob"][0].lineage, Var)
+        assert by_name["bob"][1] == pytest.approx(0.8)
+        # ann matches an uncertain subquery row: retained with AND NOT.
+        assert by_name["ann"][1] == pytest.approx(0.8 * 0.5)
+        assert any(
+            isinstance(child, Not) for child in by_name["ann"][0].lineage.children
+        )
+
+    def test_not_in_with_certain_match_gives_zero_confidence(self, db):
+        execute_sql(db, "UPDATE good SET dept = 'eng' WITH CONFIDENCE 1.0")
+        result = run_sql(
+            db,
+            "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM good)",
+        )
+        by_name = dict(
+            (row.values[0], confidence)
+            for row, confidence in result.with_confidences(db)
+        )
+        assert by_name["ann"] == pytest.approx(0.0)
+        assert by_name["bob"] == pytest.approx(0.8)
+
+    def test_duplicate_subquery_rows_merge_with_or(self, db):
+        execute_sql(db, "INSERT INTO good VALUES ('eng') WITH CONFIDENCE 0.5")
+        result = run_sql(
+            db, "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good)"
+        )
+        # P(match) = 0.8 * (1 - 0.5*0.5) = 0.8 * 0.75
+        for _row, confidence in result.with_confidences(db):
+            assert confidence == pytest.approx(0.8 * 0.75)
+
+    def test_null_probe_never_matches(self, db):
+        execute_sql(db, "INSERT INTO emp (name) VALUES ('ghost')")
+        inn = run_sql(
+            db, "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good)"
+        )
+        assert all(row.values[0] != "ghost" for row in inn)
+        notin = run_sql(
+            db, "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM good)"
+        )
+        assert all(row.values[0] != "ghost" for row in notin)
+
+    def test_null_in_subquery_poisons_not_in(self, db):
+        execute_sql(db, "INSERT INTO good VALUES (NULL)")
+        result = run_sql(
+            db,
+            "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM good)",
+        )
+        assert len(result) == 0  # SQL three-valued semantics
+
+    def test_empty_subquery(self, db):
+        execute_sql(db, "DELETE FROM good")
+        inn = run_sql(
+            db, "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good)"
+        )
+        assert len(inn) == 0
+        notin = run_sql(
+            db, "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM good)"
+        )
+        assert len(notin) == 3
+
+    def test_combines_with_other_conjuncts(self, db):
+        result = run_sql(
+            db,
+            "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good) "
+            "AND name = 'ann'",
+        )
+        assert result.values() == [("ann",)]
+
+    def test_subquery_with_where(self, db):
+        result = run_sql(
+            db,
+            "SELECT name FROM emp WHERE dept IN "
+            "(SELECT dept FROM good WHERE dept <> 'eng')",
+        )
+        assert len(result) == 0
+
+
+class TestSemiJoinValidation:
+    def test_multi_column_subquery_rejected(self, db):
+        with pytest.raises(PlanError):
+            plan_sql(
+                db,
+                "SELECT name FROM emp WHERE dept IN "
+                "(SELECT dept, 1 AS extra FROM good)",
+            )
+
+    def test_type_mismatch_rejected(self, db):
+        execute_sql(db, "CREATE TABLE nums (v REAL)")
+        with pytest.raises(PlanError):
+            plan_sql(db, "SELECT name FROM emp WHERE dept IN (SELECT v FROM nums)")
+
+    def test_nested_under_or_rejected(self, db):
+        with pytest.raises(PlanError):
+            plan_sql(
+                db,
+                "SELECT name FROM emp WHERE name = 'x' OR "
+                "dept IN (SELECT dept FROM good)",
+            )
+
+    def test_in_select_list_rejected(self, db):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_sql(
+                db,
+                "SELECT dept IN (SELECT dept FROM good) FROM emp",
+            )
+
+    def test_optimizer_preserves_results(self, db):
+        sql = (
+            "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good) "
+            "AND name <> 'cat'"
+        )
+        assert run_sql(db, sql).values() == run_sql(db, sql, optimized=False).values()
+
+    def test_explain_shows_semi_join(self, db):
+        text = plan_sql(
+            db, "SELECT name FROM emp WHERE dept IN (SELECT dept FROM good)"
+        ).explain()
+        assert "SemiJoin" in text

@@ -1,0 +1,194 @@
+"""Unit tests for the increment problem formalization and search state."""
+
+import pytest
+
+from repro.cost import LinearCost
+from repro.errors import IncrementError, InfeasibleIncrementError
+from repro.increment import (
+    BaseTupleState,
+    IncrementProblem,
+    SearchState,
+    ceil_required,
+)
+from repro.lineage import ConfidenceFunction, lineage_and, lineage_not, lineage_or, var
+from repro.storage import TupleId
+
+A, B, C = (TupleId("t", i) for i in range(3))
+
+
+def make_states(**confidences):
+    mapping = {"A": A, "B": B, "C": C}
+    return {
+        mapping[name]: BaseTupleState(mapping[name], value, LinearCost(100.0))
+        for name, value in confidences.items()
+    }
+
+
+class TestBaseTupleState:
+    def test_cost_to(self):
+        state = BaseTupleState(A, 0.3, LinearCost(100.0))
+        assert state.cost_to(0.5) == pytest.approx(20.0)
+        assert state.cost_to(0.3) == 0.0
+        assert state.cost_to(0.2) == 0.0  # below current is free (no-op)
+
+    def test_levels_include_max(self):
+        state = BaseTupleState(A, 0.25, LinearCost(1.0, max_confidence=0.9))
+        levels = state.levels(0.2)
+        assert levels[0] == 0.25
+        assert levels[-1] == pytest.approx(0.9)
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+
+    def test_levels_exact_grid(self):
+        state = BaseTupleState(A, 0.5, LinearCost(1.0))
+        assert state.levels(0.25) == pytest.approx([0.5, 0.75, 1.0])
+
+    def test_levels_invalid_delta(self):
+        state = BaseTupleState(A, 0.5, LinearCost(1.0))
+        with pytest.raises(IncrementError):
+            state.levels(0.0)
+
+    def test_maximum_never_below_initial(self):
+        state = BaseTupleState(A, 0.95, LinearCost(1.0, max_confidence=0.9))
+        assert state.maximum == 0.95
+
+
+class TestProblemConstruction:
+    def test_negated_lineage_rejected(self):
+        results = [ConfidenceFunction(lineage_not(var(A)))]
+        with pytest.raises(IncrementError):
+            IncrementProblem(results, make_states(A=0.5), 0.6, 1)
+
+    def test_missing_tuple_state_rejected(self):
+        results = [ConfidenceFunction(lineage_and(var(A), var(B)))]
+        with pytest.raises(IncrementError):
+            IncrementProblem(results, make_states(A=0.5), 0.6, 1)
+
+    def test_required_above_result_count_rejected(self):
+        results = [ConfidenceFunction(var(A))]
+        with pytest.raises(InfeasibleIncrementError):
+            IncrementProblem(results, make_states(A=0.5), 0.6, 2)
+
+    def test_invalid_threshold_and_delta(self):
+        results = [ConfidenceFunction(var(A))]
+        states = make_states(A=0.5)
+        with pytest.raises(IncrementError):
+            IncrementProblem(results, states, 1.5, 1)
+        with pytest.raises(IncrementError):
+            IncrementProblem(results, states, 0.6, 1, delta=0.0)
+
+    def test_results_by_tuple_index(self):
+        results = [
+            ConfidenceFunction(var(A)),
+            ConfidenceFunction(lineage_or(var(A), var(B))),
+        ]
+        problem = IncrementProblem(results, make_states(A=0.1, B=0.1), 0.6, 1)
+        assert problem.results_by_tuple[A] == [0, 1]
+        assert problem.results_by_tuple[B] == [1]
+
+    def test_only_needed_tuples_kept(self):
+        results = [ConfidenceFunction(var(A))]
+        problem = IncrementProblem(results, make_states(A=0.1, B=0.1), 0.6, 1)
+        assert set(problem.tuples) == {A}
+
+
+class TestProblemQueries:
+    def test_trivial_detection(self):
+        results = [ConfidenceFunction(var(A))]
+        problem = IncrementProblem(results, make_states(A=0.7), 0.6, 1)
+        assert problem.is_trivial()
+
+    def test_feasibility_check(self):
+        states = {
+            A: BaseTupleState(A, 0.1, LinearCost(1.0, max_confidence=0.5))
+        }
+        results = [ConfidenceFunction(var(A))]
+        problem = IncrementProblem(results, states, 0.6, 1)
+        with pytest.raises(InfeasibleIncrementError):
+            problem.check_feasible()
+
+    def test_cost_of_assignment(self):
+        results = [ConfidenceFunction(lineage_and(var(A), var(B)))]
+        problem = IncrementProblem(results, make_states(A=0.2, B=0.3), 0.6, 1)
+        assignment = {A: 0.4, B: 0.3}
+        assert problem.cost_of(assignment) == pytest.approx(20.0)
+
+    def test_satisfied_count(self):
+        results = [
+            ConfidenceFunction(var(A)),
+            ConfidenceFunction(var(B)),
+        ]
+        problem = IncrementProblem(results, make_states(A=0.7, B=0.1), 0.6, 1)
+        assert problem.satisfied_count(problem.initial_assignment()) == 1
+        assert problem.satisfied_count(problem.maximal_assignment()) == 2
+
+    def test_subproblem(self):
+        results = [
+            ConfidenceFunction(var(A)),
+            ConfidenceFunction(var(B)),
+        ]
+        problem = IncrementProblem(results, make_states(A=0.1, B=0.1), 0.6, 2)
+        sub = problem.subproblem([1], 1)
+        assert len(sub.results) == 1
+        assert set(sub.tuples) == {B}
+
+    def test_from_results_reads_database(self, paper_increment_problem):
+        problem, refs = paper_increment_problem
+        assert problem.tuples[refs["t02"]].initial == 0.3
+        assert problem.tuples[refs["t03"]].initial == 0.4
+        assert problem.threshold == 0.06
+
+    def test_ceil_required(self):
+        assert ceil_required(100, 0.5, 0.0) == 50
+        assert ceil_required(100, 0.5, 0.2) == 30
+        assert ceil_required(3, 0.5, 0.0) == 2
+        assert ceil_required(10, 0.3, 0.5) == 0
+
+
+class TestSearchState:
+    @pytest.fixture
+    def problem(self):
+        results = [
+            ConfidenceFunction(lineage_or(var(A), var(B)), "r0"),
+            ConfidenceFunction(lineage_and(var(B), var(C)), "r1"),
+        ]
+        return IncrementProblem(
+            results, make_states(A=0.1, B=0.2, C=0.3), 0.5, 1
+        )
+
+    def test_initial_state(self, problem):
+        state = SearchState(problem)
+        assert state.cost == 0.0
+        assert state.satisfied_count == 0
+        assert not state.is_satisfied()
+
+    def test_set_value_updates_affected_results(self, problem):
+        state = SearchState(problem)
+        state.set_value(A, 0.6)
+        assert state.confidences[0] == pytest.approx(0.6 + 0.2 - 0.12)
+        assert state.confidences[1] == pytest.approx(0.2 * 0.3)  # untouched
+        assert state.satisfied_count == 1
+        assert state.cost == pytest.approx(50.0)
+
+    def test_undo_restores_everything(self, problem):
+        state = SearchState(problem)
+        before = (list(state.confidences), state.cost, state.satisfied_count)
+        old = state.value_of(B)
+        undo = state.set_value(B, 0.9)
+        state.undo(B, old, undo)
+        assert (list(state.confidences), state.cost, state.satisfied_count) == before
+
+    def test_noop_set(self, problem):
+        state = SearchState(problem)
+        assert state.set_value(A, 0.1) == []
+        assert state.cost == 0.0
+
+    def test_snapshot_targets_only_changed(self, problem):
+        state = SearchState(problem)
+        state.set_value(A, 0.5)
+        assert state.snapshot_targets() == {A: 0.5}
+
+    def test_satisfied_indexes(self, problem):
+        state = SearchState(problem)
+        state.set_value(B, 1.0)
+        state.set_value(C, 0.6)
+        assert 1 in state.satisfied_indexes()

@@ -1,0 +1,110 @@
+"""Unit tests for improvement-latency estimation (future-work extension)."""
+
+import pytest
+
+from repro.cost import LinearCost
+from repro.errors import IncrementError
+from repro.increment import (
+    BaseTupleState,
+    IncrementPlan,
+    IncrementProblem,
+    SolverStats,
+    VerificationLatencyModel,
+    estimate_lead_time,
+    solve_heuristic,
+)
+from repro.lineage import ConfidenceFunction, var
+from repro.storage import Database, Schema, TEXT, TupleId
+
+A, B = TupleId("t", 0), TupleId("t", 1)
+
+
+def plan_for(targets):
+    return IncrementPlan(dict(targets), 0.0, (), "test", SolverStats())
+
+
+def problem_with(initial_a=0.2, initial_b=0.2, rate=100.0):
+    states = {
+        A: BaseTupleState(A, initial_a, LinearCost(rate)),
+        B: BaseTupleState(B, initial_b, LinearCost(rate)),
+    }
+    results = [ConfidenceFunction(var(A)), ConfidenceFunction(var(B))]
+    return IncrementProblem(results, states, 0.9, 2)
+
+
+class TestLatencyModel:
+    def test_duration_components(self):
+        model = VerificationLatencyModel(
+            dispatch_overhead=2.0, per_confidence_unit=10.0, per_cost_unit=0.1
+        )
+        # 0.2 -> 0.6 at cost 40: 2 + 10*0.4 + 0.1*40 = 10.0
+        assert model.duration(0.2, 0.6, 40.0) == pytest.approx(10.0)
+
+    def test_noop_is_free(self):
+        model = VerificationLatencyModel()
+        assert model.duration(0.5, 0.5, 0.0) == 0.0
+        assert model.duration(0.6, 0.5, 0.0) == 0.0
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(IncrementError):
+            VerificationLatencyModel(dispatch_overhead=-1.0)
+
+
+class TestEstimateLeadTime:
+    def test_empty_plan(self):
+        problem = problem_with()
+        estimate = estimate_lead_time(plan_for({}), problem)
+        assert estimate.makespan == 0.0
+        assert estimate.actions == 0
+        assert estimate.critical_tuple is None
+
+    def test_serial_makespan_is_total_work(self):
+        problem = problem_with()
+        plan = plan_for({A: 0.6, B: 0.4})
+        estimate = estimate_lead_time(plan, problem, parallelism=1)
+        assert estimate.makespan == pytest.approx(estimate.total_work)
+        assert estimate.actions == 2
+
+    def test_parallel_workers_shrink_makespan(self):
+        problem = problem_with()
+        plan = plan_for({A: 0.6, B: 0.6})
+        serial = estimate_lead_time(plan, problem, parallelism=1)
+        parallel = estimate_lead_time(plan, problem, parallelism=2)
+        assert parallel.makespan < serial.makespan
+        assert parallel.makespan >= serial.makespan / 2 - 1e-9
+
+    def test_parallelism_beyond_actions_caps_at_longest(self):
+        model = VerificationLatencyModel(
+            dispatch_overhead=0.0, per_confidence_unit=10.0, per_cost_unit=0.0
+        )
+        problem = problem_with()
+        plan = plan_for({A: 0.7, B: 0.4})  # durations 5 and 2
+        estimate = estimate_lead_time(plan, problem, model, parallelism=8)
+        assert estimate.makespan == pytest.approx(5.0)
+        assert estimate.critical_tuple == A
+
+    def test_source_can_be_database(self):
+        db = Database()
+        table = db.create_table("t", Schema.of(("x", TEXT)))
+        tid = table.insert(["a"], confidence=0.3, cost_model=LinearCost(100.0))
+        estimate = estimate_lead_time(plan_for({tid: 0.5}), db)
+        assert estimate.actions == 1
+        assert estimate.makespan > 0
+
+    def test_unknown_tuple_rejected(self):
+        problem = problem_with()
+        stranger = TupleId("other", 9)
+        with pytest.raises(IncrementError):
+            estimate_lead_time(plan_for({stranger: 0.9}), problem)
+
+    def test_invalid_parallelism(self):
+        problem = problem_with()
+        with pytest.raises(IncrementError):
+            estimate_lead_time(plan_for({}), problem, parallelism=0)
+
+    def test_integrates_with_solver_plan(self):
+        problem = problem_with()
+        plan = solve_heuristic(problem)
+        estimate = estimate_lead_time(plan, problem, parallelism=2)
+        assert estimate.actions == 2  # both tuples must rise to 0.9
+        assert estimate.makespan > 0

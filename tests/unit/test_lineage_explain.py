@@ -1,0 +1,118 @@
+"""Unit tests for lineage witnesses, influence ranking, and explain()."""
+
+import pytest
+
+from repro.errors import LineageError
+from repro.lineage import (
+    BOTTOM,
+    TOP,
+    explain,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    minimal_witnesses,
+    rank_influence,
+    var,
+)
+from repro.storage import TupleId
+
+A, B, C, D = (TupleId("t", i) for i in range(4))
+
+
+class TestMinimalWitnesses:
+    def test_single_var(self):
+        assert minimal_witnesses(var(A)) == [frozenset({A})]
+
+    def test_and_combines(self):
+        assert minimal_witnesses(lineage_and(var(A), var(B))) == [
+            frozenset({A, B})
+        ]
+
+    def test_or_unions(self):
+        witnesses = minimal_witnesses(lineage_or(var(A), var(B)))
+        assert witnesses == [frozenset({A}), frozenset({B})]
+
+    def test_paper_formula(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        assert minimal_witnesses(formula) == [
+            frozenset({A, C}),
+            frozenset({B, C}),
+        ]
+
+    def test_absorption_minimizes(self):
+        # A OR (A AND B): the second witness is subsumed by the first.
+        formula = lineage_or(var(A), lineage_and(var(A), var(B)))
+        assert minimal_witnesses(formula) == [frozenset({A})]
+
+    def test_constants(self):
+        assert minimal_witnesses(TOP) == [frozenset()]
+        assert minimal_witnesses(BOTTOM) == []
+
+    def test_negation_rejected(self):
+        with pytest.raises(LineageError):
+            minimal_witnesses(lineage_not(var(A)))
+
+    def test_limit_enforced(self):
+        wide = lineage_and(
+            *(lineage_or(var(TupleId("t", 2 * i)), var(TupleId("t", 2 * i + 1)))
+              for i in range(6))
+        )
+        with pytest.raises(LineageError):
+            minimal_witnesses(wide, limit=10)
+
+    def test_sorted_by_size(self):
+        formula = lineage_or(lineage_and(var(A), var(B)), var(C))
+        witnesses = minimal_witnesses(formula)
+        assert witnesses[0] == frozenset({C})
+
+    def test_witnesses_actually_satisfy(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), lineage_or(var(C), var(D)))
+        for witness in minimal_witnesses(formula):
+            world = {tid: tid in witness for tid in formula.variables}
+            assert formula.evaluate(world)
+
+
+class TestRankInfluence:
+    def test_paper_example_order(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        probs = {A: 0.3, B: 0.4, C: 0.1}
+        ranked = rank_influence(formula, probs)
+        # C: slope 0.58, headroom 0.9 -> 0.522 — by far the best lever.
+        assert ranked[0][0] == C
+        assert ranked[0][1] == pytest.approx(0.58 * 0.9)
+
+    def test_influence_equals_certainty_gain(self):
+        from repro.lineage import probability
+
+        formula = lineage_or(lineage_and(var(A), var(B)), var(C))
+        probs = {A: 0.2, B: 0.6, C: 0.3}
+        base = probability(formula, probs)
+        for tid, influence in rank_influence(formula, probs):
+            certain = dict(probs)
+            certain[tid] = 1.0
+            assert probability(formula, certain) - base == pytest.approx(
+                influence
+            )
+
+    def test_saturated_tuple_has_zero_influence(self):
+        formula = lineage_or(var(A), var(B))
+        ranked = dict(rank_influence(formula, {A: 1.0, B: 0.5}))
+        assert ranked[A] == pytest.approx(0.0)
+
+
+class TestExplain:
+    def test_renders_tree_with_probabilities(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        text = explain(formula, {A: 0.3, B: 0.4, C: 0.1})
+        assert "AND  p=0.058" in text
+        assert "OR  p=0.580" in text
+        assert "t:2  p=0.100" in text
+
+    def test_renders_without_probabilities(self):
+        text = explain(lineage_not(var(A)))
+        assert text.splitlines()[0] == "NOT"
+        assert "t:0" in text
+
+    def test_constants(self):
+        assert explain(TOP) == "TRUE"
+        assert explain(BOTTOM) == "FALSE"

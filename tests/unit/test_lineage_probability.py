@@ -1,0 +1,213 @@
+"""Unit tests for exact probability, compilation and Monte-Carlo."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import LineageError
+from repro.lineage import (
+    BOTTOM,
+    TOP,
+    ConfidenceFunction,
+    estimate_probability,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    probability,
+    sensitivity,
+    var,
+)
+from repro.lineage.probability import compile_probability
+from repro.storage import TupleId
+
+A, B, C, D = (TupleId("t", i) for i in range(4))
+
+
+def brute_force(formula, probs):
+    """Reference probability by full world enumeration."""
+    variables = sorted(formula.variables)
+    total = 0.0
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        world = dict(zip(variables, bits))
+        weight = 1.0
+        for tid, bit in world.items():
+            weight *= probs[tid] if bit else 1.0 - probs[tid]
+        if formula.evaluate(world):
+            total += weight
+    return total
+
+
+class TestExactProbability:
+    def test_constants(self):
+        assert probability(TOP, {}) == 1.0
+        assert probability(BOTTOM, {}) == 0.0
+
+    def test_single_var(self):
+        assert probability(var(A), {A: 0.3}) == 0.3
+
+    def test_negation(self):
+        assert probability(lineage_not(var(A)), {A: 0.3}) == pytest.approx(0.7)
+
+    def test_independent_and(self):
+        formula = lineage_and(var(A), var(B))
+        assert probability(formula, {A: 0.5, B: 0.4}) == pytest.approx(0.2)
+
+    def test_independent_or(self):
+        formula = lineage_or(var(A), var(B))
+        assert probability(formula, {A: 0.3, B: 0.4}) == pytest.approx(
+            0.3 + 0.4 - 0.12
+        )
+
+    def test_paper_running_example(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        probs = {A: 0.3, B: 0.4, C: 0.1}
+        assert probability(formula, probs) == pytest.approx(0.058)
+
+    def test_shared_variable_needs_shannon(self):
+        # (A AND B) OR (A AND C) = A AND (B OR C)
+        formula = lineage_or(
+            lineage_and(var(A), var(B)), lineage_and(var(A), var(C))
+        )
+        probs = {A: 0.3, B: 0.4, C: 0.1}
+        expected = 0.3 * (1 - 0.6 * 0.9)
+        assert probability(formula, probs) == pytest.approx(expected)
+
+    def test_matches_brute_force_on_entangled_formula(self):
+        formula = lineage_or(
+            lineage_and(var(A), var(B), var(C)),
+            lineage_and(var(B), var(D)),
+            lineage_and(lineage_not(var(A)), var(D)),
+        )
+        probs = {A: 0.2, B: 0.7, C: 0.5, D: 0.4}
+        assert probability(formula, probs) == pytest.approx(
+            brute_force(formula, probs)
+        )
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(LineageError):
+            probability(var(A), {})
+
+    def test_out_of_range_probability_raises(self):
+        with pytest.raises(LineageError):
+            probability(var(A), {A: 1.5})
+
+    def test_result_clamped(self):
+        # Many ORs of high probabilities must not exceed 1.0.
+        formula = lineage_or(var(A), var(B), var(C), var(D))
+        probs = {tid: 0.999 for tid in (A, B, C, D)}
+        assert probability(formula, probs) <= 1.0
+
+
+class TestCompiledProbability:
+    def test_matches_interpreter(self):
+        formula = lineage_or(
+            lineage_and(var(A), var(B)),
+            lineage_and(var(A), var(C)),
+            var(D),
+        )
+        compiled = compile_probability(formula)
+        rng = random.Random(5)
+        for _ in range(25):
+            probs = {tid: rng.random() for tid in (A, B, C, D)}
+            assert compiled(probs) == pytest.approx(probability(formula, probs))
+
+    def test_constants_compiled(self):
+        assert compile_probability(TOP)({}) == 1.0
+        assert compile_probability(BOTTOM)({}) == 0.0
+
+    def test_missing_variable_raises(self):
+        compiled = compile_probability(var(A))
+        with pytest.raises(LineageError):
+            compiled({})
+
+
+class TestSensitivity:
+    def test_linear_in_each_variable(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        probs = {A: 0.3, B: 0.4, C: 0.1}
+        # dF/dC = P(A or B) = 0.58
+        assert sensitivity(formula, probs, C) == pytest.approx(0.58)
+        # dF/dA = (1 - p_B) * p_C = 0.6 * 0.1
+        assert sensitivity(formula, probs, A) == pytest.approx(0.06)
+
+    def test_absent_variable_zero(self):
+        assert sensitivity(var(A), {A: 0.5}, B) == 0.0
+
+    def test_finite_difference_agreement(self):
+        formula = lineage_or(lineage_and(var(A), var(B)), var(C))
+        probs = {A: 0.2, B: 0.6, C: 0.3}
+        slope = sensitivity(formula, probs, A)
+        eps = 1e-6
+        bumped = dict(probs)
+        bumped[A] += eps
+        numeric = (probability(formula, bumped) - probability(formula, probs)) / eps
+        assert slope == pytest.approx(numeric, rel=1e-4)
+
+
+class TestConfidenceFunction:
+    def test_evaluate_and_cache(self):
+        formula = lineage_and(var(A), var(B))
+        function = ConfidenceFunction(formula, "f")
+        probs = {A: 0.5, B: 0.4, C: 0.9}  # extra variable ignored
+        assert function.evaluate(probs) == pytest.approx(0.2)
+        assert function.evaluate(probs) == pytest.approx(0.2)  # cached path
+
+    def test_variables_sorted(self):
+        formula = lineage_or(var(C), var(A))
+        assert ConfidenceFunction(formula).variables == (A, C)
+
+    def test_delta(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        function = ConfidenceFunction(formula)
+        probs = {A: 0.3, B: 0.4, C: 0.1}
+        assert function.delta(probs, B, 0.5) == pytest.approx(0.065 - 0.058)
+
+    def test_delta_for_unrelated_tuple_is_zero(self):
+        function = ConfidenceFunction(var(A))
+        assert function.delta({A: 0.5}, B, 0.9) == 0.0
+
+    def test_max_value(self):
+        formula = lineage_and(var(A), var(B))
+        function = ConfidenceFunction(formula)
+        assert function.max_value({A: 0.1, B: 0.1}) == pytest.approx(1.0)
+        ceilings = {A: 0.8, B: 0.5}
+        assert function.max_value({A: 0.1, B: 0.1}, ceilings) == pytest.approx(0.4)
+
+    def test_derivative(self):
+        formula = lineage_and(var(A), var(B))
+        function = ConfidenceFunction(formula)
+        assert function.derivative({A: 0.3, B: 0.7}, A) == pytest.approx(0.7)
+
+
+class TestMonteCarlo:
+    def test_estimate_close_to_exact(self):
+        formula = lineage_and(lineage_or(var(A), var(B)), var(C))
+        probs = {A: 0.3, B: 0.4, C: 0.5}
+        exact = probability(formula, probs)
+        estimate = estimate_probability(
+            formula, probs, samples=20_000, rng=random.Random(1)
+        )
+        low, high = estimate.confidence_interval()
+        assert low <= exact <= high
+
+    def test_deterministic_default_rng(self):
+        formula = lineage_or(var(A), var(B))
+        probs = {A: 0.3, B: 0.4}
+        first = estimate_probability(formula, probs, samples=100)
+        second = estimate_probability(formula, probs, samples=100)
+        assert first.probability == second.probability
+
+    def test_invalid_samples(self):
+        with pytest.raises(LineageError):
+            estimate_probability(var(A), {A: 0.5}, samples=0)
+
+    def test_missing_probability(self):
+        with pytest.raises(LineageError):
+            estimate_probability(var(A), {}, samples=10)
+
+    def test_standard_error_shrinks(self):
+        formula = var(A)
+        small = estimate_probability(formula, {A: 0.5}, samples=100)
+        large = estimate_probability(formula, {A: 0.5}, samples=10_000)
+        assert large.standard_error < small.standard_error

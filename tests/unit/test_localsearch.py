@@ -1,0 +1,120 @@
+"""Unit tests for the iterated-local-search solver (extension)."""
+
+import pytest
+
+from repro.cost import LinearCost
+from repro.errors import IncrementError
+from repro.increment import (
+    BaseTupleState,
+    IncrementPlan,
+    IncrementProblem,
+    LocalSearchOptions,
+    SolverStats,
+    solve_greedy,
+    solve_local_search,
+)
+from repro.lineage import ConfidenceFunction, lineage_or, var
+from repro.storage import TupleId
+from repro.workload import WorkloadSpec, generate_problem
+
+A, B = TupleId("t", 0), TupleId("t", 1)
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(IncrementError):
+            LocalSearchOptions(restarts=0)
+        with pytest.raises(IncrementError):
+            LocalSearchOptions(swap_attempts=-1)
+
+
+class TestSolveLocalSearch:
+    def test_never_worse_than_greedy(self):
+        for seed in (1, 4, 9):
+            problem = generate_problem(
+                WorkloadSpec(data_size=60, tuples_per_result=4, threshold=0.6),
+                seed=seed,
+            ).problem
+            greedy = solve_greedy(problem)
+            local = solve_local_search(problem)
+            assert local.total_cost <= greedy.total_cost + 1e-6
+
+    def test_plan_is_feasible(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=80, tuples_per_result=4, threshold=0.6),
+            seed=2,
+        ).problem
+        plan = solve_local_search(problem)
+        assignment = problem.initial_assignment()
+        assignment.update(plan.targets)
+        assert problem.satisfied_count(assignment) >= problem.required_count
+
+    def test_deterministic_for_seed(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=60, tuples_per_result=4, threshold=0.6),
+            seed=3,
+        ).problem
+        first = solve_local_search(problem, LocalSearchOptions(seed=5))
+        second = solve_local_search(problem, LocalSearchOptions(seed=5))
+        assert first.total_cost == second.total_cost
+        assert first.targets == second.targets
+
+    def test_swap_escapes_greedy_local_optimum(self):
+        # One result (A OR B).  A is cheap per step early but capped at a
+        # value where it alone cannot reach the threshold without the last
+        # expensive step; B alone is cheaper overall.  Greedy may mix; the
+        # swap move can consolidate spending onto one tuple.
+        states = {
+            A: BaseTupleState(A, 0.1, LinearCost(100.0)),
+            B: BaseTupleState(B, 0.1, LinearCost(90.0)),
+        }
+        problem = IncrementProblem(
+            [ConfidenceFunction(lineage_or(var(A), var(B)))], states, 0.6, 1
+        )
+        plan = solve_local_search(
+            problem, LocalSearchOptions(restarts=4, swap_attempts=200)
+        )
+        # Optimal: raise only B (cheaper rate) to 0.6 => 45.0.
+        assert plan.total_cost == pytest.approx(90.0 * 0.5)
+
+    def test_initial_plan_seeding(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=60, tuples_per_result=4, threshold=0.6),
+            seed=8,
+        ).problem
+        from repro.increment import solve_dnc
+
+        dnc_plan = solve_dnc(problem)
+        polished = solve_local_search(
+            problem, LocalSearchOptions(initial_plan=dnc_plan, restarts=2)
+        )
+        assert polished.total_cost <= dnc_plan.total_cost + 1e-6
+
+    def test_infeasible_initial_plan_rejected(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=20, tuples_per_result=3, threshold=0.6),
+            seed=1,
+        ).problem
+        empty = IncrementPlan({}, 0.0, (), "empty", SolverStats())
+        with pytest.raises(IncrementError):
+            solve_local_search(
+                problem, LocalSearchOptions(initial_plan=empty)
+            )
+
+    def test_trivial_problem(self):
+        states = {A: BaseTupleState(A, 0.9, LinearCost(10.0))}
+        problem = IncrementProblem(
+            [ConfidenceFunction(var(A))], states, 0.5, 1
+        )
+        plan = solve_local_search(problem)
+        assert plan.total_cost == 0.0
+
+    def test_make_solver_knows_local_search(self):
+        from repro import make_solver
+
+        problem = generate_problem(
+            WorkloadSpec(data_size=20, tuples_per_result=3, threshold=0.6),
+            seed=1,
+        ).problem
+        plan = make_solver("local-search", restarts=1)(problem)
+        assert plan.algorithm == "local-search"

@@ -1,0 +1,169 @@
+"""Unit tests for the rule-based optimizer: rewrites preserve results."""
+
+import pytest
+
+from repro.algebra import Query, col, execute, lit, optimize
+from repro.algebra.plan import Filter, Join, Project, Scan
+from repro.storage import Database, REAL, Schema, TEXT
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    orders = database.create_table(
+        "orders", Schema.of(("customer", TEXT), ("amount", REAL))
+    )
+    for customer, amount, conf in [
+        ("a", 10.0, 0.9),
+        ("b", 20.0, 0.8),
+        ("a", 30.0, 0.7),
+        ("c", 40.0, 0.6),
+    ]:
+        orders.insert([customer, amount], confidence=conf)
+    customers = database.create_table(
+        "customers", Schema.of(("customer", TEXT), ("region", TEXT))
+    )
+    customers.insert(["a", "east"], confidence=0.5)
+    customers.insert(["b", "west"], confidence=0.5)
+    return database
+
+
+def _results_match(plan):
+    """Optimized and raw plans must agree on values AND lineage."""
+    raw = execute(plan)
+    optimized = execute(optimize(plan))
+    raw_set = sorted(repr((row.values, row.lineage)) for row in raw)
+    opt_set = sorted(repr((row.values, row.lineage)) for row in optimized)
+    assert raw_set == opt_set
+    return optimize(plan)
+
+
+class TestPushdown:
+    def test_filter_pushes_into_join_left_side(self, db):
+        plan = Filter(
+            Join(
+                Scan(db.table("orders")),
+                Scan(db.table("customers")),
+                col("orders.customer") == col("customers.customer"),
+            ),
+            col("amount") > lit(15.0),
+        )
+        optimized = _results_match(plan)
+        # The filter should now sit below the join.
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Filter)
+
+    def test_filter_pushes_into_join_right_side(self, db):
+        plan = Filter(
+            Join(
+                Scan(db.table("orders")),
+                Scan(db.table("customers")),
+                col("orders.customer") == col("customers.customer"),
+            ),
+            col("region") == lit("east"),
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.right, Filter)
+
+    def test_conjunction_splits_both_ways(self, db):
+        predicate = (col("amount") > lit(5.0)) & (col("region") == lit("east"))
+        plan = Filter(
+            Join(
+                Scan(db.table("orders")),
+                Scan(db.table("customers")),
+                col("orders.customer") == col("customers.customer"),
+            ),
+            predicate,
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Filter)
+        assert isinstance(optimized.right, Filter)
+
+    def test_join_condition_column_stays_above(self, db):
+        # A predicate touching both sides cannot be pushed.
+        plan = Filter(
+            Join(
+                Scan(db.table("orders")),
+                Scan(db.table("customers")),
+                col("orders.customer") == col("customers.customer"),
+            ),
+            col("amount") > lit(0.0),
+        )
+        _results_match(plan)
+
+    def test_filter_pushes_below_pure_projection(self, db):
+        from repro.algebra.plan import ProjectItem
+        from repro.algebra.expressions import ColumnRef
+
+        plan = Filter(
+            Project(
+                Scan(db.table("orders")),
+                [ProjectItem(ColumnRef("customer")), ProjectItem(ColumnRef("amount"))],
+            ),
+            col("amount") > lit(15.0),
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Filter)
+
+    def test_filter_not_pushed_through_distinct(self, db):
+        from repro.algebra.plan import ProjectItem
+        from repro.algebra.expressions import ColumnRef
+
+        plan = Filter(
+            Project(
+                Scan(db.table("orders")),
+                [ProjectItem(ColumnRef("customer"))],
+                distinct=True,
+            ),
+            col("customer") == lit("a"),
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Filter)  # stays on top
+
+    def test_filter_not_pushed_through_computed_projection(self, db):
+        from repro.algebra.plan import ProjectItem
+
+        plan = Filter(
+            Project(
+                Scan(db.table("orders")),
+                [ProjectItem(col("amount") * lit(2), "double")],
+            ),
+            col("double") > lit(30.0),
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Filter)
+
+    def test_left_join_filter_not_pushed(self, db):
+        plan = Filter(
+            Join(
+                Scan(db.table("orders")),
+                Scan(db.table("customers")),
+                col("orders.customer") == col("customers.customer"),
+                kind="left",
+            ),
+            col("amount") > lit(15.0),
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Filter)
+
+
+class TestFilterMerging:
+    def test_stacked_filters_merge(self, db):
+        plan = Filter(
+            Filter(Scan(db.table("orders")), col("amount") > lit(5.0)),
+            col("customer") == lit("a"),
+        )
+        optimized = _results_match(plan)
+        assert isinstance(optimized, Filter)
+        assert not isinstance(optimized.child, Filter)
+
+    def test_query_builder_uses_optimizer(self, db):
+        q = (
+            Query.scan(db.table("orders"))
+            .where(col("amount") > lit(5.0))
+            .where(col("customer") == lit("a"))
+        )
+        assert q.run().values() == q.run(optimized=False).values()

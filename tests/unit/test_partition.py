@@ -1,0 +1,96 @@
+"""Unit tests for the D&C result-graph partitioner."""
+
+import pytest
+
+from repro.cost import LinearCost
+from repro.errors import IncrementError
+from repro.increment import (
+    BaseTupleState,
+    IncrementProblem,
+    PartitionOptions,
+    partition_results,
+)
+from repro.lineage import ConfidenceFunction, lineage_or, var
+from repro.storage import TupleId
+
+
+def build_problem(result_vars):
+    """A problem whose results use the given lists of tuple ordinals."""
+    all_ordinals = sorted({o for vars_ in result_vars for o in vars_})
+    states = {
+        TupleId("t", o): BaseTupleState(TupleId("t", o), 0.1, LinearCost(10.0))
+        for o in all_ordinals
+    }
+    results = [
+        ConfidenceFunction(
+            lineage_or(*(var(TupleId("t", o)) for o in ordinals)), f"r{i}"
+        )
+        for i, ordinals in enumerate(result_vars)
+    ]
+    return IncrementProblem(results, states, 0.6, 1)
+
+
+class TestPartitionOptions:
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(IncrementError):
+            PartitionOptions(gamma=-1.0)
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(IncrementError):
+            PartitionOptions(max_group_tuples=0)
+
+
+class TestPartitioning:
+    def test_disjoint_results_stay_separate(self):
+        problem = build_problem([[0, 1], [2, 3], [4, 5]])
+        groups = partition_results(problem, PartitionOptions(gamma=1.0))
+        assert sorted(groups) == [[0], [1], [2]]
+
+    def test_heavily_shared_results_merge(self):
+        problem = build_problem([[0, 1, 2], [0, 1, 3], [7, 8]])
+        groups = partition_results(problem, PartitionOptions(gamma=2.0))
+        assert [0, 1] in groups
+        assert [2] in groups
+
+    def test_gamma_inclusive(self):
+        # Results share exactly 2 tuples; gamma=2 merges (paper's example
+        # merges at weight == gamma).
+        problem = build_problem([[0, 1, 2], [0, 1, 3]])
+        merged = partition_results(problem, PartitionOptions(gamma=2.0))
+        assert merged == [[0, 1]]
+        kept = partition_results(problem, PartitionOptions(gamma=3.0))
+        assert sorted(kept) == [[0], [1]]
+
+    def test_transitive_merging(self):
+        # r0-r1 share 2 tuples, r1-r2 share 2 tuples: all merge.
+        problem = build_problem([[0, 1, 9], [0, 1, 2, 3], [2, 3, 8]])
+        groups = partition_results(problem, PartitionOptions(gamma=2.0))
+        assert groups == [[0, 1, 2]]
+
+    def test_summed_weights_after_merge(self):
+        # r0-r2 and r1-r2 each share 1 tuple; after merging r0+r1 (share 2),
+        # the group-to-r2 weight becomes 2 and r2 joins at gamma=2.
+        problem = build_problem([[0, 1, 4], [0, 1, 5], [4, 5]])
+        groups = partition_results(problem, PartitionOptions(gamma=2.0))
+        assert groups == [[0, 1, 2]]
+
+    def test_max_group_tuples_blocks_merge(self):
+        problem = build_problem([[0, 1, 2], [0, 1, 3]])
+        groups = partition_results(
+            problem, PartitionOptions(gamma=1.0, max_group_tuples=3)
+        )
+        # Merging would need 4 distinct tuples; the cap forbids it.
+        assert sorted(groups) == [[0], [1]]
+
+    def test_empty_problem(self):
+        problem = build_problem([[0]])
+        sub = problem.subproblem([], 0)
+        assert partition_results(sub) == []
+
+    def test_every_result_appears_exactly_once(self):
+        problem = build_problem(
+            [[0, 1], [1, 2], [2, 3], [5, 6], [6, 7], [9, 10]]
+        )
+        groups = partition_results(problem, PartitionOptions(gamma=1.0))
+        flattened = sorted(i for group in groups for i in group)
+        assert flattened == list(range(6))

@@ -1,0 +1,66 @@
+"""Unit tests for ResultSet convenience helpers (top-k, table rendering)."""
+
+import pytest
+
+from repro.sql import run_sql
+from repro.storage import Database, REAL, Schema, TEXT
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    table = database.create_table("t", Schema.of(("k", TEXT), ("v", REAL)))
+    for key, value, confidence in [
+        ("a", 1.0, 0.9),
+        ("b", 2.0, 0.3),
+        ("c", None, 0.6),
+        ("d", 4.0, 0.1),
+    ]:
+        table.insert([key, value], confidence=confidence)
+    return database
+
+
+class TestTopK:
+    def test_orders_by_confidence_desc(self, db):
+        result = run_sql(db, "SELECT k FROM t")
+        top = result.top_k_by_confidence(db, 2)
+        assert [row.values[0] for row, _ in top] == ["a", "c"]
+        assert [round(c, 1) for _, c in top] == [0.9, 0.6]
+
+    def test_k_larger_than_result(self, db):
+        result = run_sql(db, "SELECT k FROM t")
+        assert len(result.top_k_by_confidence(db, 99)) == 4
+
+    def test_k_zero_or_negative(self, db):
+        result = run_sql(db, "SELECT k FROM t")
+        assert result.top_k_by_confidence(db, 0) == []
+        assert result.top_k_by_confidence(db, -3) == []
+
+
+class TestToTable:
+    def test_renders_headers_and_nulls(self, db):
+        result = run_sql(db, "SELECT k, v FROM t ORDER BY k")
+        text = result.to_table()
+        lines = text.splitlines()
+        assert lines[0].split() == ["k", "v"]
+        assert "NULL" in text
+
+    def test_confidence_column_when_source_given(self, db):
+        result = run_sql(db, "SELECT k FROM t ORDER BY k")
+        text = result.to_table(db)
+        assert "confidence" in text.splitlines()[0]
+        assert "0.900" in text
+
+    def test_truncation(self, db):
+        for index in range(100):
+            db.table("t").insert([f"x{index}", float(index)])
+        result = run_sql(db, "SELECT k FROM t")
+        text = result.to_table(max_rows=5)
+        assert "rows total" in text
+        assert len(text.splitlines()) == 8  # header + rule + 5 rows + marker
+
+    def test_empty_result(self, db):
+        result = run_sql(db, "SELECT k FROM t WHERE v > 99")
+        text = result.to_table(db)
+        assert text.splitlines()[0].startswith("k")
+        assert len(text.splitlines()) == 2

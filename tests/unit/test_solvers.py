@@ -1,0 +1,299 @@
+"""Unit tests for the three strategy-finding solvers (paper §4)."""
+
+import math
+
+import pytest
+
+from repro.cost import LinearCost
+from repro.errors import IncrementError, InfeasibleIncrementError
+from repro.increment import (
+    BaseTupleState,
+    DncOptions,
+    GreedyOptions,
+    HeuristicOptions,
+    IncrementProblem,
+    cost_beta,
+    solve_dnc,
+    solve_greedy,
+    solve_heuristic,
+)
+from repro.lineage import ConfidenceFunction, lineage_and, lineage_or, var
+from repro.storage import TupleId
+from repro.workload import WorkloadSpec, generate_problem
+
+A, B, C, D = (TupleId("t", i) for i in range(4))
+
+
+def simple_problem(threshold=0.5, required=1):
+    """Two results over three tuples with asymmetric costs."""
+    states = {
+        A: BaseTupleState(A, 0.1, LinearCost(1000.0)),  # expensive
+        B: BaseTupleState(B, 0.1, LinearCost(100.0)),
+        C: BaseTupleState(C, 0.1, LinearCost(10.0)),  # cheap
+    }
+    results = [
+        ConfidenceFunction(lineage_or(var(A), var(C)), "r0"),
+        ConfidenceFunction(lineage_and(var(B), var(C)), "r1"),
+    ]
+    return IncrementProblem(results, states, threshold, required, delta=0.1)
+
+
+ALL_SOLVERS = [
+    ("heuristic", lambda p: solve_heuristic(p)),
+    ("greedy", lambda p: solve_greedy(p)),
+    ("dnc", lambda p: solve_dnc(p)),
+]
+
+
+class TestAllSolversAgreeOnBasics:
+    @pytest.mark.parametrize("name,solve", ALL_SOLVERS)
+    def test_trivial_problem_returns_empty_plan(self, name, solve):
+        states = {A: BaseTupleState(A, 0.9, LinearCost(10.0))}
+        problem = IncrementProblem([ConfidenceFunction(var(A))], states, 0.5, 1)
+        plan = solve(problem)
+        assert plan.total_cost == 0.0
+        assert plan.targets == {}
+        assert plan.satisfied_results == (0,)
+
+    @pytest.mark.parametrize("name,solve", ALL_SOLVERS)
+    def test_plan_actually_satisfies(self, name, solve):
+        problem = simple_problem()
+        plan = solve(problem)
+        assignment = problem.initial_assignment()
+        assignment.update(plan.targets)
+        assert problem.satisfied_count(assignment) >= problem.required_count
+
+    @pytest.mark.parametrize("name,solve", ALL_SOLVERS)
+    def test_reported_cost_matches_targets(self, name, solve):
+        problem = simple_problem()
+        plan = solve(problem)
+        recomputed = sum(
+            problem.tuples[tid].cost_to(target)
+            for tid, target in plan.targets.items()
+        )
+        assert plan.total_cost == pytest.approx(recomputed)
+
+    @pytest.mark.parametrize("name,solve", ALL_SOLVERS)
+    def test_infeasible_raises(self, name, solve):
+        states = {
+            A: BaseTupleState(A, 0.1, LinearCost(1.0, max_confidence=0.3))
+        }
+        problem = IncrementProblem([ConfidenceFunction(var(A))], states, 0.9, 1)
+        with pytest.raises(InfeasibleIncrementError):
+            solve(problem)
+
+    @pytest.mark.parametrize("name,solve", ALL_SOLVERS)
+    def test_respects_max_confidence_caps(self, name, solve):
+        states = {
+            A: BaseTupleState(A, 0.1, LinearCost(10.0, max_confidence=0.7)),
+            B: BaseTupleState(B, 0.1, LinearCost(10.0, max_confidence=0.7)),
+        }
+        problem = IncrementProblem(
+            [ConfidenceFunction(lineage_or(var(A), var(B)))], states, 0.8, 1
+        )
+        plan = solve(problem)
+        for tid, target in plan.targets.items():
+            assert target <= states[tid].maximum + 1e-9
+
+
+class TestHeuristicSolver:
+    def test_optimal_on_paper_example(self, paper_increment_problem):
+        problem, refs = paper_increment_problem
+        plan = solve_heuristic(problem)
+        assert plan.total_cost == pytest.approx(10.0)
+
+    def test_optimal_beats_or_ties_approximations(self):
+        for seed in range(5):
+            spec = WorkloadSpec(
+                data_size=8, tuples_per_result=4, theta=0.5, threshold=0.5
+            )
+            problem = generate_problem(spec, seed=seed).problem
+            exact = solve_heuristic(problem)
+            greedy = solve_greedy(problem)
+            dnc = solve_dnc(problem)
+            assert exact.total_cost <= greedy.total_cost + 1e-6
+            assert exact.total_cost <= dnc.total_cost + 1e-6
+
+    def test_all_heuristics_preserve_optimality(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=8, tuples_per_result=4, threshold=0.5),
+            seed=11,
+        ).problem
+        baseline = solve_heuristic(problem, HeuristicOptions.naive())
+        for name in ("h1", "h2", "h3", "h4"):
+            plan = solve_heuristic(problem, HeuristicOptions.only(name))
+            assert plan.total_cost == pytest.approx(baseline.total_cost)
+        full = solve_heuristic(problem)
+        assert full.total_cost == pytest.approx(baseline.total_cost)
+
+    def test_heuristics_prune_nodes(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=10, tuples_per_result=5, threshold=0.5),
+            seed=2,
+        ).problem
+        naive = solve_heuristic(problem, HeuristicOptions.naive())
+        full = solve_heuristic(problem)
+        assert full.stats.nodes_explored <= naive.stats.nodes_explored
+
+    def test_node_limit_degrades_gracefully(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=10, tuples_per_result=5, threshold=0.5),
+            seed=2,
+        ).problem
+        unlimited = solve_heuristic(problem, HeuristicOptions.naive())
+        limited = solve_heuristic(
+            problem,
+            HeuristicOptions(
+                use_h1=False,
+                use_h2=False,
+                use_h3=False,
+                use_h4=False,
+                node_limit=unlimited.stats.nodes_explored // 2,
+            ),
+        )
+        assert not limited.stats.completed
+        assert limited.total_cost >= unlimited.total_cost - 1e-9
+
+    def test_upper_bound_below_optimum_raises(self, paper_increment_problem):
+        problem, _refs = paper_increment_problem
+        with pytest.raises(IncrementError):
+            solve_heuristic(problem, HeuristicOptions(initial_upper_bound=5.0))
+
+    def test_unknown_heuristic_name(self):
+        with pytest.raises(IncrementError):
+            HeuristicOptions.only("h9")
+
+    def test_cost_beta_prefers_cheap_effective_tuples(self):
+        problem = simple_problem()
+        # C is cheap and can satisfy r0 alone; A is expensive.
+        assert cost_beta(problem, C) < cost_beta(problem, A)
+
+    def test_cost_beta_penalises_unreachable(self):
+        states = {
+            A: BaseTupleState(A, 0.1, LinearCost(10.0)),
+            B: BaseTupleState(B, 0.1, LinearCost(10.0)),
+        }
+        problem = IncrementProblem(
+            [ConfidenceFunction(lineage_and(var(A), var(B)))], states, 0.9, 1
+        )
+        # Neither tuple alone can push the AND above 0.9.
+        score = cost_beta(problem, A)
+        assert math.isfinite(score)
+        assert score > states[A].cost_to(1.0)
+
+
+class TestGreedySolver:
+    def test_two_phase_never_worse_than_one_phase(self):
+        for seed in range(5):
+            problem = generate_problem(
+                WorkloadSpec(data_size=40, tuples_per_result=4, threshold=0.5),
+                seed=seed,
+            ).problem
+            one = solve_greedy(problem, GreedyOptions(two_phase=False))
+            two = solve_greedy(problem, GreedyOptions(two_phase=True))
+            assert two.total_cost <= one.total_cost + 1e-6
+
+    def test_full_and_incremental_modes_agree(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=30, tuples_per_result=3, threshold=0.5),
+            seed=4,
+        ).problem
+        incremental = solve_greedy(problem, GreedyOptions(recompute="incremental"))
+        full = solve_greedy(problem, GreedyOptions(recompute="full"))
+        assert incremental.total_cost == pytest.approx(full.total_cost)
+
+    def test_gain_scope_all_still_satisfies(self):
+        problem = simple_problem()
+        plan = solve_greedy(problem, GreedyOptions(gain_scope="all"))
+        assignment = problem.initial_assignment()
+        assignment.update(plan.targets)
+        assert problem.satisfied_count(assignment) >= 1
+
+    def test_invalid_options(self):
+        with pytest.raises(IncrementError):
+            GreedyOptions(gain_scope="bogus")
+        with pytest.raises(IncrementError):
+            GreedyOptions(recompute="bogus")
+
+    def test_phase2_reductions_counted(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=60, tuples_per_result=4, threshold=0.5),
+            seed=9,
+        ).problem
+        plan = solve_greedy(problem)
+        assert plan.stats.phase2_reductions >= 0
+        assert plan.stats.gain_evaluations > 0
+
+    def test_prefers_cheap_tuple(self):
+        # One result (A OR C): C costs 10/unit, A costs 1000/unit.
+        states = {
+            A: BaseTupleState(A, 0.1, LinearCost(1000.0)),
+            C: BaseTupleState(C, 0.1, LinearCost(10.0)),
+        }
+        problem = IncrementProblem(
+            [ConfidenceFunction(lineage_or(var(A), var(C)))], states, 0.6, 1
+        )
+        plan = solve_greedy(problem)
+        assert set(plan.targets) == {C}
+
+
+class TestDncSolver:
+    def test_satisfies_requirement(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=100, tuples_per_result=5, threshold=0.5),
+            seed=6,
+        ).problem
+        plan = solve_dnc(problem)
+        assignment = problem.initial_assignment()
+        assignment.update(plan.targets)
+        assert problem.satisfied_count(assignment) >= problem.required_count
+
+    def test_paper_allocation_mode(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=60, tuples_per_result=4, threshold=0.5),
+            seed=6,
+        ).problem
+        plan = solve_dnc(problem, DncOptions(allocation="paper"))
+        assignment = problem.initial_assignment()
+        assignment.update(plan.targets)
+        assert problem.satisfied_count(assignment) >= problem.required_count
+
+    def test_refinement_reduces_or_keeps_cost(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=80, tuples_per_result=4, threshold=0.5),
+            seed=3,
+        ).problem
+        unrefined = solve_dnc(problem, DncOptions(refine=False))
+        refined = solve_dnc(problem, DncOptions(refine=True))
+        assert refined.total_cost <= unrefined.total_cost + 1e-6
+
+    def test_group_count_reported(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=100, tuples_per_result=5, threshold=0.5),
+            seed=6,
+        ).problem
+        plan = solve_dnc(problem)
+        assert plan.stats.groups >= 1
+
+    def test_invalid_allocation(self):
+        with pytest.raises(IncrementError):
+            DncOptions(allocation="bogus")
+
+    def test_tau_zero_disables_exact_refinement(self):
+        problem = generate_problem(
+            WorkloadSpec(data_size=50, tuples_per_result=4, threshold=0.5),
+            seed=5,
+        ).problem
+        plan = solve_dnc(problem, DncOptions(tau=0))
+        assignment = problem.initial_assignment()
+        assignment.update(plan.targets)
+        assert problem.satisfied_count(assignment) >= problem.required_count
+
+
+class TestPlanDescription:
+    def test_describe_mentions_targets(self, paper_increment_problem):
+        problem, _refs = paper_increment_problem
+        plan = solve_heuristic(problem)
+        text = plan.describe(problem)
+        assert "cost=10.00" in text
+        assert "->" in text

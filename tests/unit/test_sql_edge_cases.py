@@ -1,0 +1,221 @@
+"""Edge-case tests across the SQL engine: self-joins, NULL handling,
+nested derived tables, implicit joins, and lineage subtleties."""
+
+import pytest
+
+from repro.lineage import And, Var
+from repro.sql import run_sql
+from repro.storage import Database, INTEGER, REAL, Schema, TEXT
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    emp = database.create_table(
+        "emp",
+        Schema.of(("name", TEXT), ("boss", TEXT), ("salary", REAL)),
+    )
+    for name, boss, salary, conf in [
+        ("ann", None, 100.0, 0.9),
+        ("bob", "ann", 80.0, 0.8),
+        ("cat", "ann", 70.0, 0.7),
+        ("dan", "bob", 60.0, 0.6),
+    ]:
+        emp.insert([name, boss, salary], confidence=conf)
+    return database
+
+
+class TestSelfJoin:
+    def test_self_join_with_aliases(self, db):
+        result = run_sql(
+            db,
+            "SELECT e.name, m.name FROM emp e JOIN emp m ON e.boss = m.name",
+        )
+        pairs = sorted(result.values())
+        assert pairs == [("bob", "ann"), ("cat", "ann"), ("dan", "bob")]
+
+    def test_self_join_lineage_is_conjunction_of_two_tuples(self, db):
+        result = run_sql(
+            db,
+            "SELECT e.name FROM emp e JOIN emp m ON e.boss = m.name "
+            "WHERE e.name = 'dan'",
+        )
+        lineage = result.rows[0].lineage
+        assert isinstance(lineage, And)
+        assert len(lineage.variables) == 2  # dan's row AND bob's row
+
+    def test_tuple_joined_with_itself_collapses(self, db):
+        # name = boss never holds here; build one where it does.
+        table = db.create_table("loop", Schema.of(("a", TEXT), ("b", TEXT)))
+        table.insert(["x", "x"], confidence=0.5)
+        result = run_sql(
+            db, "SELECT l.a FROM loop l JOIN loop r ON l.a = r.b"
+        )
+        # AND(v, v) simplifies to v: confidence is 0.5, not 0.25.
+        assert isinstance(result.rows[0].lineage, Var)
+        assert result.confidences(db) == [0.5]
+
+
+class TestNullHandling:
+    def test_null_join_key_never_matches(self, db):
+        result = run_sql(
+            db, "SELECT e.name FROM emp e JOIN emp m ON e.boss = m.name"
+        )
+        assert all(row.values[0] != "ann" for row in result)
+
+    def test_is_null_finds_root(self, db):
+        result = run_sql(db, "SELECT name FROM emp WHERE boss IS NULL")
+        assert result.values() == [("ann",)]
+
+    def test_left_join_null_padding_filterable(self, db):
+        result = run_sql(
+            db,
+            "SELECT e.name, m.salary FROM emp e "
+            "LEFT JOIN emp m ON e.boss = m.name "
+            "WHERE m.salary IS NULL",
+        )
+        names = {row.values[0] for row in result}
+        assert "ann" in names
+
+    def test_count_star_vs_count_column(self, db):
+        result = run_sql(db, "SELECT COUNT(*), COUNT(boss) FROM emp")
+        assert result.rows[0].values == (4, 3)
+
+    def test_order_by_with_nulls(self, db):
+        result = run_sql(db, "SELECT boss FROM emp ORDER BY boss")
+        assert result.rows[0].values[0] is None  # NULLs first ascending
+        result = run_sql(db, "SELECT boss FROM emp ORDER BY boss DESC")
+        assert result.rows[-1].values[0] is None  # NULLs last descending
+
+
+class TestNestedQueries:
+    def test_doubly_nested_derived_table(self, db):
+        result = run_sql(
+            db,
+            "SELECT outerq.name FROM ("
+            "  SELECT innerq.name FROM ("
+            "    SELECT name, salary FROM emp WHERE salary > 65"
+            "  ) innerq WHERE innerq.salary < 90"
+            ") outerq",
+        )
+        assert sorted(row.values[0] for row in result) == ["bob", "cat"]
+
+    def test_aggregate_over_derived_table(self, db):
+        result = run_sql(
+            db,
+            "SELECT COUNT(*) FROM "
+            "(SELECT DISTINCT boss FROM emp WHERE boss IS NOT NULL) bosses",
+        )
+        assert result.rows[0].values == (2,)
+
+    def test_join_of_two_derived_tables(self, db):
+        result = run_sql(
+            db,
+            "SELECT a.name FROM "
+            "(SELECT name FROM emp WHERE salary > 75) a JOIN "
+            "(SELECT name FROM emp WHERE salary < 85) b ON a.name = b.name",
+        )
+        assert result.values() == [("bob",)]
+
+    def test_union_of_derived(self, db):
+        result = run_sql(
+            db,
+            "SELECT name FROM emp WHERE salary > 90 "
+            "UNION SELECT boss FROM emp WHERE boss IS NOT NULL",
+        )
+        assert sorted(row.values[0] for row in result) == ["ann", "bob"]
+
+
+class TestImplicitJoin:
+    def test_comma_join_with_where_behaves_like_inner(self, db):
+        implicit = run_sql(
+            db,
+            "SELECT e.name, m.name FROM emp e, emp m WHERE e.boss = m.name",
+        )
+        explicit = run_sql(
+            db,
+            "SELECT e.name, m.name FROM emp e JOIN emp m ON e.boss = m.name",
+        )
+        assert sorted(implicit.values()) == sorted(explicit.values())
+
+    def test_implicit_join_lineage_matches_explicit(self, db):
+        implicit = run_sql(
+            db,
+            "SELECT e.name FROM emp e, emp m "
+            "WHERE e.boss = m.name AND e.name = 'dan'",
+        )
+        explicit = run_sql(
+            db,
+            "SELECT e.name FROM emp e JOIN emp m ON e.boss = m.name "
+            "WHERE e.name = 'dan'",
+        )
+        assert implicit.rows[0].lineage == explicit.rows[0].lineage
+
+
+class TestExpressionsInSql:
+    def test_arithmetic_in_where(self, db):
+        result = run_sql(db, "SELECT name FROM emp WHERE salary * 2 > 150")
+        assert sorted(row.values[0] for row in result) == ["ann", "bob"]
+
+    def test_string_escape_roundtrip(self, db):
+        table = db.create_table("notes", Schema.of(("text", TEXT)))
+        table.insert(["it's fine"])
+        result = run_sql(db, "SELECT text FROM notes WHERE text = 'it''s fine'")
+        assert len(result) == 1
+
+    def test_not_in(self, db):
+        result = run_sql(
+            db, "SELECT name FROM emp WHERE name NOT IN ('ann', 'bob')"
+        )
+        assert sorted(row.values[0] for row in result) == ["cat", "dan"]
+
+    def test_between_in_where(self, db):
+        result = run_sql(
+            db, "SELECT name FROM emp WHERE salary BETWEEN 65 AND 85"
+        )
+        assert sorted(row.values[0] for row in result) == ["bob", "cat"]
+
+    def test_case_insensitive_keywords_and_columns(self, db):
+        result = run_sql(db, "select NAME from EMP where SALARY > 90")
+        assert result.values() == [("ann",)]
+
+    def test_unary_minus_in_comparison(self, db):
+        result = run_sql(db, "SELECT name FROM emp WHERE -salary < -90")
+        assert result.values() == [("ann",)]
+
+    def test_function_in_projection(self, db):
+        result = run_sql(db, "SELECT UPPER(name) AS loud FROM emp WHERE salary > 90")
+        assert result.values() == [("ANN",)]
+
+
+class TestConfidenceThroughComplexQueries:
+    def test_distinct_union_chain_confidence_monotone(self, db):
+        base = run_sql(db, "SELECT boss FROM emp WHERE boss IS NOT NULL")
+        merged = run_sql(
+            db, "SELECT DISTINCT boss FROM emp WHERE boss IS NOT NULL"
+        )
+        best: dict[str, float] = {}
+        for row, confidence in base.with_confidences(db):
+            key = row.values[0]
+            best[key] = max(best.get(key, 0.0), confidence)
+        for row, confidence in merged.with_confidences(db):
+            assert confidence >= best[row.values[0]] - 1e-9
+
+    def test_aggregate_group_confidence(self, db):
+        result = run_sql(
+            db,
+            "SELECT boss, COUNT(*) FROM emp WHERE boss IS NOT NULL GROUP BY boss",
+        )
+        confidences = {
+            row.values[0]: confidence
+            for row, confidence in result.with_confidences(db)
+        }
+        # ann group: bob (0.8) OR cat (0.7) => 1 - 0.2*0.3 = 0.94
+        assert confidences["ann"] == pytest.approx(0.94)
+        assert confidences["bob"] == pytest.approx(0.6)
+
+    def test_integer_schema_widening_through_union(self, db):
+        ints = db.create_table("ints", Schema.of(("v", INTEGER)))
+        ints.insert([3])
+        result = run_sql(db, "SELECT v FROM ints UNION ALL SELECT salary FROM emp")
+        assert all(isinstance(row.values[0], float) for row in result)

@@ -1,0 +1,163 @@
+"""Unit tests for repro.storage tables, tuples and indexes."""
+
+import pytest
+
+from repro.cost import LinearCost, LogarithmicCost
+from repro.errors import (
+    InvalidConfidenceError,
+    SchemaError,
+    UnknownTupleError,
+)
+from repro.storage import REAL, Schema, Table, TEXT, TupleId
+from repro.storage.tuples import StoredTuple
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table("t", Schema.of(("name", TEXT), ("value", REAL)))
+
+
+class TestTupleId:
+    def test_string_roundtrip(self):
+        tid = TupleId("Proposal", 2)
+        assert str(tid) == "Proposal:2"
+        assert TupleId.parse("Proposal:2") == tid
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TupleId.parse("nocolon")
+        with pytest.raises(ValueError):
+            TupleId.parse("t:notanumber")
+
+    def test_ordering(self):
+        assert TupleId("a", 1) < TupleId("a", 2) < TupleId("b", 0)
+
+
+class TestStoredTuple:
+    def test_confidence_validated(self):
+        with pytest.raises(InvalidConfidenceError):
+            StoredTuple(TupleId("t", 0), ("x",), confidence=1.5)
+
+    def test_confidence_above_cap_rejected(self):
+        model = LinearCost(10.0, max_confidence=0.8)
+        with pytest.raises(InvalidConfidenceError):
+            StoredTuple(TupleId("t", 0), ("x",), confidence=0.9, cost_model=model)
+
+    def test_set_confidence_respects_cap(self):
+        model = LinearCost(10.0, max_confidence=0.8)
+        row = StoredTuple(TupleId("t", 0), ("x",), confidence=0.5, cost_model=model)
+        row.set_confidence(0.8)
+        assert row.confidence == 0.8
+        with pytest.raises(InvalidConfidenceError):
+            row.set_confidence(0.9)
+
+    def test_improvement_cost_delegates_to_model(self):
+        row = StoredTuple(
+            TupleId("t", 0), ("x",), confidence=0.3, cost_model=LinearCost(100.0)
+        )
+        assert row.improvement_cost(0.5) == pytest.approx(20.0)
+
+    def test_sequence_protocol(self):
+        row = StoredTuple(TupleId("t", 0), ("a", 2.0))
+        assert len(row) == 2
+        assert row[0] == "a"
+        assert list(row) == ["a", 2.0]
+
+
+class TestTableInsert:
+    def test_insert_assigns_sequential_ids(self, table):
+        first = table.insert(["a", 1.0])
+        second = table.insert(["b", 2.0])
+        assert first == TupleId("t", 0)
+        assert second == TupleId("t", 1)
+        assert len(table) == 2
+
+    def test_insert_validates_arity(self, table):
+        with pytest.raises(SchemaError):
+            table.insert(["only-one"])
+
+    def test_insert_validates_types(self, table):
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            table.insert(["a", "not-a-number"])
+
+    def test_insert_widens_int_for_real(self, table):
+        tid = table.insert(["a", 3])
+        assert table.get(tid).values == ("a", 3.0)
+
+    def test_insert_many(self, table):
+        ids = table.insert_many([["a", 1.0], ["b", 2.0]], confidence=0.5)
+        assert len(ids) == 2
+        assert all(table.confidence_of(tid) == 0.5 for tid in ids)
+
+    def test_not_null_enforced(self):
+        from repro.storage import Column
+
+        table = Table("t", Schema([Column("x", TEXT, nullable=False)]))
+        with pytest.raises(SchemaError):
+            table.insert([None])
+
+    def test_ids_stable_across_deletes(self, table):
+        first = table.insert(["a", 1.0])
+        table.insert(["b", 2.0])
+        table.delete(first)
+        third = table.insert(["c", 3.0])
+        assert third == TupleId("t", 2)
+
+
+class TestTableAccess:
+    def test_get_unknown_raises(self, table):
+        with pytest.raises(UnknownTupleError):
+            table.get(TupleId("t", 99))
+
+    def test_get_wrong_table_raises(self, table):
+        table.insert(["a", 1.0])
+        with pytest.raises(UnknownTupleError):
+            table.get(TupleId("other", 0))
+
+    def test_scan_in_insertion_order(self, table):
+        table.insert(["b", 2.0])
+        table.insert(["a", 1.0])
+        assert table.rows() == [("b", 2.0), ("a", 1.0)]
+
+    def test_set_confidence(self, table):
+        tid = table.insert(["a", 1.0], confidence=0.2)
+        table.set_confidence(tid, 0.7)
+        assert table.confidence_of(tid) == 0.7
+
+    def test_assign_confidences(self, table):
+        table.insert(["a", 1.0])
+        table.insert(["b", 2.0])
+        table.assign_confidences(lambda row: 0.25)
+        assert all(row.confidence == 0.25 for row in table.scan())
+
+
+class TestTableIndex:
+    def test_lookup_without_index(self, table):
+        table.insert(["a", 1.0])
+        table.insert(["b", 2.0])
+        table.insert(["a", 3.0])
+        matches = table.lookup("name", "a")
+        assert [row.values[1] for row in matches] == [1.0, 3.0]
+
+    def test_index_backfills_existing_rows(self, table):
+        table.insert(["a", 1.0])
+        table.create_index("name")
+        table.insert(["a", 2.0])
+        assert len(table.lookup("name", "a")) == 2
+        assert table.index_on("name") is not None
+
+    def test_index_updates_on_delete(self, table):
+        tid = table.insert(["a", 1.0])
+        table.create_index("name")
+        table.delete(tid)
+        assert table.lookup("name", "a") == []
+
+    def test_create_index_idempotent(self, table):
+        table.create_index("name")
+        table.create_index("name")
+        assert table.index_on("name") is not None
+
+    def test_index_on_unknown_column_returns_none(self, table):
+        assert table.index_on("missing") is None

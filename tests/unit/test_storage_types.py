@@ -1,0 +1,92 @@
+"""Unit tests for repro.storage.types."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.types import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    TEXT,
+    coerce_value,
+    common_type,
+    is_comparable,
+)
+
+
+class TestCoerceValue:
+    def test_null_passes_any_type(self):
+        for dtype in (INTEGER, REAL, TEXT, BOOLEAN):
+            assert coerce_value(None, dtype) is None
+
+    def test_integer_accepts_int(self):
+        assert coerce_value(42, INTEGER) == 42
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(4.2, INTEGER)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, INTEGER)
+
+    def test_real_widens_int_to_float(self):
+        value = coerce_value(3, REAL)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_real_accepts_float(self):
+        assert coerce_value(3.5, REAL) == 3.5
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, REAL)
+
+    def test_real_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("3.5", REAL)
+
+    def test_text_accepts_str(self):
+        assert coerce_value("hello", TEXT) == "hello"
+
+    def test_text_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5, TEXT)
+
+    def test_boolean_accepts_bool(self):
+        assert coerce_value(False, BOOLEAN) is False
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(1, BOOLEAN)
+
+
+class TestComparability:
+    def test_same_type_comparable(self):
+        for dtype in (INTEGER, REAL, TEXT, BOOLEAN):
+            assert is_comparable(dtype, dtype)
+
+    def test_numeric_cross_comparable(self):
+        assert is_comparable(INTEGER, REAL)
+        assert is_comparable(REAL, INTEGER)
+
+    def test_text_not_comparable_with_numeric(self):
+        assert not is_comparable(TEXT, INTEGER)
+        assert not is_comparable(BOOLEAN, INTEGER)
+
+
+class TestCommonType:
+    def test_integer_pair(self):
+        assert common_type(INTEGER, INTEGER) is INTEGER
+
+    def test_mixed_numeric_widens(self):
+        assert common_type(INTEGER, REAL) is REAL
+        assert common_type(REAL, INTEGER) is REAL
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(TEXT, INTEGER)
+
+    def test_is_numeric_property(self):
+        assert INTEGER.is_numeric and REAL.is_numeric
+        assert not TEXT.is_numeric and not BOOLEAN.is_numeric

@@ -1,0 +1,121 @@
+"""Unit tests for SQL views."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateTableError,
+    PlanError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.sql import execute_sql, run_sql
+from repro.storage import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    execute_sql(database, "CREATE TABLE sales (region TEXT, amt REAL)")
+    execute_sql(
+        database,
+        "INSERT INTO sales VALUES ('east', 10.0), ('east', 20.0), "
+        "('west', 5.0) WITH CONFIDENCE 0.8",
+    )
+    execute_sql(
+        database,
+        "CREATE VIEW east_sales AS SELECT region, amt FROM sales "
+        "WHERE region = 'east'",
+    )
+    return database
+
+
+class TestViewBasics:
+    def test_select_through_view(self, db):
+        result = run_sql(db, "SELECT amt FROM east_sales ORDER BY amt")
+        assert result.values() == [(10.0,), (20.0,)]
+
+    def test_view_preserves_lineage_confidence(self, db):
+        result = run_sql(db, "SELECT amt FROM east_sales")
+        assert result.confidences(db) == [0.8, 0.8]
+
+    def test_view_columns_qualified_by_view_name(self, db):
+        result = run_sql(db, "SELECT east_sales.amt FROM east_sales")
+        assert len(result) == 2
+
+    def test_view_with_alias(self, db):
+        result = run_sql(db, "SELECT e.amt FROM east_sales e WHERE e.amt > 15")
+        assert result.values() == [(20.0,)]
+
+    def test_view_reflects_base_table_changes(self, db):
+        execute_sql(db, "INSERT INTO sales VALUES ('east', 99.0)")
+        result = run_sql(db, "SELECT COUNT(*) FROM east_sales")
+        assert result.rows[0].values == (3,)
+
+    def test_view_over_view(self, db):
+        execute_sql(
+            db, "CREATE VIEW big_east AS SELECT amt FROM east_sales WHERE amt > 15"
+        )
+        assert run_sql(db, "SELECT amt FROM big_east").values() == [(20.0,)]
+
+    def test_join_view_with_table(self, db):
+        result = run_sql(
+            db,
+            "SELECT v.amt FROM east_sales v JOIN sales s ON v.amt = s.amt",
+        )
+        assert sorted(result.values()) == [(10.0,), (20.0,)]
+
+    def test_aggregate_over_view(self, db):
+        result = run_sql(db, "SELECT SUM(amt) FROM east_sales")
+        assert result.rows[0].values == (30.0,)
+
+
+class TestViewCatalog:
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(DuplicateTableError):
+            execute_sql(db, "CREATE VIEW sales AS SELECT 1 FROM sales")
+        with pytest.raises(DuplicateTableError):
+            execute_sql(
+                db, "CREATE VIEW east_sales AS SELECT region FROM sales"
+            )
+
+    def test_invalid_definition_not_registered(self, db):
+        with pytest.raises(UnknownColumnError):
+            execute_sql(db, "CREATE VIEW bad AS SELECT nope FROM sales")
+        assert db.view_definition("bad") is None
+
+    def test_drop_view(self, db):
+        execute_sql(db, "DROP VIEW east_sales")
+        with pytest.raises(UnknownTableError):
+            run_sql(db, "SELECT * FROM east_sales")
+
+    def test_drop_unknown_view(self, db):
+        with pytest.raises(UnknownTableError):
+            execute_sql(db, "DROP VIEW missing")
+
+    def test_drop_table_does_not_drop_view(self, db):
+        with pytest.raises(UnknownTableError):
+            execute_sql(db, "DROP TABLE east_sales")
+
+    def test_view_names_listed(self, db):
+        assert db.view_names() == ["east_sales"]
+
+    def test_definition_text_stored(self, db):
+        definition = db.view_definition("East_Sales")
+        assert definition is not None
+        assert definition.startswith("SELECT region, amt FROM sales")
+
+
+class TestViewCycles:
+    def test_mutual_recursion_detected(self, db):
+        # Create a valid view, then re-point its target to form a cycle via
+        # direct catalog manipulation (SQL validation would block this).
+        db.create_view("v1", "SELECT amt FROM v2")
+        db.create_view("v2", "SELECT amt FROM v1")
+        with pytest.raises(PlanError) as excinfo:
+            run_sql(db, "SELECT * FROM v1")
+        assert "cycle" in str(excinfo.value)
+
+    def test_self_reference_detected(self, db):
+        db.create_view("loop", "SELECT amt FROM loop")
+        with pytest.raises(PlanError):
+            run_sql(db, "SELECT * FROM loop")
