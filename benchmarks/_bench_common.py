@@ -19,6 +19,8 @@ rows/series alongside pytest-benchmark's timing table.
 from __future__ import annotations
 
 import os
+import platform
+import sys
 from collections import defaultdict
 from functools import lru_cache
 
@@ -26,6 +28,21 @@ from repro.increment import IncrementProblem
 from repro.workload import WorkloadSpec, generate_problem
 
 FULL_PROFILE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Version of the ``--json`` output layout; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+def environment_info() -> dict:
+    """Provenance block for machine-readable benchmark output."""
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": sys.executable,
+        "full_profile": FULL_PROFILE,
+    }
 
 #: figure id -> list of row dicts, printed in the terminal summary.
 SERIES: dict[str, list[dict]] = defaultdict(list)

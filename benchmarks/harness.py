@@ -9,11 +9,13 @@ Usage:
     python benchmarks/harness.py                 # scaled-down default profile
     REPRO_BENCH_FULL=1 python benchmarks/harness.py   # paper-scale sizes
     python benchmarks/harness.py --only fig11a fig11e
+    python benchmarks/harness.py --json results.json  # machine-readable output
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -25,6 +27,8 @@ from _bench_common import (
     GREEDY_SIZES,
     HEURISTIC_MAX_SIZE,
     SCALE_SIZES,
+    SCHEMA_VERSION,
+    environment_info,
     format_series,
     greedy_sweep_problem,
     heuristic_problem,
@@ -224,17 +228,37 @@ def main(argv: list[str] | None = None) -> None:
         choices=sorted(PANELS),
         help="run only the listed panels (default: all)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write series + metrics snapshot + environment as JSON",
+    )
     args = parser.parse_args(argv)
     chosen = args.only or list(PANELS)
+    panel_seconds: dict[str, float] = {}
     for name in chosen:
         started = time.perf_counter()
         print(f"running {name} ...", file=sys.stderr)
         PANELS[name](args)
-        print(
-            f"  {name} done in {time.perf_counter() - started:.1f}s",
-            file=sys.stderr,
-        )
+        panel_seconds[name] = time.perf_counter() - started
+        print(f"  {name} done in {panel_seconds[name]:.1f}s", file=sys.stderr)
     print(format_series())
+    if args.json:
+        from repro.obs import get_metrics
+
+        from _bench_common import SERIES
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "environment": environment_info(),
+            "panel_seconds": panel_seconds,
+            "series": dict(SERIES),
+            "metrics": get_metrics().snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
 
 
 if __name__ == "__main__":

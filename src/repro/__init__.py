@@ -19,6 +19,8 @@ Data Confidence Policies* (SDM @ VLDB 2009), and every substrate it needs:
   (exact branch-and-bound with heuristics H1–H4, two-phase greedy,
   divide-and-conquer over a partitioned result graph);
 * :mod:`repro.core` — the PCQE engine tying it all together;
+* :mod:`repro.obs` — tracing spans, metrics, and profiling for every
+  stage above (see ``docs/OBSERVABILITY.md``);
 * :mod:`repro.workload` — the §5.1 synthetic-workload generator and the
   paper's running example as ready-made scenarios.
 
@@ -37,6 +39,7 @@ Quickstart::
     print(result.status, result.rows)
 """
 
+from . import obs
 from .core import (
     CostQuote,
     PCQEngine,
@@ -61,5 +64,6 @@ __all__ = [
     "Schema",
     "TupleId",
     "ReproError",
+    "obs",
     "__version__",
 ]

@@ -32,10 +32,13 @@ workloads are small and strategy finding, not scan throughput, dominates.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Any, Callable
 
 from ..errors import ExecutionError, PlanError
 from ..lineage.formula import TOP, Lineage, lineage_and, lineage_not, lineage_or, var
+from ..obs import TIMING_BUCKETS, get_metrics, get_tracer
 from ..storage.types import REAL, DataType
 from .expressions import ColumnRef, Comparison
 from .plan import (
@@ -56,13 +59,42 @@ from .rows import AnnotatedTuple, ResultSet
 
 __all__ = ["execute"]
 
+logger = logging.getLogger(__name__)
+
 
 def execute(plan: PlanNode) -> ResultSet:
-    """Run *plan* and return its annotated result set."""
+    """Run *plan* and return its annotated result set.
+
+    Each operator is instrumented: an ``algebra.<operator>`` span (when
+    tracing is enabled) nests naturally under its parent because handlers
+    recurse through this function, and per-operator call/row/time metrics
+    are always recorded — one update per operator, not per row.
+    """
+    operator = type(plan).__name__
     handler = _HANDLERS.get(type(plan))
     if handler is None:
-        raise PlanError(f"no executor for plan node {type(plan).__name__}")
-    return handler(plan)
+        raise PlanError(f"no executor for plan node {operator}")
+
+    tracer = get_tracer()
+    started = time.perf_counter()
+    if tracer.enabled:
+        with tracer.span(f"algebra.{operator.lower()}") as span:
+            result = handler(plan)
+            span.set_attribute("rows_emitted", len(result.rows))
+    else:
+        result = handler(plan)
+    elapsed = time.perf_counter() - started
+
+    metrics = get_metrics()
+    prefix = f"executor.{operator.lower()}"
+    metrics.counter(f"{prefix}.calls").inc()
+    metrics.counter(f"{prefix}.rows_emitted").inc(len(result.rows))
+    metrics.histogram(f"{prefix}.seconds", TIMING_BUCKETS).observe(elapsed)
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "%s emitted %d row(s) in %.6fs", operator, len(result.rows), elapsed
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------

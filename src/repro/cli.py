@@ -10,6 +10,7 @@ exploring the system without writing Python:
     sql SELECT Company FROM Proposal WHERE Funding < 1.0
     explain SELECT ...                  -- optimized plan tree
     profile Proposal                    -- confidence statistics
+    profile ask bob investment 1.0 SELECT ...  -- pipeline stage breakdown
     role add Manager [inherits Secretary]
     purpose add investment [under decision-making]
     user add bob Manager
@@ -22,6 +23,13 @@ Run ``python -m repro`` for the REPL, ``python -m repro -c "<command>"``
 for one-shot commands, or ``python -m repro script.pcqe`` to execute a
 command file.  Every command's implementation returns its output as a
 string (see :class:`CommandShell`), so the shell is fully unit-testable.
+
+Observability flags (before any command arguments):
+
+``--trace-out trace.jsonl``
+    Stream every span the session produces to a JSON-lines file.
+``--log-level debug``
+    Configure ``repro`` logging (see :func:`repro.obs.configure_logging`).
 """
 
 from __future__ import annotations
@@ -164,7 +172,12 @@ class CommandShell:
 
     def _cmd_profile(self, rest: str) -> str:
         if not rest:
-            raise CommandError("usage: profile <table>")
+            raise CommandError(
+                "usage: profile <table> | "
+                "profile ask <user> <purpose> <required-fraction> <SELECT ...>"
+            )
+        if rest.split(maxsplit=1)[0].lower() == "ask":
+            return self._profile_ask(rest.split(maxsplit=1)[1] if " " in rest else "")
         profile = table_confidence_profile(self.db.table(rest))
         if profile.count == 0:
             return f"{rest}: empty"
@@ -175,6 +188,13 @@ class CommandShell:
             f"max={profile.maximum:.3f}\n"
             f"histogram[0..1): {bars}"
         )
+
+    def _profile_ask(self, rest: str) -> str:
+        reply = self._run_pipeline(rest, profile=True)
+        lines = [f"status: {reply.status.value} (threshold {reply.threshold})"]
+        assert reply.profile is not None  # profile=True guarantees a report
+        lines.append(reply.profile.format())
+        return "\n".join(lines)
 
     # -- policy administration -------------------------------------------------
 
@@ -239,7 +259,7 @@ class CommandShell:
 
     # -- the pipeline -----------------------------------------------------------
 
-    def _cmd_ask(self, rest: str) -> str:
+    def _run_pipeline(self, rest: str, profile: bool = False):
         parts = rest.split(maxsplit=3)
         if len(parts) != 4:
             raise CommandError(
@@ -247,9 +267,13 @@ class CommandShell:
             )
         user, purpose, fraction_text, sql = parts
         engine = PCQEngine(self.db, self.policies, solver=self.solver)
-        reply = engine.execute(
-            QueryRequest(sql, purpose, float(fraction_text)), user=user
+        return engine.execute(
+            QueryRequest(sql, purpose, float(fraction_text), profile=profile),
+            user=user,
         )
+
+    def _cmd_ask(self, rest: str) -> str:
+        reply = self._run_pipeline(rest)
         lines = [
             f"status: {reply.status.value} (threshold {reply.threshold})"
         ]
@@ -295,6 +319,24 @@ class CommandShell:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = list(sys.argv[1:] if argv is None else argv)
+
+    trace_sink = None
+    while argv and argv[0] in ("--trace-out", "--log-level"):
+        flag = argv.pop(0)
+        if not argv:
+            print(f"error: {flag} requires a value", file=sys.stderr)
+            return 2
+        value = argv.pop(0)
+        if flag == "--trace-out":
+            from .obs import JsonLinesSink, get_tracer
+
+            trace_sink = JsonLinesSink(value)
+            get_tracer().add_sink(trace_sink)
+        else:
+            from .obs import configure_logging
+
+            configure_logging(level=value)
+
     shell = CommandShell()
 
     def run(line: str) -> int:
@@ -307,32 +349,39 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(output)
         return 0
 
-    if argv and argv[0] == "-c":
-        status = 0
-        for line in argv[1:]:
-            status |= run(line)
-        return status
-    if argv:
-        status = 0
-        for path in argv:
-            with open(path, encoding="utf-8") as handle:
-                for line in handle:
-                    status |= run(line)
-        return status
+    try:
+        if argv and argv[0] == "-c":
+            status = 0
+            for line in argv[1:]:
+                status |= run(line)
+            return status
+        if argv:
+            status = 0
+            for path in argv:
+                with open(path, encoding="utf-8") as handle:
+                    for line in handle:
+                        status |= run(line)
+            return status
 
-    print("PCQE shell — 'help' for commands, 'quit' to exit")
-    while True:
-        try:
-            line = input("pcqe> ")
-        except (EOFError, KeyboardInterrupt, BrokenPipeError):
-            break
-        if line.strip().lower() in ("quit", "exit"):
-            break
-        try:
-            run(line)
-        except BrokenPipeError:  # stdout closed (e.g. piped to head)
-            break
-    return 0
+        print("PCQE shell — 'help' for commands, 'quit' to exit")
+        while True:
+            try:
+                line = input("pcqe> ")
+            except (EOFError, KeyboardInterrupt, BrokenPipeError):
+                break
+            if line.strip().lower() in ("quit", "exit"):
+                break
+            try:
+                run(line)
+            except BrokenPipeError:  # stdout closed (e.g. piped to head)
+                break
+        return 0
+    finally:
+        if trace_sink is not None:
+            from .obs import get_tracer
+
+            get_tracer().remove_sink(trace_sink)
+            trace_sink.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI

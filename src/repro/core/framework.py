@@ -21,11 +21,13 @@ system, or a callback that asks a human / checks a budget.
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..algebra.rows import AnnotatedTuple, ResultSet
 from ..errors import InfeasibleIncrementError, ReproError
+from ..obs import ProfileReport, get_metrics, get_tracer, metrics_diff
 from ..increment import (
     DncOptions,
     GreedyOptions,
@@ -54,6 +56,8 @@ __all__ = [
 
 Solver = Callable[[IncrementProblem], IncrementPlan]
 
+logger = logging.getLogger(__name__)
+
 
 def make_solver(name: str, **options) -> Solver:
     """A solver callable from a name:
@@ -80,11 +84,17 @@ def make_solver(name: str, **options) -> Solver:
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """The user's input ``⟨Q, pu, perc⟩`` (§3.2)."""
+    """The user's input ``⟨Q, pu, perc⟩`` (§3.2).
+
+    ``profile=True`` additionally attaches a stage-by-stage
+    :class:`~repro.obs.ProfileReport` (timings, span tree, metrics moved)
+    to the returned :class:`PCQEResult`.
+    """
 
     sql: str
     purpose: str
     required_fraction: float = 1.0
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.required_fraction <= 1.0:
@@ -141,6 +151,8 @@ class PCQEResult:
     quote: CostQuote | None = None
     receipt: ImprovementReceipt | None = None
     raw_result: ResultSet | None = field(default=None, repr=False)
+    #: Stage breakdown, present when the request asked for ``profile=True``.
+    profile: ProfileReport | None = field(default=None, repr=False)
 
     @property
     def rows(self) -> list[tuple]:
@@ -180,59 +192,118 @@ class PCQEngine:
     # -- pipeline ----------------------------------------------------------
 
     def execute(self, request: QueryRequest, user: str) -> PCQEResult:
-        """Run the full Figure-1 pipeline for *user*'s request."""
-        result = run_sql(self.db, request.sql)
-        threshold = self.policies.threshold_for(user, request.purpose)
-        outcome = self._evaluator.apply_threshold(result, self.db, threshold)
+        """Run the full Figure-1 pipeline for *user*'s request.
 
-        if outcome.satisfies(request.required_fraction):
-            return PCQEResult(
-                status=QueryStatus.SATISFIED,
-                threshold=threshold,
-                released=list(outcome.released),
-                withheld_count=len(outcome.withheld),
-                outcome=outcome,
-                raw_result=result,
-            )
+        With ``request.profile`` set, spans for the run are captured (the
+        tracer is enabled for the duration if it was not already) and a
+        :class:`~repro.obs.ProfileReport` is attached to the result.
+        """
+        if not request.profile:
+            return self._execute_pipeline(request, user)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        before = metrics.snapshot()
+        with tracer.capture() as sink:
+            result = self._execute_pipeline(request, user)
+        result.profile = ProfileReport.from_spans(
+            sink.spans,
+            root="pcqe.execute",
+            metrics=metrics_diff(before, metrics.snapshot()),
+        )
+        return result
 
-        shortfall = outcome.shortfall(request.required_fraction)
-        try:
-            plan = self._find_strategy(outcome, threshold, shortfall)
-        except InfeasibleIncrementError:
-            return PCQEResult(
-                status=QueryStatus.INFEASIBLE,
-                threshold=threshold,
-                released=list(outcome.released),
-                withheld_count=len(outcome.withheld),
-                outcome=outcome,
-                raw_result=result,
+    def _execute_pipeline(self, request: QueryRequest, user: str) -> PCQEResult:
+        tracer = get_tracer()
+        with tracer.span(
+            "pcqe.execute", user=user, purpose=request.purpose
+        ) as root:
+            with tracer.span("pcqe.query_evaluation") as span:
+                result = run_sql(self.db, request.sql)
+                span.set_attribute("rows", len(result))
+            threshold = self.policies.threshold_for(user, request.purpose)
+            with tracer.span("pcqe.policy_enforcement", threshold=threshold):
+                outcome = self._evaluator.apply_threshold(
+                    result, self.db, threshold
+                )
+            get_metrics().counter("pcqe.queries").inc()
+
+            if outcome.satisfies(request.required_fraction):
+                root.set_attribute("status", QueryStatus.SATISFIED.value)
+                return PCQEResult(
+                    status=QueryStatus.SATISFIED,
+                    threshold=threshold,
+                    released=list(outcome.released),
+                    withheld_count=len(outcome.withheld),
+                    outcome=outcome,
+                    raw_result=result,
+                )
+
+            shortfall = outcome.shortfall(request.required_fraction)
+            try:
+                with tracer.span(
+                    "pcqe.strategy_finding", shortfall=shortfall
+                ) as span:
+                    plan = self._find_strategy(outcome, threshold, shortfall)
+                    span.set_attribute("cost", plan.total_cost)
+            except InfeasibleIncrementError as error:
+                logger.warning(
+                    "infeasible increment for user=%s purpose=%s: %s",
+                    user,
+                    request.purpose,
+                    error,
+                )
+                get_metrics().counter("pcqe.infeasible").inc()
+                root.set_attribute("status", QueryStatus.INFEASIBLE.value)
+                return PCQEResult(
+                    status=QueryStatus.INFEASIBLE,
+                    threshold=threshold,
+                    released=list(outcome.released),
+                    withheld_count=len(outcome.withheld),
+                    outcome=outcome,
+                    raw_result=result,
+                )
+            quote = CostQuote(plan, plan.total_cost, shortfall)
+            if not self.approval(quote):
+                root.set_attribute("status", QueryStatus.QUOTED.value)
+                return PCQEResult(
+                    status=QueryStatus.QUOTED,
+                    threshold=threshold,
+                    released=list(outcome.released),
+                    withheld_count=len(outcome.withheld),
+                    outcome=outcome,
+                    quote=quote,
+                    raw_result=result,
+                )
+
+            with tracer.span("pcqe.improvement") as span:
+                receipt = self.improvement.apply(self.db, plan)
+                span.set_attribute("tuples_improved", receipt.tuples_improved)
+                span.set_attribute("total_cost", receipt.total_cost)
+            with tracer.span("pcqe.reevaluation"):
+                improved_outcome = self._evaluator.apply_threshold(
+                    result, self.db, threshold
+                )
+            logger.info(
+                "improved %d tuple(s) for %.4f so user=%s purpose=%s "
+                "releases %d/%d row(s)",
+                receipt.tuples_improved,
+                receipt.total_cost,
+                user,
+                request.purpose,
+                len(improved_outcome.released),
+                improved_outcome.total,
             )
-        quote = CostQuote(plan, plan.total_cost, shortfall)
-        if not self.approval(quote):
+            root.set_attribute("status", QueryStatus.IMPROVED.value)
             return PCQEResult(
-                status=QueryStatus.QUOTED,
+                status=QueryStatus.IMPROVED,
                 threshold=threshold,
-                released=list(outcome.released),
-                withheld_count=len(outcome.withheld),
-                outcome=outcome,
+                released=list(improved_outcome.released),
+                withheld_count=len(improved_outcome.withheld),
+                outcome=improved_outcome,
                 quote=quote,
+                receipt=receipt,
                 raw_result=result,
             )
-
-        receipt = self.improvement.apply(self.db, plan)
-        improved_outcome = self._evaluator.apply_threshold(
-            result, self.db, threshold
-        )
-        return PCQEResult(
-            status=QueryStatus.IMPROVED,
-            threshold=threshold,
-            released=list(improved_outcome.released),
-            withheld_count=len(improved_outcome.withheld),
-            outcome=improved_outcome,
-            quote=quote,
-            receipt=receipt,
-            raw_result=result,
-        )
 
     def execute_many(
         self, requests: "list[QueryRequest]", user: str
@@ -245,6 +316,14 @@ class PCQEngine:
         solution must satisfy *every* query's requirement).  One quote is
         issued and — on approval — one improvement benefits all queries.
         """
+        with get_tracer().span(
+            "pcqe.execute_many", user=user, queries=len(requests)
+        ):
+            return self._execute_many(requests, user)
+
+    def _execute_many(
+        self, requests: "list[QueryRequest]", user: str
+    ) -> "BatchResult":
         from ..increment.problem import _has_negation
 
         evaluations = []
@@ -310,7 +389,11 @@ class PCQEngine:
             requirement_groups=group_specs,
         )
         problem.check_feasible()
-        plan = self.solver(problem)
+        with get_tracer().span(
+            "pcqe.strategy_finding", queries=len(group_specs)
+        ) as span:
+            plan = self.solver(problem)
+            span.set_attribute("cost", plan.total_cost)
         total_shortfall = sum(count for _members, count in group_specs)
         quote = CostQuote(plan, plan.total_cost, total_shortfall)
         if not self.approval(quote):
@@ -322,7 +405,8 @@ class PCQEngine:
                 quote=quote,
                 receipt=None,
             )
-        receipt = self.improvement.apply(self.db, plan)
+        with get_tracer().span("pcqe.improvement"):
+            receipt = self.improvement.apply(self.db, plan)
         results = []
         for _request, result, threshold, _old in evaluations:
             outcome = self._evaluator.apply_threshold(result, self.db, threshold)

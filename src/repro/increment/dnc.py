@@ -22,11 +22,12 @@ Pipeline:
 
 from __future__ import annotations
 
+import logging
 import math
-import time
 from dataclasses import dataclass, field
 
 from ..errors import IncrementError
+from ..obs import get_metrics, solver_run
 from ..storage.tuples import TupleId
 from .greedy import GreedyOptions, _phase_two, _step_gain, solve_greedy
 from .heuristic import HeuristicOptions, solve_heuristic
@@ -41,6 +42,8 @@ from .problem import (
 __all__ = ["DncOptions", "solve_dnc"]
 
 _EPS = 1e-9
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -80,28 +83,43 @@ def solve_dnc(
     """Approximate solution of *problem* by partition + per-group search."""
     options = options or DncOptions()
     stats = SolverStats()
-    started = time.perf_counter()
-    state = SearchState(problem)
-
-    if not state.is_satisfied():
-        problem.check_feasible()
-        groups = partition_results(problem, options.partition)
-        stats.groups = len(groups)
-        combined = _solve_groups(problem, groups, options, stats)
-        for tid, target in combined.items():
-            state.set_value(tid, target)
-        _top_up(problem, state, options, stats)
-        if options.refine:
-            _refine(problem, state, stats)
-
-    stats.elapsed_seconds = time.perf_counter() - started
-    return IncrementPlan(
-        state.snapshot_targets(),
-        state.cost,
-        state.satisfied_indexes(),
+    with solver_run(
         "dnc",
         stats,
-    )
+        results=len(problem.results),
+        tuples=len(problem.tuples),
+    ) as span:
+        state = SearchState(problem)
+
+        if not state.is_satisfied():
+            problem.check_feasible()
+            groups = partition_results(problem, options.partition)
+            stats.groups = len(groups)
+            partition_sizes = get_metrics().histogram("solver.dnc.partition_size")
+            for group in groups:
+                partition_sizes.observe(len(group))
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "D&C partitioned %d results into %d group(s), largest %d",
+                    len(problem.results),
+                    len(groups),
+                    max((len(group) for group in groups), default=0),
+                )
+            combined = _solve_groups(problem, groups, options, stats)
+            for tid, target in combined.items():
+                state.set_value(tid, target)
+            _top_up(problem, state, options, stats)
+            if options.refine:
+                _refine(problem, state, stats)
+
+        span.set_attribute("cost", state.cost)
+        return IncrementPlan(
+            state.snapshot_targets(),
+            state.cost,
+            state.satisfied_indexes(),
+            "dnc",
+            stats,
+        )
 
 
 def _solve_groups(

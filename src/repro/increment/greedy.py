@@ -22,11 +22,12 @@ paper measures phase 2 cutting total cost by >30% at negligible time cost
 from __future__ import annotations
 
 import heapq
+import logging
 import math
-import time
 from dataclasses import dataclass
 
 from ..errors import IncrementError, InfeasibleIncrementError
+from ..obs import solver_run
 from ..storage.tuples import TupleId
 from .problem import (
     IncrementPlan,
@@ -38,6 +39,8 @@ from .problem import (
 __all__ = ["GreedyOptions", "solve_greedy"]
 
 _EPS = 1e-9
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -76,24 +79,38 @@ def solve_greedy(
     """Approximate solution of *problem* by two-phase greedy search."""
     options = options or GreedyOptions()
     stats = SolverStats()
-    started = time.perf_counter()
-    state = SearchState(problem)
-
-    if not state.is_satisfied():
-        problem.check_feasible()
-        last_gain = _phase_one(problem, state, options, stats)
-        if options.two_phase:
-            _phase_two(problem, state, last_gain, stats)
-
-    stats.elapsed_seconds = time.perf_counter() - started
-    algorithm = "greedy" if options.two_phase else "greedy-1phase"
-    return IncrementPlan(
-        state.snapshot_targets(),
-        state.cost,
-        state.satisfied_indexes(),
-        algorithm,
+    with solver_run(
+        "greedy",
         stats,
-    )
+        results=len(problem.results),
+        tuples=len(problem.tuples),
+        two_phase=options.two_phase,
+    ) as span:
+        state = SearchState(problem)
+
+        if not state.is_satisfied():
+            problem.check_feasible()
+            last_gain = _phase_one(problem, state, options, stats)
+            if options.two_phase:
+                _phase_two(problem, state, last_gain, stats)
+
+        algorithm = "greedy" if options.two_phase else "greedy-1phase"
+        span.set_attribute("cost", state.cost)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s solved: cost=%.4f gain_evaluations=%d phase2_reductions=%d",
+                algorithm,
+                state.cost,
+                stats.gain_evaluations,
+                stats.phase2_reductions,
+            )
+        return IncrementPlan(
+            state.snapshot_targets(),
+            state.cost,
+            state.satisfied_indexes(),
+            algorithm,
+            stats,
+        )
 
 
 def _step_gain(
@@ -186,6 +203,10 @@ def _phase_one(
             # No single δ-step improves any unsatisfied result — cannot
             # happen for feasible monotone problems, but guard against
             # pathological cost models (all remaining tuples capped).
+            logger.warning(
+                "greedy search stalled with %d unmet requirement group(s)",
+                state.unmet_groups,
+            )
             raise InfeasibleIncrementError(
                 "greedy search stalled: no confidence step improves any "
                 "unsatisfied result"
@@ -217,6 +238,10 @@ def _phase_one_full(
             if gain > best or (gain == best and pick is None):
                 pick, best = tid, gain
         if pick is None or best <= 0.0:
+            logger.warning(
+                "greedy search stalled with %d unmet requirement group(s)",
+                state.unmet_groups,
+            )
             raise InfeasibleIncrementError(
                 "greedy search stalled: no confidence step improves any "
                 "unsatisfied result"

@@ -32,11 +32,13 @@ degrades gracefully to the best incumbent (``stats.completed = False``).
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 from dataclasses import dataclass
 
 from ..errors import IncrementError
+from ..obs import solver_run
 from ..storage.tuples import TupleId
 from .problem import (
     IncrementPlan,
@@ -48,6 +50,8 @@ from .problem import (
 __all__ = ["HeuristicOptions", "solve_heuristic", "cost_beta"]
 
 _EPS = 1e-9
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -146,10 +150,35 @@ def solve_heuristic(
     """Exact (given budget) branch-and-bound solution of *problem*."""
     options = options or HeuristicOptions()
     stats = SolverStats()
-    started = time.perf_counter()
+    with solver_run(
+        "heuristic",
+        stats,
+        results=len(problem.results),
+        tuples=len(problem.tuples),
+    ) as span:
+        plan = _solve(problem, options, stats)
+        span.set_attribute("cost", plan.total_cost)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "heuristic solved: cost=%.4f nodes=%d pruned bound=%d "
+                "h2=%d h3=%d h4=%d completed=%s",
+                plan.total_cost,
+                stats.nodes_explored,
+                stats.nodes_pruned_bound,
+                stats.nodes_pruned_h2,
+                stats.nodes_pruned_h3,
+                stats.nodes_pruned_h4,
+                stats.completed,
+            )
+        return plan
 
+
+def _solve(
+    problem: IncrementProblem,
+    options: HeuristicOptions,
+    stats: SolverStats,
+) -> IncrementPlan:
     if problem.is_trivial():
-        stats.elapsed_seconds = time.perf_counter() - started
         state = SearchState(problem)
         return IncrementPlan({}, 0.0, state.satisfied_indexes(), "heuristic", stats)
     problem.check_feasible()
@@ -158,6 +187,14 @@ def solve_heuristic(
     if options.use_h1:
         scores = {tid: cost_beta(problem, tid) for tid in order}
         order.sort(key=lambda tid: (-scores[tid], tid))
+        stats.h1_applied += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "H1 ordering applied over %d tuples (costβ range %.4g..%.4g)",
+                len(order),
+                min(scores.values(), default=0.0),
+                max(scores.values(), default=0.0),
+            )
 
     levels = {tid: problem.tuples[tid].levels(problem.delta) for tid in order}
     # H4: cheapest single δ-step from initial among tuples at position ≥ j.
@@ -250,7 +287,6 @@ def solve_heuristic(
 
     descend(0)
 
-    stats.elapsed_seconds = time.perf_counter() - started
     stats.completed = not budget.exhausted
     if best_targets is None:
         if options.initial_upper_bound is not None:

@@ -20,11 +20,12 @@ greedy's.
 
 from __future__ import annotations
 
+import logging
 import random
-import time
 from dataclasses import dataclass
 
 from ..errors import IncrementError
+from ..obs import solver_run
 from ..storage.tuples import TupleId
 from .greedy import GreedyOptions, _phase_two, _previous_level, _step_gain, solve_greedy
 from .problem import (
@@ -37,6 +38,8 @@ from .problem import (
 __all__ = ["LocalSearchOptions", "solve_local_search"]
 
 _EPS = 1e-9
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -68,39 +71,53 @@ def solve_local_search(
     """Approximate solution by iterated local search over the δ-grid."""
     options = options or LocalSearchOptions()
     stats = SolverStats()
-    started = time.perf_counter()
-    rng = random.Random(options.seed)
+    with solver_run(
+        "local-search",
+        stats,
+        results=len(problem.results),
+        tuples=len(problem.tuples),
+        restarts=options.restarts,
+    ) as span:
+        rng = random.Random(options.seed)
 
-    if options.initial_plan is not None:
-        seed_plan = options.initial_plan
-    else:
-        seed_plan = solve_greedy(problem, options.greedy)
-        stats.gain_evaluations += seed_plan.stats.gain_evaluations
+        if options.initial_plan is not None:
+            seed_plan = options.initial_plan
+        else:
+            seed_plan = solve_greedy(problem, options.greedy)
+            stats.gain_evaluations += seed_plan.stats.gain_evaluations
 
-    state = SearchState(problem)
-    for tid, target in seed_plan.targets.items():
-        state.set_value(tid, target)
-    if not state.is_satisfied():
-        raise IncrementError(
-            "local search requires a feasible initial plan"
+        state = SearchState(problem)
+        for tid, target in seed_plan.targets.items():
+            state.set_value(tid, target)
+        if not state.is_satisfied():
+            raise IncrementError(
+                "local search requires a feasible initial plan"
+            )
+
+        best_cost = state.cost
+        best_targets = dict(seed_plan.targets)
+        best_satisfied = state.satisfied_indexes()
+
+        for _restart in range(options.restarts):
+            _descend(problem, state, rng, options, stats)
+            if state.is_satisfied() and state.cost < best_cost - _EPS:
+                best_cost = state.cost
+                best_targets = state.snapshot_targets()
+                best_satisfied = state.satisfied_indexes()
+            _perturb(problem, state, rng, options)
+
+        span.set_attribute("cost", best_cost)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "local search finished: cost=%.4f (seed %.4f), "
+                "%d accepted swap move(s)",
+                best_cost,
+                seed_plan.total_cost,
+                stats.swap_moves,
+            )
+        return IncrementPlan(
+            best_targets, best_cost, best_satisfied, "local-search", stats
         )
-
-    best_cost = state.cost
-    best_targets = dict(seed_plan.targets)
-    best_satisfied = state.satisfied_indexes()
-
-    for _restart in range(options.restarts):
-        _descend(problem, state, rng, options, stats)
-        if state.is_satisfied() and state.cost < best_cost - _EPS:
-            best_cost = state.cost
-            best_targets = state.snapshot_targets()
-            best_satisfied = state.satisfied_indexes()
-        _perturb(problem, state, rng, options)
-
-    stats.elapsed_seconds = time.perf_counter() - started
-    return IncrementPlan(
-        best_targets, best_cost, best_satisfied, "local-search", stats
-    )
 
 
 def _changed_tuples(problem: IncrementProblem, state: SearchState) -> list[TupleId]:
@@ -136,6 +153,7 @@ def _descend(
         # Randomized swap moves: raise B one level, then try to lower A.
         for _ in range(options.swap_attempts):
             if _try_swap(problem, state, rng):
+                stats.swap_moves += 1
                 improved = True
 
 

@@ -369,16 +369,27 @@ class IncrementProblem:
 
 @dataclass
 class SolverStats:
-    """Counters reported by every solver for benchmarking and tests."""
+    """Counters reported by every solver for benchmarking and tests.
+
+    This dataclass is the hot-path accumulator *and* the backward-compatible
+    façade over the observability layer: each solver increments these plain
+    attributes while searching, and :func:`repro.obs.solver_run` publishes
+    every non-zero counter as a ``solver.<algorithm>.<field>`` metric (plus
+    an ``elapsed_seconds`` histogram observation) once per solve.
+    """
 
     nodes_explored: int = 0
     nodes_pruned_bound: int = 0
+    #: H1 is a variable-*ordering* heuristic — it prunes nothing directly
+    #: but concentrates the bound prunes; this flags the solves it shaped.
+    h1_applied: int = 0
     nodes_pruned_h2: int = 0
     nodes_pruned_h3: int = 0
     nodes_pruned_h4: int = 0
     gain_evaluations: int = 0
     phase2_reductions: int = 0
     groups: int = 0
+    swap_moves: int = 0
     elapsed_seconds: float = 0.0
     completed: bool = True
 

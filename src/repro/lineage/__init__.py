@@ -21,6 +21,7 @@ from .formula import (
     lineage_and,
     lineage_not,
     lineage_or,
+    node_count,
     restrict,
     var,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "lineage_or",
     "lineage_not",
     "restrict",
+    "node_count",
     "probability",
     "sensitivity",
     "ConfidenceFunction",

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from ..obs import get_metrics
 from ..storage.tuples import TupleId
-from .formula import Lineage
+from .formula import Lineage, node_count
 from .probability import compile_probability, sensitivity
 
 __all__ = ["ConfidenceFunction"]
@@ -45,6 +46,11 @@ class ConfidenceFunction:
         self._vars: tuple[TupleId, ...] = tuple(sorted(formula.variables))
         self._cache: dict[tuple[float, ...], float] = {}
         self._compiled = compile_probability(formula)
+        # Formula shape drives confidence-computation cost (Koch & Olteanu);
+        # record it once per result at compile time.
+        metrics = get_metrics()
+        metrics.histogram("lineage.formula_nodes").observe(node_count(formula))
+        metrics.histogram("lineage.formula_variables").observe(len(self._vars))
 
     @property
     def variables(self) -> tuple[TupleId, ...]:

@@ -37,6 +37,7 @@ __all__ = [
     "lineage_not",
     "var",
     "restrict",
+    "node_count",
 ]
 
 
@@ -308,3 +309,23 @@ def restrict(formula: Lineage, tid: TupleId, value: bool) -> Lineage:
             *(restrict(child, tid, value) for child in formula.children)
         )
     raise LineageError(f"cannot restrict {formula!r}")  # pragma: no cover
+
+
+def node_count(formula: Lineage) -> int:
+    """Total nodes in the formula tree (connectives, negations, leaves).
+
+    Koch & Olteanu observe that lineage-formula size is the dominant cost
+    driver when conditioning probabilistic databases; the observability
+    layer records this per result so slow confidence computations can be
+    attributed to formula shape.  Iterative to handle deep EXCEPT chains.
+    """
+    count = 0
+    pending: list[Lineage] = [formula]
+    while pending:
+        node = pending.pop()
+        count += 1
+        if isinstance(node, Not):
+            pending.append(node.child)
+        elif isinstance(node, (And, Or)):
+            pending.extend(node.children)
+    return count

@@ -16,8 +16,9 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..errors import LineageError
+from ..obs import get_metrics, get_tracer
 from ..storage.tuples import TupleId
-from .formula import Lineage
+from .formula import Lineage, node_count
 
 __all__ = ["MonteCarloEstimate", "estimate_probability"]
 
@@ -70,13 +71,20 @@ def estimate_probability(
         if not 0.0 <= p <= 1.0:
             raise LineageError(f"probability {p} of {tid} outside [0, 1]")
 
-    hits = 0
-    world: dict[TupleId, bool] = {}
-    for _ in range(samples):
-        for tid in variables:
-            world[tid] = generator.random() < probabilities[tid]
-        if formula.evaluate(world):
-            hits += 1
+    with get_tracer().span(
+        "lineage.montecarlo", samples=samples, variables=len(variables)
+    ):
+        hits = 0
+        world: dict[TupleId, bool] = {}
+        for _ in range(samples):
+            for tid in variables:
+                world[tid] = generator.random() < probabilities[tid]
+            if formula.evaluate(world):
+                hits += 1
+    metrics = get_metrics()
+    metrics.counter("lineage.mc.runs").inc()
+    metrics.counter("lineage.mc.samples").inc(samples)
+    metrics.histogram("lineage.mc.formula_nodes").observe(node_count(formula))
     estimate = hits / samples
     variance = estimate * (1.0 - estimate) / samples
     return MonteCarloEstimate(

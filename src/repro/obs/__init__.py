@@ -1,0 +1,67 @@
+"""Observability for the PCQE pipeline: tracing spans, metrics, logging.
+
+Zero-dependency instrumentation mirroring the paper's evaluation
+methodology (§5 measures *where* time and cost go — heuristic pruning,
+greedy gain recomputation, D&C partitioning), so a run can explain itself:
+
+* :class:`Tracer` — nested spans with a contextvar current-span and
+  pluggable sinks (:class:`InMemorySink` ring buffer, :class:`JsonLinesSink`
+  file, :class:`LoggingSink` stdlib bridge).  Disabled by default: with no
+  sink attached, ``tracer.span(...)`` is a shared no-op.
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket histograms
+  under flat dotted names (``solver.heuristic.nodes_pruned_h3``,
+  ``executor.scan.rows_emitted``, ``policy.rows_withheld`` …).
+* :func:`solver_run` — the one timing context manager all four increment
+  solvers share (span + ``stats.elapsed_seconds`` + metric emission).
+* :class:`ProfileReport` — the stage breakdown ``PCQEngine`` attaches to a
+  result under ``profile=True``.
+* :func:`configure_logging` — one-call stdlib-logging setup for the
+  package's module loggers.
+
+Typical use::
+
+    from repro import obs
+
+    obs.configure_logging("DEBUG")
+    sink = obs.get_tracer().add_sink(obs.JsonLinesSink("trace.jsonl"))
+    ... run queries ...
+    print(obs.get_metrics().snapshot())
+"""
+
+from .instrument import TIMING_BUCKETS, solver_run
+from .logconfig import configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    metrics_diff,
+    set_metrics,
+)
+from .profile import ProfileReport
+from .sinks import InMemorySink, JsonLinesSink, LoggingSink, SpanSink
+from .tracer import Span, SpanEvent, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "SpanSink",
+    "InMemorySink",
+    "JsonLinesSink",
+    "LoggingSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "metrics_diff",
+    "ProfileReport",
+    "solver_run",
+    "TIMING_BUCKETS",
+    "configure_logging",
+]

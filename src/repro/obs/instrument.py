@@ -1,0 +1,77 @@
+"""Instrumentation helpers shared by the pipeline stages.
+
+:func:`solver_run` is the single timing context manager behind every
+increment solver: it opens a ``solver.<algorithm>`` span, stamps
+``stats.elapsed_seconds`` on exit (replacing the per-solver
+``time.perf_counter()`` bookkeeping), and emits the final
+:class:`~repro.increment.problem.SolverStats` counters into the global
+metrics registry — one emission per solve, so the search hot loops keep
+their plain attribute increments.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .metrics import get_metrics
+from .tracer import get_tracer
+
+__all__ = ["solver_run", "TIMING_BUCKETS"]
+
+#: Bucket bounds for wall-clock histograms, in seconds.
+TIMING_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+@contextmanager
+def solver_run(algorithm: str, stats: Any, **attributes: Any) -> Iterator[Any]:
+    """Time one solver invocation and publish its stats.
+
+    Yields the open ``solver.<algorithm>`` span (a no-op object while
+    tracing is disabled).  On exit — normal or exceptional —
+    ``stats.elapsed_seconds`` is set and every non-zero numeric counter on
+    *stats* becomes a ``solver.<algorithm>.<field>`` metric increment.
+    """
+    span_context = get_tracer().span(f"solver.{algorithm}", **attributes)
+    started = time.perf_counter()
+    with span_context as span:
+        try:
+            yield span
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - started
+            _emit_solver_stats(algorithm, stats, span)
+
+
+def _emit_solver_stats(algorithm: str, stats: Any, span: Any) -> None:
+    metrics = get_metrics()
+    prefix = f"solver.{algorithm}"
+    metrics.counter(f"{prefix}.runs").inc()
+    metrics.histogram(f"{prefix}.elapsed_seconds", TIMING_BUCKETS).observe(
+        stats.elapsed_seconds
+    )
+    span.set_attribute("elapsed_seconds", stats.elapsed_seconds)
+    for name, value in vars(stats).items():
+        if name == "elapsed_seconds":
+            continue
+        if isinstance(value, bool):
+            if name == "completed" and not value:
+                metrics.counter(f"{prefix}.incomplete_runs").inc()
+                span.set_attribute("completed", False)
+            continue
+        if isinstance(value, (int, float)) and value:
+            metrics.counter(f"{prefix}.{name}").inc(value)
+            span.set_attribute(name, value)

@@ -1,0 +1,238 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments,
+get-or-created on first use::
+
+    metrics = get_metrics()
+    metrics.counter("solver.greedy.gain_evaluations").inc(120)
+    metrics.histogram("lineage.formula_nodes").observe(17)
+
+Instruments are deliberately simple (no label sets): the paper's pipeline
+has a fixed, known set of stages, and a flat dotted name per (stage,
+quantity) keeps snapshots diffable with plain dictionaries —
+:func:`metrics_diff` is what ``profile=True`` uses to attribute counter
+movement to one engine run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "metrics_diff",
+]
+
+#: Default histogram bucket upper bounds: generic log-ish scale that covers
+#: sub-millisecond timings and formula/partition sizes alike.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the final
+    slot is the overflow bucket (``> buckets[-1]``).
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Iterable[float] | None = None) -> None:
+        self.name = name
+        self.buckets: tuple[float, ...] = tuple(
+            sorted(buckets) if buckets is not None else DEFAULT_BUCKETS
+        )
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{
+                    f"le_{bound:g}": count
+                    for bound, count in zip(self.buckets, self.bucket_counts)
+                },
+                "overflow": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Flat, thread-safe namespace of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, *args: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = kind(name, *args)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        if name in self._instruments:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, buckets)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every instrument's current value, keyed by name."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every registered instrument (tests / run isolation)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+def metrics_diff(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> dict[str, Any]:
+    """What moved between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Scalar instruments (counters/gauges) diff numerically; histograms diff
+    their ``count``/``sum`` and report the interval's mean.  Instruments
+    that did not change are omitted.
+    """
+    delta: dict[str, Any] = {}
+    for name, now in after.items():
+        was = before.get(name)
+        if isinstance(now, dict):  # histogram
+            was_count = was["count"] if isinstance(was, dict) else 0
+            was_sum = was["sum"] if isinstance(was, dict) else 0.0
+            count = now["count"] - was_count
+            if count:
+                total = now["sum"] - was_sum
+                delta[name] = {
+                    "count": count,
+                    "sum": total,
+                    "mean": total / count,
+                }
+        else:
+            moved = now - (was if was is not None else 0.0)
+            if moved:
+                delta[name] = moved
+    return delta
+
+
+_GLOBAL_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry used by all built-in instrumentation."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry (returns the previous one)."""
+    global _GLOBAL_METRICS
+    previous = _GLOBAL_METRICS
+    _GLOBAL_METRICS = registry
+    return previous

@@ -1,0 +1,101 @@
+"""Stage-by-stage profile reports built from captured spans.
+
+:class:`ProfileReport` is what ``PCQEngine.execute(..., profile=True)``
+attaches to a :class:`~repro.core.framework.PCQEResult`: the root span's
+total wall-clock, each top-level stage's duration, the full span tree, and
+the metrics that moved during the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .tracer import Span
+
+__all__ = ["ProfileReport"]
+
+
+@dataclass
+class ProfileReport:
+    """One run's timing/metrics breakdown."""
+
+    #: Name of the root span the report was built around.
+    root: str
+    #: Root span duration in seconds (0.0 if the root was not captured).
+    total_seconds: float
+    #: Stage name -> summed duration of the root's direct child spans,
+    #: in first-start order.
+    stages: dict[str, float]
+    #: Every captured span as a JSON-ready dict, in end order.
+    spans: list[dict[str, Any]] = field(repr=False, default_factory=list)
+    #: Metrics that moved during the run (:func:`metrics_diff` output).
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[Span],
+        root: str,
+        metrics: dict[str, Any] | None = None,
+    ) -> "ProfileReport":
+        """Build a report from captured spans around the *root* span.
+
+        When several spans carry the root name (e.g. a batch), the last one
+        closed wins; stages aggregate its direct children by name.
+        """
+        spans = list(spans)
+        root_span = None
+        for span in spans:
+            if span.name == root:
+                root_span = span
+        stages: dict[str, float] = {}
+        if root_span is not None:
+            children = [
+                span for span in spans if span.parent_id == root_span.span_id
+            ]
+            children.sort(key=lambda span: span.start_index)
+            for child in children:
+                stages[child.name] = (
+                    stages.get(child.name, 0.0) + (child.duration_seconds or 0.0)
+                )
+        return cls(
+            root=root,
+            total_seconds=(
+                root_span.duration_seconds or 0.0 if root_span is not None else 0.0
+            ),
+            stages=stages,
+            spans=[span.to_dict() for span in spans],
+            metrics=dict(metrics) if metrics else {},
+        )
+
+    @property
+    def unattributed_seconds(self) -> float:
+        """Root time not covered by any stage (bookkeeping between stages)."""
+        return max(0.0, self.total_seconds - sum(self.stages.values()))
+
+    def format(self) -> str:
+        """Human-readable breakdown for REPLs and the CLI."""
+        lines = [f"profile: {self.root} total {self.total_seconds * 1e3:.2f} ms"]
+        for name, seconds in self.stages.items():
+            share = (
+                100.0 * seconds / self.total_seconds if self.total_seconds else 0.0
+            )
+            lines.append(f"  {name:<28} {seconds * 1e3:>9.2f} ms  {share:5.1f}%")
+        if self.stages:
+            lines.append(
+                f"  {'(unattributed)':<28} "
+                f"{self.unattributed_seconds * 1e3:>9.2f} ms"
+            )
+        if self.metrics:
+            lines.append("metrics moved this run:")
+            for name, value in sorted(self.metrics.items()):
+                if isinstance(value, dict):
+                    rendered = (
+                        f"count={value['count']} sum={value['sum']:.6g} "
+                        f"mean={value['mean']:.6g}"
+                    )
+                else:
+                    rendered = f"{value:g}"
+                lines.append(f"  {name:<40} {rendered}")
+        return "\n".join(lines)

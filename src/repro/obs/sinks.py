@@ -1,0 +1,117 @@
+"""Span sinks: where completed spans go.
+
+Three zero-dependency exporters:
+
+* :class:`InMemorySink` — a bounded ring buffer, for tests and the
+  ``profile=True`` stage breakdown;
+* :class:`JsonLinesSink` — one JSON object per line, the ``--trace-out``
+  format readable by ``jq`` or any trace viewer after a tiny conversion;
+* :class:`LoggingSink` — bridges spans onto a stdlib ``logging`` logger so
+  existing log pipelines pick traces up without new plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import deque
+from typing import IO, Any, Protocol
+
+from .tracer import Span
+
+__all__ = ["SpanSink", "InMemorySink", "JsonLinesSink", "LoggingSink"]
+
+
+class SpanSink(Protocol):
+    """Anything that can receive completed spans."""
+
+    def export(self, span: Span) -> None:
+        """Called once per span, at span end (children before parents)."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemorySink:
+    """Bounded ring buffer of completed spans (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer: deque[Span] = deque(maxlen=capacity)
+
+    def export(self, span: Span) -> None:
+        self._buffer.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans in end order (a child ends before its parent)."""
+        return list(self._buffer)
+
+    def find(self, name: str) -> list[Span]:
+        """All completed spans with the given name."""
+        return [span for span in self._buffer if span.name == name]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonLinesSink:
+    """Appends each completed span as one JSON object per line."""
+
+    def __init__(self, path_or_handle: "str | IO[str]") -> None:
+        if isinstance(path_or_handle, str):
+            self._handle: IO[str] = open(path_or_handle, "a", encoding="utf-8")
+            self._owned = True
+        else:
+            self._handle = path_or_handle
+            self._owned = False
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), default=str, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owned:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class LoggingSink:
+    """Emits one log record per completed span on a stdlib logger."""
+
+    def __init__(
+        self,
+        logger: "logging.Logger | str" = "repro.trace",
+        level: int = logging.DEBUG,
+    ) -> None:
+        self._logger = (
+            logging.getLogger(logger) if isinstance(logger, str) else logger
+        )
+        self._level = level
+
+    def export(self, span: Span) -> None:
+        if not self._logger.isEnabledFor(self._level):
+            return
+        duration = span.duration_seconds or 0.0
+        self._logger.log(
+            self._level,
+            "span %s trace=%s id=%d parent=%s %.6fs %s",
+            span.name,
+            span.trace_id,
+            span.span_id,
+            span.parent_id,
+            duration,
+            span.attributes or "",
+        )

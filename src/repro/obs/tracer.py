@@ -1,0 +1,260 @@
+"""Nested tracing spans with pluggable sinks.
+
+A :class:`Tracer` produces :class:`Span` objects arranged in a tree: the
+current span is tracked in a :mod:`contextvars` context variable, so
+``with tracer.span("child"):`` nested anywhere under an open span records
+the parent/child relationship without threading span objects through call
+signatures.  Completed spans are delivered to every attached
+:class:`~repro.obs.sinks.SpanSink`.
+
+The tracer is engineered for a *disabled-by-default* deployment: with no
+sinks attached, :meth:`Tracer.span` returns a shared no-op context manager
+and the instrumented code pays only an attribute read and a truthiness
+check — the overhead guardrail for the solver hot paths.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+import uuid
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sinks import InMemorySink, SpanSink
+
+__all__ = ["Span", "SpanEvent", "Tracer", "get_tracer", "set_tracer"]
+
+_span_ids = itertools.count(1)
+_start_indexes = itertools.count(1)
+
+
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    __slots__ = ("name", "timestamp", "attributes")
+
+    def __init__(self, name: str, attributes: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.timestamp = time.time()
+        self.attributes = attributes or {}
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"name": self.name, "timestamp": self.timestamp}
+        if self.attributes:
+            record["attributes"] = self.attributes
+        return record
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_index",
+        "start_time",
+        "attributes",
+        "events",
+        "status",
+        "_started",
+        "duration_seconds",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: int | None,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.start_index = next(_start_indexes)
+        self.start_time = time.time()
+        self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
+        self.events: list[SpanEvent] = []
+        self.status = "ok"
+        self._started = time.perf_counter()
+        self.duration_seconds: float | None = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        self.events.append(SpanEvent(name, attributes or None))
+
+    def _finish(self, status: str | None = None) -> None:
+        self.duration_seconds = time.perf_counter() - self._started
+        if status is not None:
+            self.status = status
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable record of this span (sink interchange format)."""
+        record: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_index": self.start_index,
+            "start_time": self.start_time,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+        }
+        if self.attributes:
+            record["attributes"] = self.attributes
+        if self.events:
+            record["events"] = [event.to_dict() for event in self.events]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+class _NoopSpan:
+    """Shared do-nothing span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager binding a live span to the current context."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._span._finish("error" if exc_type is not None else None)
+        self._tracer._export(self._span)
+
+
+class Tracer:
+    """Factory for spans; delivers completed spans to attached sinks."""
+
+    def __init__(self, sinks: "list[SpanSink] | None" = None) -> None:
+        self._sinks: list[SpanSink] = list(sinks) if sinks else []
+        self._current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+            "repro_current_span", default=None
+        )
+        self._lock = threading.Lock()
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sink is attached (spans are recorded at all)."""
+        return bool(self._sinks)
+
+    @property
+    def sinks(self) -> "tuple[SpanSink, ...]":
+        return tuple(self._sinks)
+
+    def add_sink(self, sink: "SpanSink") -> "SpanSink":
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: "SpanSink") -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    # -- span creation -------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Any:
+        """Open a span named *name*; use as a context manager.
+
+        Returns a shared no-op object when no sink is attached, so
+        instrumentation in hot paths costs one attribute check.
+        """
+        if not self._sinks:
+            return _NOOP_SPAN
+        parent = self._current.get()
+        if parent is None:
+            trace_id = uuid.uuid4().hex[:16]
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return _ActiveSpan(self, Span(name, trace_id, parent_id, attributes))
+
+    def current_span(self) -> Span | None:
+        """The innermost open span in this context, if any."""
+        return self._current.get()
+
+    def capture(self) -> "_Capture":
+        """Temporarily attach an in-memory sink; yields it.
+
+        ``with tracer.capture() as sink:`` records every span closed during
+        the block into ``sink.spans`` (alongside any permanent sinks), then
+        detaches — the mechanism behind ``profile=True``.
+        """
+        return _Capture(self)
+
+    def _export(self, span: Span) -> None:
+        for sink in self._sinks:
+            sink.export(span)
+
+
+class _Capture:
+    __slots__ = ("_tracer", "_sink")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        from .sinks import InMemorySink
+
+        self._sink = InMemorySink()
+
+    def __enter__(self) -> "InMemorySink":
+        self._tracer.add_sink(self._sink)
+        return self._sink
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer.remove_sink(self._sink)
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer used by all built-in instrumentation."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide tracer (returns the previous one)."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous

@@ -9,13 +9,17 @@ finding.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..algebra.rows import AnnotatedTuple, ResultSet
 from ..errors import PolicyError
+from ..obs import get_metrics, get_tracer
 from ..storage.tuples import TupleId
 from .store import PolicyStore
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.database import Database
@@ -87,14 +91,38 @@ class PolicyEvaluator:
         source: "Database | Mapping[TupleId, float]",
         threshold: float,
     ) -> FilterOutcome:
-        """Partition rows by ``confidence > threshold``."""
+        """Partition rows by ``confidence > threshold``.
+
+        Instrumented as two stages — ``policy.confidence`` (lineage
+        probability per row, the paper's element 2) and ``policy.filter``
+        (the threshold partition, element 3) — with rows-released/withheld
+        counters so enforcement effectiveness is observable per run.
+        """
         if not 0.0 <= threshold <= 1.0:
             raise PolicyError(f"threshold {threshold} outside [0, 1]")
-        released: list[tuple[AnnotatedTuple, float]] = []
-        withheld: list[tuple[AnnotatedTuple, float]] = []
-        for row, confidence in result.with_confidences(source):
-            if confidence > threshold:
-                released.append((row, confidence))
-            else:
-                withheld.append((row, confidence))
+        tracer = get_tracer()
+        with tracer.span("policy.confidence", rows=len(result)) as span:
+            pairs = result.with_confidences(source)
+            span.set_attribute("rows", len(pairs))
+        with tracer.span("policy.filter", threshold=threshold) as span:
+            released: list[tuple[AnnotatedTuple, float]] = []
+            withheld: list[tuple[AnnotatedTuple, float]] = []
+            for row, confidence in pairs:
+                if confidence > threshold:
+                    released.append((row, confidence))
+                else:
+                    withheld.append((row, confidence))
+            span.set_attribute("released", len(released))
+            span.set_attribute("withheld", len(withheld))
+        metrics = get_metrics()
+        metrics.counter("policy.rows_evaluated").inc(len(pairs))
+        metrics.counter("policy.rows_released").inc(len(released))
+        metrics.counter("policy.rows_withheld").inc(len(withheld))
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "threshold %.3f released %d/%d row(s)",
+                threshold,
+                len(released),
+                len(pairs),
+            )
         return FilterOutcome(threshold, released, withheld)

@@ -154,6 +154,30 @@ class TestDemo:
         assert "quote: cost 10.00" in result
 
 
+class TestProfileAsk:
+    def test_profile_ask_prints_stage_breakdown(self, shell):
+        shell.execute_line("demo")
+        output = shell.execute_line(
+            "profile ask bob investment 1.0 "
+            "SELECT ci.Company, ci.Income FROM (SELECT DISTINCT Company "
+            "FROM Proposal WHERE Funding < 1.0) AS cand JOIN CompanyInfo "
+            "AS ci ON cand.Company = ci.Company"
+        )
+        assert "status: improved" in output
+        assert "pcqe.query_evaluation" in output
+        assert "pcqe.strategy_finding" in output
+        assert "metrics moved this run:" in output
+
+    def test_profile_table_still_works(self, shell):
+        shell.execute_line("demo")
+        output = shell.execute_line("profile Proposal")
+        assert "histogram[0..1):" in output
+
+    def test_profile_usage_error(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("profile")
+
+
 class TestMainEntry:
     def test_main_with_commands(self, capsys):
         from repro.cli import main
@@ -177,6 +201,43 @@ class TestMainEntry:
         script.write_text("create t a:text\ntables\n")
         assert main([str(script)]) == 0
         assert "t (0 rows)" in capsys.readouterr().out
+
+    def test_trace_out_flag_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        trace = tmp_path / "trace.jsonl"
+        status = main(
+            [
+                "--trace-out",
+                str(trace),
+                "-c",
+                "create t a:text",
+                "sql INSERT INTO t VALUES ('x')",
+                "sql SELECT a FROM t",
+            ]
+        )
+        assert status == 0
+        records = [
+            json.loads(line)
+            for line in trace.read_text().strip().splitlines()
+        ]
+        assert any(r["name"] == "algebra.scan" for r in records)
+
+    def test_trace_out_flag_requires_value(self, capsys):
+        from repro.cli import main
+
+        assert main(["--trace-out"]) == 2
+        assert "requires a value" in capsys.readouterr().err
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        from repro.cli import main
+
+        assert main(["--log-level", "warning", "-c", "tables"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
 
     def test_help(self):
         shell = CommandShell()
