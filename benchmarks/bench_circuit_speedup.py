@@ -1,0 +1,116 @@
+"""Circuit engine speedup (our extension): tree-walk vs circuit vs cone.
+
+Three confidence engines on the Figure 11(b) greedy workload:
+
+* **treewalk** — the pre-circuit baseline: per-result compiled closures,
+  and solver probes that copy the assignment and re-evaluate every
+  affected result from scratch.
+* **circuit** — shared arithmetic circuits (one pool per problem, common
+  subformulas interned once), full forward pass per evaluation.
+* **cone** — the incremental default: a :class:`CircuitEvaluator` keeps
+  all node values materialised and recomputes only the changed tuple's
+  var→root cone per probe.
+
+Both solver backends must find bit-identical plans (the circuit mirrors
+the tree-walk arithmetic operation for operation); the benchmark asserts
+it, so the timing comparison is apples-to-apples.
+"""
+
+import pytest
+
+from repro.increment import GreedyOptions, solve_greedy
+
+from _bench_common import (
+    FULL_PROFILE,
+    greedy_sweep_problem,
+    rebuild_with_backend as _rebuild,
+    record,
+)
+
+SIZES = [200, 600, 1000] if not FULL_PROFILE else [1000, 3000, 5000]
+
+#: Greedy options matching the harness's fig11b panel.
+OPTIONS = GreedyOptions(two_phase=True, gain_scope="all")
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("backend", ["treewalk", "cone"])
+def test_circuit_greedy_solve(benchmark, size, backend):
+    """End-to-end greedy solve: dict-copy probes vs incremental cones."""
+    base = greedy_sweep_problem(size)
+    problem = _rebuild(base, backend)
+    reference = solve_greedy(_rebuild(base, "cone"), OPTIONS)
+
+    plan = benchmark.pedantic(
+        lambda: solve_greedy(problem, OPTIONS), rounds=1, iterations=1
+    )
+    assert plan.targets == reference.targets
+    assert plan.total_cost == reference.total_cost
+    record(
+        "circuit: greedy solve engine",
+        data_size=size,
+        backend=backend,
+        seconds=plan.stats.elapsed_seconds,
+        cost=plan.total_cost,
+        cone_updates=plan.stats.cone_updates,
+        cone_nodes=plan.stats.cone_nodes,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ["treewalk", "circuit", "cone"])
+def test_circuit_reevaluation(benchmark, size, engine):
+    """Re-evaluate every result after one tuple's confidence changes.
+
+    Uses the raw engines (compiled closures / compiled circuits / the
+    incremental evaluator) rather than :class:`ConfidenceFunction`, whose
+    memo cache would absorb the repeated identical evaluations.
+    """
+    from repro.lineage.circuit import CircuitEvaluator
+    from repro.lineage.probability import compile_probability
+
+    base = greedy_sweep_problem(size)
+    problem = _rebuild(base, "circuit")
+    assignment = problem.initial_assignment()
+    tid = next(iter(problem.tuples))
+    initial = assignment[tid]
+    bumped = min(1.0, initial + problem.delta)
+
+    if engine == "cone":
+        evaluator = CircuitEvaluator(
+            problem.pool, assignment, problem.circuits
+        )
+
+        def run() -> float:
+            evaluator.set_value(tid, bumped)
+            total = sum(
+                evaluator.value(circuit.root) for circuit in problem.circuits
+            )
+            evaluator.set_value(tid, initial)
+            return total
+
+    elif engine == "circuit":
+        circuits = problem.circuits
+
+        def run() -> float:
+            patched = dict(assignment)
+            patched[tid] = bumped
+            return sum(circuit.evaluate(patched) for circuit in circuits)
+
+    else:
+        closures = [
+            compile_probability(result.formula) for result in problem.results
+        ]
+
+        def run() -> float:
+            patched = dict(assignment)
+            patched[tid] = bumped
+            return sum(closure(patched) for closure in closures)
+
+    total = benchmark.pedantic(run, rounds=1, iterations=5)
+    record(
+        "circuit: full re-evaluation after one change",
+        data_size=size,
+        engine=engine,
+        sum_confidence=total,
+    )

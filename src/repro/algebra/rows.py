@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
+from ..lineage.circuit import CircuitPool, CompiledCircuit
 from ..lineage.formula import Lineage
 from ..lineage.probability import probability
 from ..storage.schema import Schema
@@ -48,13 +49,22 @@ class AnnotatedTuple:
 
 
 class ResultSet:
-    """An ordered collection of annotated rows over a schema."""
+    """An ordered collection of annotated rows over a schema.
 
-    __slots__ = ("schema", "rows")
+    Confidence computation compiles every row's lineage into one shared
+    :class:`~repro.lineage.circuit.CircuitPool` on first use: common
+    subformulas across rows are interned once, and repeated calls (policy
+    enforcement, re-evaluation after an increment strategy) reuse the
+    compiled circuits instead of re-walking the formula trees.
+    """
+
+    __slots__ = ("schema", "rows", "_pool", "_circuits")
 
     def __init__(self, schema: Schema, rows: list[AnnotatedTuple]) -> None:
         self.schema = schema
         self.rows = rows
+        self._pool: CircuitPool | None = None
+        self._circuits: list[CompiledCircuit] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -75,17 +85,42 @@ class ResultSet:
             return frozenset()
         return frozenset().union(*(row.lineage.variables for row in self.rows))
 
+    @property
+    def has_compiled_circuits(self) -> bool:
+        """Whether the shared circuits have been built (no side effects)."""
+        return self._circuits is not None
+
+    def compiled_circuits(self) -> list[CompiledCircuit]:
+        """Per-row circuits over one shared pool (compiled on first use)."""
+        if self._circuits is None:
+            pool = CircuitPool()
+            self._circuits = [pool.compile(row.lineage) for row in self.rows]
+            self._pool = pool
+        return self._circuits
+
+    def circuit_stats(self) -> dict[str, float]:
+        """Sharing statistics of the result set's circuit pool."""
+        self.compiled_circuits()
+        assert self._pool is not None
+        return self._pool.stats()
+
     def confidences(self, source: "Database | Mapping[TupleId, float]") -> list[float]:
         """Per-row confidence, from a database or an explicit probability map."""
         probabilities = self._probabilities(source)
-        return [row.confidence(probabilities) for row in self.rows]
+        return [
+            circuit.evaluate(probabilities)
+            for circuit in self.compiled_circuits()
+        ]
 
     def with_confidences(
         self, source: "Database | Mapping[TupleId, float]"
     ) -> list[tuple[AnnotatedTuple, float]]:
         """Rows paired with their confidence."""
         probabilities = self._probabilities(source)
-        return [(row, row.confidence(probabilities)) for row in self.rows]
+        return [
+            (row, circuit.evaluate(probabilities))
+            for row, circuit in zip(self.rows, self.compiled_circuits())
+        ]
 
     def top_k_by_confidence(
         self, source: "Database | Mapping[TupleId, float]", k: int

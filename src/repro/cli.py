@@ -9,6 +9,7 @@ exploring the system without writing Python:
     load Proposal proposals.csv
     sql SELECT Company FROM Proposal WHERE Funding < 1.0
     explain SELECT ...                  -- optimized plan tree
+    circuit SELECT ...                  -- lineage circuit sharing stats
     profile Proposal                    -- confidence statistics
     profile ask bob investment 1.0 SELECT ...  -- pipeline stage breakdown
     role add Manager [inherits Secretary]
@@ -89,6 +90,7 @@ class CommandShell:
             "user": self._cmd_user,
             "policy": self._cmd_policy,
             "solver": self._cmd_solver,
+            "circuit": self._cmd_circuit,
             "ask": self._cmd_ask,
             "demo": self._cmd_demo,
             "help": self._cmd_help,
@@ -169,6 +171,32 @@ class CommandShell:
         if not rest:
             raise CommandError("usage: explain <SELECT ...>")
         return plan_sql(self.db, rest).explain()
+
+    def _cmd_circuit(self, rest: str) -> str:
+        """Compile a query's lineage and report circuit sharing stats."""
+        if not rest:
+            raise CommandError("usage: circuit <SELECT ...>")
+        result = execute_sql(self.db, rest)
+        if isinstance(result, DmlResult):
+            raise CommandError("circuit needs a SELECT query")
+        if not len(result):
+            return "(no rows — nothing to compile)"
+        circuits = result.compiled_circuits()
+        stats = result.circuit_stats()
+        from .lineage.formula import node_count
+
+        tree_nodes = sum(node_count(row.lineage) for row in result)
+        circuit_nodes = int(stats["nodes"])
+        return (
+            f"rows: {len(result)}\n"
+            f"lineage tree nodes: {tree_nodes}\n"
+            f"circuit nodes (shared pool): {circuit_nodes}\n"
+            f"variables: {int(stats['variables'])}\n"
+            f"shared-node hit rate: {stats['shared_hit_rate']:.1%} "
+            f"({int(stats['intern_hits'])} intern + "
+            f"{int(stats['formula_hits'])} formula hits)\n"
+            f"largest row circuit: {max(len(c) for c in circuits)} nodes"
+        )
 
     def _cmd_profile(self, rest: str) -> str:
         if not rest:
@@ -312,7 +340,8 @@ class CommandShell:
     def _cmd_help(self, rest: str) -> str:
         return (
             "commands: create, load, tables, sql, explain, profile, "
-            "role, purpose, user, policy, solver, ask, demo, help, quit"
+            "role, purpose, user, policy, solver, circuit, ask, demo, "
+            "help, quit"
         )
 
 

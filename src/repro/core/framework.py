@@ -279,7 +279,11 @@ class PCQEngine:
                 receipt = self.improvement.apply(self.db, plan)
                 span.set_attribute("tuples_improved", receipt.tuples_improved)
                 span.set_attribute("total_cost", receipt.total_cost)
-            with tracer.span("pcqe.reevaluation"):
+            with tracer.span("pcqe.reevaluation") as span:
+                # Same ResultSet object as the first enforcement pass, so
+                # the row circuits compiled there are evaluated again with
+                # the improved confidences instead of being rebuilt.
+                span.set_attribute("circuit.reused", result.has_compiled_circuits)
                 improved_outcome = self._evaluator.apply_threshold(
                     result, self.db, threshold
                 )

@@ -112,6 +112,7 @@ def solve_dnc(
             if options.refine:
                 _refine(problem, state, stats)
 
+        stats.add_cone_stats(state)
         span.set_attribute("cost", state.cost)
         return IncrementPlan(
             state.snapshot_targets(),
@@ -152,6 +153,8 @@ def _solve_groups(
             continue
         plan = solve_greedy(sub, options.greedy)
         stats.gain_evaluations += plan.stats.gain_evaluations
+        stats.cone_updates += plan.stats.cone_updates
+        stats.cone_nodes += plan.stats.cone_nodes
         if len(sub.tuples) < options.tau:
             refined = _exact_refinement(sub, plan, options)
             if refined is not None and refined.total_cost < plan.total_cost:

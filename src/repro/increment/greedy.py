@@ -95,6 +95,7 @@ def solve_greedy(
                 _phase_two(problem, state, last_gain, stats)
 
         algorithm = "greedy" if options.two_phase else "greedy-1phase"
+        stats.add_cone_stats(state)
         span.set_attribute("cost", state.cost)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
@@ -134,19 +135,18 @@ def _step_gain(
     step_cost = tuple_state.cost_to(target) - tuple_state.cost_to(current)
     stats.gain_evaluations += 1
 
+    # One what-if probe answers every affected result at once, through
+    # the per-function caches (re-probing an unchanged move is a hit).
+    indexes = [
+        index
+        for index in problem.results_by_tuple[tid]
+        if scope == "all" or state.result_needed(index)
+    ]
     delta_f = 0.0
-    assignment = state.assignment
-    assignment[tid] = target  # temporary in-place probe
-    try:
-        for index in problem.results_by_tuple[tid]:
-            if scope == "unsatisfied" and not state.result_needed(index):
-                continue
-            delta_f += (
-                problem.results[index].evaluate(assignment)
-                - state.confidences[index]
-            )
-    finally:
-        assignment[tid] = current
+    for index, new_confidence in zip(
+        indexes, state.probe(tid, target, indexes)
+    ):
+        delta_f += new_confidence - state.confidences[index]
     if delta_f <= _EPS:
         return 0.0
     if step_cost <= _EPS:
@@ -214,7 +214,7 @@ def _phase_one(
         tuple_state = problem.tuples[pick]
         current = state.value_of(pick)
         target = min(current + problem.delta, tuple_state.maximum)
-        state.set_value(pick, target)
+        state.commit(pick, target)
         last_gain[pick] = best
         for tid in neighbours[pick]:
             refresh(tid)
@@ -248,7 +248,7 @@ def _phase_one_full(
             )
         tuple_state = problem.tuples[pick]
         target = min(state.value_of(pick) + problem.delta, tuple_state.maximum)
-        state.set_value(pick, target)
+        state.commit(pick, target)
         last_gain[pick] = best
     return last_gain
 

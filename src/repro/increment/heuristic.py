@@ -45,6 +45,7 @@ from .problem import (
     IncrementProblem,
     SearchState,
     SolverStats,
+    UndoToken,
 )
 
 __all__ = ["HeuristicOptions", "solve_heuristic", "cost_beta"]
@@ -228,7 +229,7 @@ def _solve(
     if options.use_h3:
         potential_state = SearchState(problem)
         for tid in order:
-            potential_state.set_value(tid, problem.tuples[tid].maximum)
+            potential_state.commit(tid, problem.tuples[tid].maximum)
 
     def descend(position: int) -> None:
         nonlocal best_cost, best_targets, best_satisfied
@@ -244,7 +245,7 @@ def _solve(
             old_value = state.value_of(tid)
             undo = state.set_value(tid, value)
             potential_old = 0.0
-            potential_undo: list[tuple[int, float]] = []
+            potential_undo: UndoToken = ([], None)
             if potential_state is not None:
                 potential_old = potential_state.value_of(tid)
                 potential_undo = potential_state.set_value(tid, value)
@@ -287,6 +288,9 @@ def _solve(
 
     descend(0)
 
+    stats.add_cone_stats(state)
+    if potential_state is not None:
+        stats.add_cone_stats(potential_state)
     stats.completed = not budget.exhausted
     if best_targets is None:
         if options.initial_upper_bound is not None:

@@ -106,6 +106,7 @@ def solve_local_search(
                 best_satisfied = state.satisfied_indexes()
             _perturb(problem, state, rng, options)
 
+        stats.add_cone_stats(state)
         span.set_attribute("cost", best_cost)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(

@@ -2,10 +2,13 @@
 
 Query results carry boolean lineage over base tuples; confidence is the
 probability of the lineage under tuple independence.  Exact evaluation uses
-independence decomposition plus Shannon expansion; a Monte-Carlo estimator
-covers adversarial formulas.
+independence decomposition plus Shannon expansion, compiled once per query
+into shared arithmetic circuits (:mod:`repro.lineage.circuit`) that answer
+evaluation, all partial derivatives, and incremental re-evaluation as cheap
+passes; a Monte-Carlo estimator covers adversarial formulas.
 """
 
+from .circuit import CircuitEvaluator, CircuitPool, CompiledCircuit
 from .confidence import ConfidenceFunction
 from .explain import explain, minimal_witnesses, rank_influence
 from .formula import (
@@ -47,6 +50,9 @@ __all__ = [
     "probability",
     "sensitivity",
     "ConfidenceFunction",
+    "CircuitPool",
+    "CompiledCircuit",
+    "CircuitEvaluator",
     "minimal_witnesses",
     "rank_influence",
     "explain",

@@ -1,0 +1,569 @@
+"""Arithmetic circuits compiled from lineage formulas.
+
+One confidence engine for the whole pipeline.  A :class:`CircuitPool`
+compiles lineage formulas — via the same independence-decomposition and
+Shannon-expansion steps as :func:`~repro.lineage.probability.probability` —
+into flat arithmetic-circuit nodes that are *interned*: structurally equal
+subcircuits are stored once and shared across every formula compiled into
+the pool (one pool per query, so a result set with overlapping derivations
+pays for each common subformula once).
+
+Three passes answer everything the pipeline needs:
+
+* **forward** — :meth:`CompiledCircuit.evaluate` computes ``P(F)`` by one
+  sweep over the root's cone in topological (= creation) order;
+* **backward** — :meth:`CompiledCircuit.gradient` computes *all* partial
+  derivatives ``∂F/∂p(t)`` at once by reverse-mode adjoint accumulation
+  over the same cone (the probability is multilinear, so these are exactly
+  the paper's sensitivities);
+* **incremental** — :class:`CircuitEvaluator` keeps a committed value per
+  node under a mutable assignment and, when one tuple's confidence
+  changes, recomputes only the *cone* of nodes between that variable and
+  the roots — the operation the increment solvers perform thousands of
+  times per solve.
+
+Node semantics mirror the closure evaluator they replace operation for
+operation (products left to right, OR as ``1 − Π(1 − x)``, Shannon as
+``p·high + (1−p)·low``), so circuit values are bit-identical to
+:func:`~repro.lineage.probability.compile_probability` — the solvers make
+exactly the same decisions on either engine, only faster.
+
+The pool is single-threaded by design (scratch buffers are reused across
+calls), matching the rest of the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import LineageError
+from ..storage.tuples import TupleId
+from .formula import And, Bottom, Lineage, Not, Or, Top, Var, restrict
+from .probability import (
+    ProbabilityMap,
+    _independent_clusters,
+    _pick_branch_variable,
+    _rebuild_connective,
+)
+
+__all__ = ["CircuitPool", "CompiledCircuit", "CircuitEvaluator"]
+
+# Node kinds.  Children are node indexes; a node's index is always larger
+# than its children's (creation order == topological order).
+CONST = 0  # arg: float value
+VAR = 1  # arg: TupleId
+MUL = 2  # arg: tuple of child indexes — product
+NOT = 3  # arg: child index — 1 − child
+LERP = 4  # arg: (var, high, low) — var·high + (1 − var)·low
+
+
+def _missing(tid: TupleId) -> LineageError:
+    return LineageError(f"no probability supplied for base tuple {tid}")
+
+
+class CircuitPool:
+    """A growable, interned store of arithmetic-circuit nodes.
+
+    All formulas of one query (result set / increment problem) compile into
+    the same pool; the intern table makes shared subformulas — and shared
+    sub-*circuits* exposed only after decomposition — single nodes, which
+    every downstream pass then evaluates once.
+    """
+
+    __slots__ = (
+        "_kinds",
+        "_args",
+        "_intern",
+        "_formula_memo",
+        "_var_ids",
+        "_scratch",
+        "_adjoint",
+        "intern_hits",
+        "formula_hits",
+        "lookups",
+    )
+
+    def __init__(self) -> None:
+        self._kinds: list[int] = []
+        self._args: list = []
+        self._intern: dict[tuple, int] = {}
+        self._formula_memo: dict[Lineage, int] = {}
+        self._var_ids: dict[TupleId, int] = {}
+        self._scratch: list[float] = []
+        self._adjoint: list[float] = []
+        #: Node-construction requests answered from the intern table.
+        self.intern_hits = 0
+        #: Formula compilations answered from the cross-formula memo.
+        self.formula_hits = 0
+        #: Total node-construction requests (hit rate = hits / lookups).
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of node requests resolved by sharing."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.intern_hits + self.formula_hits) / (
+            self.lookups + self.formula_hits
+        )
+
+    # -- node construction (interned) --------------------------------------
+
+    def _node(self, kind: int, arg) -> int:
+        self.lookups += 1
+        key = (kind, arg)
+        index = self._intern.get(key)
+        if index is not None:
+            self.intern_hits += 1
+            return index
+        index = len(self._kinds)
+        self._kinds.append(kind)
+        self._args.append(arg)
+        self._intern[key] = index
+        if kind == VAR:
+            self._var_ids[arg] = index
+        return index
+
+    def var_node(self, tid: TupleId) -> int:
+        """The (interned) node for base tuple *tid*'s probability."""
+        return self._node(VAR, tid)
+
+    def var_id(self, tid: TupleId) -> int | None:
+        """Node index of *tid*'s variable, or None if never compiled."""
+        return self._var_ids.get(tid)
+
+    # -- compilation --------------------------------------------------------
+
+    def compile(self, formula: Lineage) -> "CompiledCircuit":
+        """Compile *formula* into the pool and return its root handle."""
+        root = self._compile_formula(formula)
+        return CompiledCircuit(self, root)
+
+    def _compile_formula(self, node: Lineage) -> int:
+        cached = self._formula_memo.get(node)
+        if cached is not None:
+            self.formula_hits += 1
+            return cached
+        index = self._compile_uncached(node)
+        self._formula_memo[node] = index
+        return index
+
+    def _compile_uncached(self, node: Lineage) -> int:
+        if isinstance(node, Top):
+            return self._node(CONST, 1.0)
+        if isinstance(node, Bottom):
+            return self._node(CONST, 0.0)
+        if isinstance(node, Var):
+            return self._node(VAR, node.tid)
+        if isinstance(node, Not):
+            return self._node(NOT, self._compile_formula(node.child))
+        if isinstance(node, (And, Or)):
+            clusters = _independent_clusters(node.children)
+            if len(clusters) > 1 or all(len(c) == 1 for c in clusters):
+                parts = [
+                    self._compile_formula(_rebuild_connective(node, cluster))
+                    for cluster in clusters
+                ]
+                if isinstance(node, And):
+                    return self._product(parts)
+                complements = [self._node(NOT, part) for part in parts]
+                return self._node(NOT, self._product(complements))
+            branch = _pick_branch_variable(node.children)
+            high = self._compile_formula(restrict(node, branch, True))
+            low = self._compile_formula(restrict(node, branch, False))
+            return self._node(LERP, (self._node(VAR, branch), high, low))
+        raise LineageError(f"cannot compile {node!r}")  # pragma: no cover
+
+    def _product(self, parts: list[int]) -> int:
+        if len(parts) == 1:
+            return parts[0]
+        return self._node(MUL, tuple(parts))
+
+    # -- shared buffers ------------------------------------------------------
+
+    def _values_buffer(self) -> list[float]:
+        if len(self._scratch) < len(self._kinds):
+            self._scratch.extend(
+                [0.0] * (len(self._kinds) - len(self._scratch))
+            )
+        return self._scratch
+
+    def _adjoint_buffer(self) -> list[float]:
+        if len(self._adjoint) < len(self._kinds):
+            self._adjoint.extend(
+                [0.0] * (len(self._kinds) - len(self._adjoint))
+            )
+        return self._adjoint
+
+    # -- evaluation kernels (shared by circuits and evaluators) -------------
+
+    def _forward(
+        self,
+        order: Sequence[int],
+        values: list[float],
+        assignment: ProbabilityMap,
+    ) -> None:
+        """One forward sweep writing each node of *order* into *values*."""
+        kinds = self._kinds
+        args = self._args
+        for index in order:
+            kind = kinds[index]
+            arg = args[index]
+            if kind == VAR:
+                try:
+                    values[index] = assignment[arg]
+                except KeyError:
+                    raise _missing(arg) from None
+            elif kind == MUL:
+                product = 1.0
+                for child in arg:
+                    product *= values[child]
+                values[index] = product
+            elif kind == NOT:
+                values[index] = 1.0 - values[arg]
+            elif kind == LERP:
+                p = values[arg[0]]
+                values[index] = (
+                    p * values[arg[1]] + (1.0 - p) * values[arg[2]]
+                )
+            else:  # CONST
+                values[index] = arg
+
+    def _recompute(
+        self, cone: Sequence[int], values: list[float]
+    ) -> None:
+        """Recompute *cone* (no VAR/CONST nodes) in place over *values*."""
+        kinds = self._kinds
+        args = self._args
+        for index in cone:
+            kind = kinds[index]
+            arg = args[index]
+            if kind == MUL:
+                product = 1.0
+                for child in arg:
+                    product *= values[child]
+                values[index] = product
+            elif kind == NOT:
+                values[index] = 1.0 - values[arg]
+            else:  # LERP — cones never contain VAR/CONST nodes
+                p = values[arg[0]]
+                values[index] = (
+                    p * values[arg[1]] + (1.0 - p) * values[arg[2]]
+                )
+
+    def _backward(
+        self,
+        order: Sequence[int],
+        root: int,
+        values: list[float],
+    ) -> dict[TupleId, float]:
+        """Adjoint accumulation over *order*; returns grad per variable."""
+        adjoint = self._adjoint_buffer()
+        for index in order:
+            adjoint[index] = 0.0
+        adjoint[root] = 1.0
+        kinds = self._kinds
+        args = self._args
+        gradient: dict[TupleId, float] = {}
+        for index in reversed(order):
+            seed = adjoint[index]
+            kind = kinds[index]
+            arg = args[index]
+            if kind == VAR:
+                gradient[arg] = seed
+            elif seed == 0.0:
+                continue
+            elif kind == MUL:
+                # adj[c_i] += seed · Π_{j≠i} v_j via prefix/suffix products.
+                count = len(arg)
+                prefix = 1.0
+                suffixes = [1.0] * count
+                for position in range(count - 2, -1, -1):
+                    suffixes[position] = (
+                        suffixes[position + 1] * values[arg[position + 1]]
+                    )
+                for position, child in enumerate(arg):
+                    adjoint[child] += seed * prefix * suffixes[position]
+                    prefix *= values[child]
+            elif kind == NOT:
+                adjoint[arg] -= seed
+            elif kind == LERP:
+                p_node, high, low = arg
+                adjoint[p_node] += seed * (values[high] - values[low])
+                adjoint[high] += seed * values[p_node]
+                adjoint[low] += seed * (1.0 - values[p_node])
+        return gradient
+
+    def stats(self) -> dict[str, float]:
+        """Sharing statistics for observability spans and the CLI."""
+        return {
+            "nodes": len(self._kinds),
+            "variables": len(self._var_ids),
+            "intern_hits": self.intern_hits,
+            "formula_hits": self.formula_hits,
+            "shared_hit_rate": round(self.shared_hit_rate, 4),
+        }
+
+
+def _clamp(value: float) -> float:
+    # Clamp tiny float drift so callers can rely on [0, 1].
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+class CompiledCircuit:
+    """One formula's root in a pool, with its cone precomputed.
+
+    ``order`` is the root's cone — every pool node the root depends on —
+    in topological order; standalone evaluation and gradients sweep only
+    this slice of the pool, so unrelated formulas sharing the pool cost
+    nothing.
+    """
+
+    __slots__ = ("pool", "root", "order", "support")
+
+    def __init__(self, pool: CircuitPool, root: int) -> None:
+        self.pool = pool
+        self.root = root
+        cone: set[int] = set()
+        pending = [root]
+        kinds = pool._kinds
+        args = pool._args
+        while pending:
+            index = pending.pop()
+            if index in cone:
+                continue
+            cone.add(index)
+            kind = kinds[index]
+            if kind == MUL or kind == LERP:
+                pending.extend(args[index])
+            elif kind == NOT:
+                pending.append(args[index])
+        # Node indexes are created children-first, so ascending index
+        # order is a topological order of the cone.
+        self.order: tuple[int, ...] = tuple(sorted(cone))
+        self.support: tuple[TupleId, ...] = tuple(
+            sorted(
+                args[index]
+                for index in self.order
+                if kinds[index] == VAR
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def evaluate(self, assignment: ProbabilityMap) -> float:
+        """``P(F)`` under *assignment* — one forward sweep of the cone."""
+        pool = self.pool
+        values = pool._values_buffer()
+        pool._forward(self.order, values, assignment)
+        return _clamp(values[self.root])
+
+    def gradient(self, assignment: ProbabilityMap) -> dict[TupleId, float]:
+        """All ``∂F/∂p(t)`` at *assignment* in one forward+backward pass.
+
+        By multilinearity each entry equals the Shannon difference
+        ``P(F|t=1) − P(F|t=0)`` that
+        :func:`~repro.lineage.probability.sensitivity` computes one
+        variable at a time.  Keys are the circuit's :attr:`support`: a
+        formula variable eliminated during compilation (absorption under
+        Shannon restriction) has a structurally zero partial and no entry.
+        """
+        pool = self.pool
+        values = pool._values_buffer()
+        pool._forward(self.order, values, assignment)
+        return pool._backward(self.order, self.root, values)
+
+
+class CircuitEvaluator:
+    """Mutable assignment over (part of) a pool with cone re-evaluation.
+
+    The increment solvers' engine: holds committed values for every node in
+    the *scope* (the union of the given circuits' cones), updates one
+    variable at a time recomputing only its var→root cone, and answers
+    hypothetical probes against an overlay without committing anything.
+    """
+
+    __slots__ = (
+        "pool",
+        "values",
+        "_scope",
+        "_parents",
+        "_cones",
+        "updates",
+        "nodes_recomputed",
+    )
+
+    def __init__(
+        self,
+        pool: CircuitPool,
+        assignment: ProbabilityMap,
+        circuits: Iterable[CompiledCircuit],
+    ) -> None:
+        self.pool = pool
+        scope: set[int] = set()
+        for circuit in circuits:
+            if circuit.pool is not pool:
+                raise LineageError(
+                    "all circuits of one evaluator must share its pool"
+                )
+            scope.update(circuit.order)
+        self._scope = scope
+        order = sorted(scope)
+        self.values: list[float] = [0.0] * len(pool)
+        pool._forward(order, self.values, assignment)
+        # Reverse adjacency inside the scope, for cone discovery.
+        parents: dict[int, list[int]] = {}
+        kinds = pool._kinds
+        args = pool._args
+        for index in order:
+            kind = kinds[index]
+            if kind == MUL or kind == LERP:
+                children: tuple[int, ...] = args[index]
+            elif kind == NOT:
+                children = (args[index],)
+            else:
+                continue
+            for child in children:
+                parents.setdefault(child, []).append(index)
+        self._parents = parents
+        self._cones: dict[TupleId, tuple[int, ...]] = {}
+        #: Committed updates and probes performed.
+        self.updates = 0
+        #: Total cone nodes recomputed across updates and probes.
+        self.nodes_recomputed = 0
+
+    def cone(self, tid: TupleId) -> tuple[int, ...]:
+        """The nodes strictly above *tid*'s variable, topologically sorted.
+
+        Empty when the scope never reads the variable.
+        """
+        cached = self._cones.get(tid)
+        if cached is not None:
+            return cached
+        var_index = self.pool._var_ids.get(tid)
+        if var_index is None or var_index not in self._scope:
+            self._cones[tid] = ()
+            return ()
+        ancestors: set[int] = set()
+        pending = list(self._parents.get(var_index, ()))
+        while pending:
+            index = pending.pop()
+            if index in ancestors:
+                continue
+            ancestors.add(index)
+            pending.extend(self._parents.get(index, ()))
+        cone = tuple(sorted(ancestors))
+        self._cones[tid] = cone
+        return cone
+
+    def set_value(self, tid: TupleId, value: float) -> None:
+        """Commit ``tid := value`` and recompute its cone."""
+        var_index = self.pool._var_ids.get(tid)
+        if var_index is None or var_index not in self._scope:
+            return
+        self.values[var_index] = value
+        cone = self.cone(tid)
+        self.pool._recompute(cone, self.values)
+        self.updates += 1
+        self.nodes_recomputed += len(cone)
+
+    def set_value_recorded(self, tid: TupleId, value: float) -> list | None:
+        """Like :meth:`set_value`, but also return an undo snapshot.
+
+        The snapshot holds the old committed value of every node the
+        commit touched, as a flat ``[index, value, index, value, …]``
+        list (no per-node pair objects — undo tokens are allocated on the
+        solvers' hottest backtracking path); :meth:`restore` writes them
+        back without any arithmetic.  It is only valid while the
+        committed values of all *other* variables are what they were at
+        snapshot time — i.e. under the solvers' last-in-first-out move
+        discipline (or after every intervening move has itself been
+        rolled back).  ``None`` when the variable is outside the scope
+        (the commit was a no-op).
+        """
+        var_index = self.pool._var_ids.get(tid)
+        if var_index is None or var_index not in self._scope:
+            return None
+        values = self.values
+        cone = self.cone(tid)
+        snapshot = [var_index, values[var_index]]
+        for index in cone:
+            snapshot.append(index)
+            snapshot.append(values[index])
+        values[var_index] = value
+        self.pool._recompute(cone, values)
+        self.updates += 1
+        self.nodes_recomputed += len(cone)
+        return snapshot
+
+    def restore(self, snapshot: Sequence) -> None:
+        """Write back a :meth:`set_value_recorded` snapshot (no arithmetic)."""
+        values = self.values
+        for position in range(0, len(snapshot), 2):
+            values[snapshot[position]] = snapshot[position + 1]
+        self.updates += 1
+
+    def value(self, root: int) -> float:
+        """The committed, clamped value of *root*."""
+        return _clamp(self.values[root])
+
+    def probe(
+        self, tid: TupleId, value: float, roots: Sequence[int]
+    ) -> list[float]:
+        """Clamped values of *roots* if ``tid := value`` — without commit.
+
+        The cone is evaluated into an overlay, so the committed state (and
+        any cached cones) stay untouched; cost is one cone sweep instead of
+        the update-evaluate-restore dance on a copied assignment.
+        """
+        var_index = self.pool._var_ids.get(tid)
+        if var_index is None or var_index not in self._scope:
+            return [self.value(root) for root in roots]
+        values = self.values
+        overlay: dict[int, float] = {var_index: value}
+        kinds = self.pool._kinds
+        args = self.pool._args
+        cone = self.cone(tid)
+        for index in cone:
+            kind = kinds[index]
+            arg = args[index]
+            if kind == MUL:
+                product = 1.0
+                for child in arg:
+                    cached = overlay.get(child)
+                    product *= values[child] if cached is None else cached
+                overlay[index] = product
+            elif kind == NOT:
+                cached = overlay.get(arg)
+                overlay[index] = 1.0 - (
+                    values[arg] if cached is None else cached
+                )
+            else:  # LERP
+                p_node, high, low = arg
+                p = overlay.get(p_node, values[p_node])
+                overlay[index] = p * overlay.get(high, values[high]) + (
+                    1.0 - p
+                ) * overlay.get(low, values[low])
+        self.updates += 1
+        self.nodes_recomputed += len(cone)
+        return [
+            _clamp(overlay.get(root, values[root])) for root in roots
+        ]
+
+    def gradient(self, circuit: CompiledCircuit) -> dict[TupleId, float]:
+        """All ``∂F/∂p(t)`` of *circuit* at the committed assignment.
+
+        Reuses committed forward values — one backward sweep, no forward
+        pass.
+        """
+        if circuit.pool is not self.pool:
+            raise LineageError("circuit belongs to a different pool")
+        return self.pool._backward(circuit.order, circuit.root, self.values)

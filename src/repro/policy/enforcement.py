@@ -102,8 +102,17 @@ class PolicyEvaluator:
             raise PolicyError(f"threshold {threshold} outside [0, 1]")
         tracer = get_tracer()
         with tracer.span("policy.confidence", rows=len(result)) as span:
+            reused_circuits = result.has_compiled_circuits
             pairs = result.with_confidences(source)
             span.set_attribute("rows", len(pairs))
+            if len(result):
+                circuit_stats = result.circuit_stats()
+                span.set_attribute("circuit.nodes", circuit_stats["nodes"])
+                span.set_attribute(
+                    "circuit.shared_hit_rate",
+                    circuit_stats["shared_hit_rate"],
+                )
+                span.set_attribute("circuit.reused", reused_circuits)
         with tracer.span("policy.filter", threshold=threshold) as span:
             released: list[tuple[AnnotatedTuple, float]] = []
             withheld: list[tuple[AnnotatedTuple, float]] = []
@@ -115,6 +124,10 @@ class PolicyEvaluator:
             span.set_attribute("released", len(released))
             span.set_attribute("withheld", len(withheld))
         metrics = get_metrics()
+        if len(result):
+            metrics.counter(
+                "circuit.pool_reuses" if reused_circuits else "circuit.pool_compiles"
+            ).inc()
         metrics.counter("policy.rows_evaluated").inc(len(pairs))
         metrics.counter("policy.rows_released").inc(len(released))
         metrics.counter("policy.rows_withheld").inc(len(withheld))

@@ -36,6 +36,15 @@ class TupleId:
     table: str
     ordinal: int
 
+    def __post_init__(self) -> None:
+        # Tuple ids key every assignment / lineage / cache dict on the
+        # solver hot paths; the generated dataclass hash re-hashes the
+        # table name on every lookup, so cache it once.
+        object.__setattr__(self, "_hash", hash((self.table, self.ordinal)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.table}:{self.ordinal}"
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..cost import CostModelSampler
 from ..errors import WorkloadError
+from ..lineage.circuit import CircuitPool
 from ..lineage.confidence import ConfidenceFunction
 from ..lineage.formula import Lineage, lineage_and, lineage_or, var
 from ..storage.tuples import TupleId
@@ -144,6 +145,7 @@ def generate_problem(spec: WorkloadSpec, seed: int = 0) -> GeneratedWorkload:
         tids.append(tid)
 
     results: list[ConfidenceFunction] = []
+    circuit_pool = CircuitPool()  # one pool per instance (shared circuits)
     window = max(
         spec.tuples_per_result,
         int(round(spec.tuples_per_result * max(spec.locality, 1.0))),
@@ -156,7 +158,9 @@ def generate_problem(spec: WorkloadSpec, seed: int = 0) -> GeneratedWorkload:
             pool = tids
         chosen = rng.sample(pool, min(spec.tuples_per_result, len(pool)))
         lineage = _random_lineage(rng, [var(tid) for tid in chosen], spec.or_bias)
-        results.append(ConfidenceFunction(lineage, f"λ{index}"))
+        results.append(
+            ConfidenceFunction(lineage, f"λ{index}", pool=circuit_pool)
+        )
 
     requested = math.ceil(spec.theta * len(results) - 1e-9)
     probe = IncrementProblem(

@@ -1,0 +1,171 @@
+"""Differential properties of the arithmetic-circuit engine.
+
+The circuit compiler mirrors the tree-walk evaluator operation for
+operation, so its values must be *bit-identical* to
+:func:`repro.lineage.probability.probability` and
+:func:`repro.lineage.probability.compile_probability` on arbitrary SPJU
+lineage — including formulas that share subcircuits through one pool and
+formulas whose entangled clusters force Shannon expansion.  Monte-Carlo
+estimation provides an engine-independent statistical cross-check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lineage import (
+    CircuitEvaluator,
+    CircuitPool,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    probability,
+    sensitivity,
+    var,
+)
+from repro.lineage.montecarlo import estimate_probability
+from repro.lineage.probability import compile_probability
+from repro.storage import TupleId
+
+POOL = [TupleId("t", i) for i in range(5)]
+
+
+def formulas(max_depth=4, allow_not=True):
+    """Random formula trees over POOL (same shape as the lineage suite).
+
+    Repeated variables across branches routinely produce entangled
+    clusters, so the Shannon-expansion compile path is exercised heavily.
+    """
+    leaves = st.sampled_from(POOL).map(var)
+
+    def extend(children):
+        options = [
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: lineage_and(*parts)
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: lineage_or(*parts)
+            ),
+        ]
+        if allow_not:
+            options.append(children.map(lineage_not))
+        return st.one_of(*options)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def probability_maps():
+    return st.fixed_dictionaries(
+        {tid: st.floats(min_value=0.0, max_value=1.0) for tid in POOL}
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas(), probability_maps())
+def test_circuit_matches_probability_bitwise(formula, probs):
+    circuit = CircuitPool().compile(formula)
+    assert circuit.evaluate(probs) == probability(formula, probs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), probability_maps())
+def test_circuit_matches_compiled_closure_bitwise(formula, probs):
+    circuit = CircuitPool().compile(formula)
+    assert circuit.evaluate(probs) == compile_probability(formula)(probs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), formulas(), probability_maps())
+def test_sharing_one_pool_does_not_change_values(left, right, probs):
+    """Interning across formulas never alters either formula's value."""
+    pool = CircuitPool()
+    first = pool.compile(left)
+    second = pool.compile(right)
+    assert first.evaluate(probs) == probability(left, probs)
+    assert second.evaluate(probs) == probability(right, probs)
+    # Compiling in one pool combining both (forcing shared subcircuits
+    # through the conjunction) leaves the standalone values intact too.
+    combined = pool.compile(lineage_and(left, right))
+    assert first.evaluate(probs) == probability(left, probs)
+    del combined
+
+
+@settings(max_examples=75, deadline=None)
+@given(formulas(allow_not=False), probability_maps())
+def test_gradient_matches_sensitivity(formula, probs):
+    circuit = CircuitPool().compile(formula)
+    gradient = circuit.gradient(probs)
+    # Variables the compiler eliminated (absorption during Shannon
+    # restriction) have structurally zero partials and no gradient entry.
+    for tid in formula.variables:
+        assert (
+            abs(gradient.get(tid, 0.0) - sensitivity(formula, probs, tid))
+            < 1e-9
+        )
+
+
+@settings(max_examples=75, deadline=None)
+@given(
+    formulas(),
+    probability_maps(),
+    st.lists(
+        st.tuples(
+            st.sampled_from(POOL), st.floats(min_value=0.0, max_value=1.0)
+        ),
+        max_size=6,
+    ),
+)
+def test_incremental_updates_match_fresh_evaluation(formula, probs, updates):
+    """A chain of cone updates always equals evaluating from scratch."""
+    pool = CircuitPool()
+    circuit = pool.compile(formula)
+    current = dict(probs)
+    evaluator = CircuitEvaluator(pool, current, [circuit])
+    for tid, value in updates:
+        current[tid] = value
+        evaluator.set_value(tid, value)
+        assert evaluator.value(circuit.root) == probability(formula, current)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    formulas(),
+    probability_maps(),
+    st.sampled_from(POOL),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_probe_equals_patched_evaluation_without_commit(
+    formula, probs, tid, value
+):
+    pool = CircuitPool()
+    circuit = pool.compile(formula)
+    evaluator = CircuitEvaluator(pool, probs, [circuit])
+    before = evaluator.value(circuit.root)
+    patched = dict(probs)
+    patched[tid] = value
+    [probed] = evaluator.probe(tid, value, [circuit.root])
+    assert probed == probability(formula, patched)
+    assert evaluator.value(circuit.root) == before
+
+
+@settings(max_examples=20, deadline=None)
+@given(formulas(), st.integers(min_value=0, max_value=2**16))
+def test_circuit_within_montecarlo_interval(formula, seed):
+    """Statistical cross-check against an engine that shares no code."""
+    rng = random.Random(seed)
+    probs = {tid: rng.uniform(0.0, 1.0) for tid in POOL}
+    exact = CircuitPool().compile(formula).evaluate(probs)
+    samples = 4000
+    estimate = estimate_probability(
+        formula, probs, samples=samples, rng=random.Random(seed + 1)
+    )
+    low, high = estimate.confidence_interval(z=4.0)
+    # The normal-approximation interval degenerates when the true
+    # probability is within ~1/samples of 0 or 1 (every sample agrees,
+    # stderr 0) — widen by the resolution of the estimator so those
+    # cases don't fail spuriously.
+    slack = 10.0 / samples
+    assert low - slack <= exact <= high + slack

@@ -1,0 +1,352 @@
+"""Unit tests for the arithmetic-circuit confidence engine."""
+
+import random
+
+import pytest
+
+from repro.errors import LineageError
+from repro.lineage import (
+    CircuitEvaluator,
+    CircuitPool,
+    ConfidenceFunction,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+    probability,
+    sensitivity,
+    var,
+)
+from repro.lineage.confidence import CACHE_SIZE
+from repro.lineage.probability import compile_probability
+from repro.storage import TupleId
+
+T = [TupleId("t", i) for i in range(8)]
+
+
+def _assignment(seed=0, tids=T):
+    rng = random.Random(seed)
+    return {tid: rng.uniform(0.05, 0.95) for tid in tids}
+
+
+def _shannon_formula():
+    """One entangled cluster: (t0 ∧ t1) ∨ (t1 ∧ t2) forces Shannon."""
+    return lineage_or(
+        lineage_and(var(T[0]), var(T[1])), lineage_and(var(T[1]), var(T[2]))
+    )
+
+
+class TestCompilation:
+    def test_evaluate_matches_probability_bitwise(self):
+        formulas = [
+            var(T[0]),
+            lineage_and(var(T[0]), var(T[1])),
+            lineage_or(var(T[0]), var(T[1]), var(T[2])),
+            lineage_not(lineage_and(var(T[0]), var(T[1]))),
+            _shannon_formula(),
+            lineage_and(_shannon_formula(), var(T[3])),
+        ]
+        pool = CircuitPool()
+        assignment = _assignment()
+        for formula in formulas:
+            circuit = pool.compile(formula)
+            assert circuit.evaluate(assignment) == probability(
+                formula, assignment
+            )
+
+    def test_evaluate_matches_compiled_closure_bitwise(self):
+        formula = lineage_or(
+            lineage_and(var(T[0]), var(T[1]), var(T[2])),
+            lineage_and(var(T[2]), var(T[3])),
+            var(T[4]),
+        )
+        closure = compile_probability(formula)
+        circuit = CircuitPool().compile(formula)
+        for seed in range(20):
+            assignment = _assignment(seed)
+            assert circuit.evaluate(assignment) == closure(assignment)
+
+    def test_shared_subformula_interned_once(self):
+        shared = lineage_and(var(T[0]), var(T[1]))
+        pool = CircuitPool()
+        first = pool.compile(lineage_or(shared, var(T[2])))
+        nodes_after_first = len(pool)
+        second = pool.compile(lineage_or(shared, var(T[3])))
+        # The shared conjunct adds no new nodes the second time.
+        assert pool.formula_hits > 0
+        assert len(pool) < nodes_after_first + len(second)
+        assert pool.shared_hit_rate > 0.0
+        assert first.root != second.root
+
+    def test_identical_formula_reuses_root(self):
+        pool = CircuitPool()
+        formula = lineage_or(var(T[0]), lineage_and(var(T[1]), var(T[2])))
+        assert pool.compile(formula).root == pool.compile(formula).root
+
+    def test_support_and_len(self):
+        circuit = CircuitPool().compile(_shannon_formula())
+        assert circuit.support == tuple(sorted([T[0], T[1], T[2]]))
+        assert len(circuit) >= 3
+
+    def test_missing_variable_raises(self):
+        circuit = CircuitPool().compile(lineage_and(var(T[0]), var(T[1])))
+        with pytest.raises(LineageError, match="no probability supplied"):
+            circuit.evaluate({T[0]: 0.5})
+
+    def test_stats_keys(self):
+        pool = CircuitPool()
+        pool.compile(_shannon_formula())
+        stats = pool.stats()
+        assert set(stats) == {
+            "nodes",
+            "variables",
+            "intern_hits",
+            "formula_hits",
+            "shared_hit_rate",
+        }
+        assert stats["variables"] == 3
+
+
+class TestGradient:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            var(T[0]),
+            lineage_and(var(T[0]), var(T[1])),
+            lineage_or(var(T[0]), var(T[1]), var(T[2])),
+            lineage_not(lineage_or(var(T[0]), var(T[1]))),
+            _shannon_formula(),
+            lineage_and(_shannon_formula(), lineage_or(var(T[3]), var(T[4]))),
+        ],
+    )
+    def test_gradient_matches_sensitivity(self, formula):
+        circuit = CircuitPool().compile(formula)
+        assignment = _assignment(3)
+        gradient = circuit.gradient(assignment)
+        assert set(gradient) == set(formula.variables)
+        for tid in formula.variables:
+            expected = sensitivity(formula, assignment, tid)
+            assert gradient[tid] == pytest.approx(expected, abs=1e-12)
+
+    def test_gradient_zero_partial_still_reported(self):
+        # t1's partial is 0 when t0 = 1 in t0 ∨ t1 — still present.
+        formula = lineage_or(var(T[0]), var(T[1]))
+        circuit = CircuitPool().compile(formula)
+        gradient = circuit.gradient({T[0]: 1.0, T[1]: 0.3})
+        assert gradient[T[1]] == pytest.approx(0.0)
+
+
+class TestEvaluator:
+    def _setup(self, seed=1):
+        pool = CircuitPool()
+        formulas = [
+            lineage_or(lineage_and(var(T[0]), var(T[1])), var(T[2])),
+            lineage_and(var(T[1]), lineage_or(var(T[2]), var(T[3]))),
+            _shannon_formula(),
+        ]
+        circuits = [pool.compile(formula) for formula in formulas]
+        assignment = _assignment(seed)
+        evaluator = CircuitEvaluator(pool, assignment, circuits)
+        return pool, formulas, circuits, assignment, evaluator
+
+    def test_initial_values_match_probability(self):
+        _pool, formulas, circuits, assignment, evaluator = self._setup()
+        for formula, circuit in zip(formulas, circuits):
+            assert evaluator.value(circuit.root) == probability(
+                formula, assignment
+            )
+
+    def test_incremental_update_matches_fresh_evaluation(self):
+        _pool, formulas, circuits, assignment, evaluator = self._setup()
+        rng = random.Random(9)
+        for _ in range(50):
+            tid = rng.choice(T[:5])
+            value = rng.uniform(0.0, 1.0)
+            assignment[tid] = value
+            evaluator.set_value(tid, value)
+            for formula, circuit in zip(formulas, circuits):
+                assert evaluator.value(circuit.root) == probability(
+                    formula, assignment
+                )
+
+    def test_probe_does_not_commit(self):
+        _pool, formulas, circuits, assignment, evaluator = self._setup()
+        roots = [circuit.root for circuit in circuits]
+        before = [evaluator.value(root) for root in roots]
+        probed = evaluator.probe(T[1], 0.99, roots)
+        patched = dict(assignment)
+        patched[T[1]] = 0.99
+        assert probed == [
+            probability(formula, patched) for formula in formulas
+        ]
+        assert [evaluator.value(root) for root in roots] == before
+
+    def test_out_of_scope_variable_is_noop(self):
+        _pool, _formulas, circuits, _assignment, evaluator = self._setup()
+        roots = [circuit.root for circuit in circuits]
+        before = [evaluator.value(root) for root in roots]
+        updates_before = evaluator.updates
+        evaluator.set_value(T[7], 0.5)  # never compiled anywhere
+        assert [evaluator.value(root) for root in roots] == before
+        assert evaluator.updates == updates_before
+        assert evaluator.probe(T[7], 0.5, roots) == before
+
+    def test_cone_excludes_leaves_and_unrelated_nodes(self):
+        pool, _formulas, _circuits, _assignment, evaluator = self._setup()
+        cone = evaluator.cone(T[0])
+        var_index = pool.var_id(T[0])
+        assert var_index is not None
+        assert var_index not in cone
+        assert all(index > var_index for index in cone)
+        assert evaluator.cone(T[7]) == ()
+
+    def test_update_counters(self):
+        _pool, _formulas, circuits, _assignment, evaluator = self._setup()
+        evaluator.set_value(T[0], 0.4)
+        evaluator.probe(T[0], 0.5, [circuits[0].root])
+        assert evaluator.updates == 2
+        assert evaluator.nodes_recomputed >= 2
+
+    def test_recorded_set_restores_bitwise(self):
+        _pool, _formulas, circuits, _assignment, evaluator = self._setup()
+        before = list(evaluator.values)
+        snapshot = evaluator.set_value_recorded(T[1], 0.42)
+        assert snapshot is not None
+        assert evaluator.values != before
+        evaluator.restore(snapshot)
+        assert evaluator.values == before
+        for circuit in circuits:
+            assert evaluator.value(circuit.root) == circuit.evaluate(
+                _assignment
+            )
+        # Out-of-scope variables are a recorded no-op too.
+        assert evaluator.set_value_recorded(T[7], 0.5) is None
+
+    def test_gradient_uses_committed_values(self):
+        _pool, formulas, circuits, assignment, evaluator = self._setup()
+        evaluator.set_value(T[2], 0.77)
+        assignment[T[2]] = 0.77
+        gradient = evaluator.gradient(circuits[0])
+        for tid in formulas[0].variables:
+            assert gradient[tid] == pytest.approx(
+                sensitivity(formulas[0], assignment, tid), abs=1e-12
+            )
+
+    def test_foreign_pool_rejected(self):
+        _pool, _formulas, circuits, assignment, _evaluator = self._setup()
+        other_pool = CircuitPool()
+        other = other_pool.compile(var(T[0]))
+        with pytest.raises(LineageError, match="share its pool"):
+            CircuitEvaluator(other_pool, assignment, [circuits[0]])
+        evaluator = CircuitEvaluator(other_pool, assignment, [other])
+        with pytest.raises(LineageError, match="different pool"):
+            evaluator.gradient(circuits[0])
+
+
+class TestConfidenceFunctionFacade:
+    def test_backends_agree_bitwise(self):
+        formula = lineage_and(_shannon_formula(), var(T[3]))
+        circuit_fn = ConfidenceFunction(formula)
+        treewalk_fn = ConfidenceFunction(formula, backend="treewalk")
+        for seed in range(10):
+            assignment = _assignment(seed)
+            assert circuit_fn.evaluate(assignment) == treewalk_fn.evaluate(
+                assignment
+            )
+
+    def test_backend_property(self):
+        formula = var(T[0])
+        assert ConfidenceFunction(formula).backend == "circuit"
+        assert (
+            ConfidenceFunction(formula, backend="treewalk").backend
+            == "treewalk"
+        )
+
+    def test_treewalk_rejects_pool(self):
+        with pytest.raises(LineageError):
+            ConfidenceFunction(
+                var(T[0]), backend="treewalk", pool=CircuitPool()
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(LineageError):
+            ConfidenceFunction(var(T[0]), backend="quantum")
+
+    def test_derivative_matches_sensitivity_on_both_backends(self):
+        formula = lineage_or(
+            lineage_and(var(T[0]), var(T[1])), lineage_and(var(T[1]), var(T[2]))
+        )
+        assignment = _assignment(5)
+        circuit_fn = ConfidenceFunction(formula)
+        treewalk_fn = ConfidenceFunction(formula, backend="treewalk")
+        for tid in formula.variables:
+            expected = sensitivity(formula, assignment, tid)
+            assert circuit_fn.derivative(assignment, tid) == pytest.approx(
+                expected, abs=1e-12
+            )
+            assert treewalk_fn.derivative(assignment, tid) == expected
+        # Unrelated variable: exactly zero without evaluating anything.
+        assert circuit_fn.derivative(assignment, T[7]) == 0.0
+
+    def test_derivative_gradient_cache_invalidates_on_new_assignment(self):
+        formula = lineage_and(var(T[0]), var(T[1]))
+        fn = ConfidenceFunction(formula)
+        first = fn.derivative({T[0]: 0.5, T[1]: 0.5}, T[0])
+        second = fn.derivative({T[0]: 0.5, T[1]: 0.9}, T[0])
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(0.9)
+
+    def test_gradient_method(self):
+        formula = _shannon_formula()
+        assignment = _assignment(6)
+        fn = ConfidenceFunction(formula)
+        walk = ConfidenceFunction(formula, backend="treewalk")
+        gradient = fn.gradient(assignment)
+        assert set(gradient) == set(formula.variables)
+        for tid, value in walk.gradient(assignment).items():
+            assert gradient[tid] == pytest.approx(value, abs=1e-12)
+
+    def test_shared_pool_across_functions(self):
+        pool = CircuitPool()
+        shared = lineage_and(var(T[0]), var(T[1]))
+        a = ConfidenceFunction(lineage_or(shared, var(T[2])), pool=pool)
+        b = ConfidenceFunction(lineage_or(shared, var(T[3])), pool=pool)
+        assert a.pool is pool and b.pool is pool
+        assert pool.formula_hits > 0
+
+    def test_cache_is_bounded_lru(self):
+        formula = lineage_or(var(T[0]), var(T[1]))
+        fn = ConfidenceFunction(formula)
+        for step in range(10 * CACHE_SIZE):
+            value = (step % 7919) / 7919
+            fn.evaluate({T[0]: value, T[1]: 1.0 - value})
+        # Both generations together never exceed the bound.
+        assert len(fn._cache) + len(fn._cache_old) <= CACHE_SIZE
+        # The most recent entry is retained; evaluating it again hits.
+        hit_key = tuple(
+            {T[0]: 0.25, T[1]: 0.75}[tid] for tid in fn.variables
+        )
+        fn.evaluate({T[0]: 0.25, T[1]: 0.75})
+        assert hit_key in fn._cache
+        fn.clear_cache()
+        assert len(fn._cache) == 0 and len(fn._cache_old) == 0
+
+
+class TestCliCircuitCommand:
+    def test_circuit_command_reports_sharing(self):
+        from repro.cli import CommandShell
+
+        shell = CommandShell()
+        shell.execute_line("demo")
+        output = shell.execute_line(
+            "circuit SELECT Company FROM Proposal WHERE Funding < 1.0"
+        )
+        assert "circuit nodes (shared pool):" in output
+        assert "shared-node hit rate:" in output
+
+    def test_circuit_command_requires_select(self):
+        from repro.cli import CommandShell
+        from repro.errors import ReproError
+
+        shell = CommandShell()
+        with pytest.raises(ReproError):
+            shell.execute_line("circuit")

@@ -1,0 +1,163 @@
+"""All four solvers must be engine-agnostic: circuit == tree-walk.
+
+The circuit engine mirrors the closure evaluator's arithmetic operation
+for operation, so every probe and every confidence a solver observes is
+bit-identical on either backend — and therefore every decision, target,
+cost, and satisfied set must match exactly (not approximately).
+"""
+
+import pytest
+
+from repro.increment import (
+    DncOptions,
+    GreedyOptions,
+    HeuristicOptions,
+    IncrementProblem,
+    LocalSearchOptions,
+    solve_dnc,
+    solve_greedy,
+    solve_heuristic,
+    solve_local_search,
+)
+from repro.lineage import CircuitPool, ConfidenceFunction
+from repro.workload import WorkloadSpec, generate_problem
+
+
+def _both_backends(problem: IncrementProblem):
+    """The instance rebuilt on the circuit and the tree-walk engines."""
+    pool = CircuitPool()
+    circuit = IncrementProblem(
+        [
+            ConfidenceFunction(result.formula, result.label, pool=pool)
+            for result in problem.results
+        ],
+        problem.tuples,
+        problem.threshold,
+        problem.required_count,
+        problem.delta,
+    )
+    treewalk = IncrementProblem(
+        [
+            ConfidenceFunction(result.formula, result.label, backend="treewalk")
+            for result in problem.results
+        ],
+        problem.tuples,
+        problem.threshold,
+        problem.required_count,
+        problem.delta,
+    )
+    assert circuit.circuits is not None
+    assert treewalk.circuits is None
+    return circuit, treewalk
+
+
+def _workload(data_size: int, seed: int) -> IncrementProblem:
+    spec = WorkloadSpec(
+        data_size=data_size,
+        tuples_per_result=4,
+        threshold=0.5,
+        theta=0.5,
+        delta=0.15,
+    )
+    return generate_problem(spec, seed=seed).problem
+
+
+def _assert_identical(circuit_plan, treewalk_plan):
+    assert circuit_plan.targets == treewalk_plan.targets
+    assert circuit_plan.total_cost == treewalk_plan.total_cost
+    assert circuit_plan.satisfied_results == treewalk_plan.satisfied_results
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_greedy_identical_across_backends(seed):
+    circuit, treewalk = _both_backends(_workload(40, seed))
+    for options in (
+        GreedyOptions(),
+        GreedyOptions(two_phase=False, gain_scope="all"),
+        GreedyOptions(recompute="full"),
+    ):
+        _assert_identical(
+            solve_greedy(circuit, options), solve_greedy(treewalk, options)
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_heuristic_identical_across_backends(seed):
+    circuit, treewalk = _both_backends(_workload(8, seed))
+    for options in (HeuristicOptions(), HeuristicOptions.naive()):
+        _assert_identical(
+            solve_heuristic(circuit, options),
+            solve_heuristic(treewalk, options),
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_dnc_identical_across_backends(seed):
+    circuit, treewalk = _both_backends(_workload(60, seed))
+    for options in (DncOptions(), DncOptions(allocation="paper")):
+        _assert_identical(
+            solve_dnc(circuit, options), solve_dnc(treewalk, options)
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_local_search_identical_across_backends(seed):
+    circuit, treewalk = _both_backends(_workload(30, seed))
+    options = LocalSearchOptions(seed=11, restarts=2, swap_attempts=50)
+    _assert_identical(
+        solve_local_search(circuit, options),
+        solve_local_search(treewalk, options),
+    )
+
+
+def test_search_state_probe_identical_across_backends():
+    from repro.increment.problem import SearchState
+
+    circuit, treewalk = _both_backends(_workload(25, 5))
+    state_c = SearchState(circuit)
+    state_t = SearchState(treewalk)
+    assert state_c.confidences == state_t.confidences
+    tid = next(iter(circuit.tuples))
+    indexes = list(circuit.results_by_tuple[tid])
+    target = min(1.0, state_c.value_of(tid) + circuit.delta)
+    assert state_c.probe(tid, target, indexes) == state_t.probe(
+        tid, target, indexes
+    )
+    # Probes never commit on either engine.
+    assert state_c.confidences == state_t.confidences
+    state_c.set_value(tid, target)
+    state_t.set_value(tid, target)
+    assert state_c.confidences == state_t.confidences
+    assert state_c.cost == state_t.cost
+
+
+def test_mixed_backends_disable_circuit_path():
+    base = _workload(10, 0)
+    pool = CircuitPool()
+    mixed = [
+        ConfidenceFunction(result.formula, result.label, pool=pool)
+        if index % 2 == 0
+        else ConfidenceFunction(result.formula, result.label, backend="treewalk")
+        for index, result in enumerate(base.results)
+    ]
+    problem = IncrementProblem(
+        mixed, base.tuples, base.threshold, base.required_count, base.delta
+    )
+    assert problem.circuits is None  # falls back to the treewalk path
+
+
+def test_distinct_pools_are_recompiled_into_one():
+    base = _workload(10, 1)
+    results = [
+        ConfidenceFunction(result.formula, result.label)  # private pools
+        for result in base.results
+    ]
+    problem = IncrementProblem(
+        results, base.tuples, base.threshold, base.required_count, base.delta
+    )
+    assert problem.circuits is not None
+    assert len({id(problem.pool)}) == 1
+    plan = solve_greedy(problem)
+    reference = solve_greedy(base)
+    assert plan.targets == reference.targets
+    assert plan.total_cost == reference.total_cost
