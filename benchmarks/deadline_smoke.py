@@ -1,0 +1,97 @@
+"""Deadline smoke check: a hostile instance must still answer in time.
+
+Runs the acceptance scenario for the deadline-aware runtime
+(``docs/ROBUSTNESS.md``) as a standalone script: a naive (un-pruned)
+branch-and-bound primary on a workload whose full search would run for
+minutes, chained to the polynomial greedy fallback, under a small
+wall-clock deadline per attempt.  Asserts that a *feasible* plan comes
+back and that the fallback hop was both taken and recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/deadline_smoke.py [--deadline-ms 50]
+
+Exit status 0 means the anytime/degradation contract held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import make_solver
+from repro.increment import DegradationChain, SolverAttempt
+from repro.obs import MetricsRegistry, get_tracer, set_metrics
+from repro.workload import WorkloadSpec, generate_problem
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--deadline-ms", type=float, default=50.0)
+    args = parser.parse_args(argv)
+
+    spec = WorkloadSpec(data_size=60, tuples_per_result=5)
+    problem = generate_problem(spec, seed=7).problem
+    chain = DegradationChain(
+        [
+            SolverAttempt(
+                "heuristic",
+                make_solver(
+                    "heuristic",
+                    use_h1=False,
+                    use_h2=False,
+                    use_h3=False,
+                    use_h4=False,
+                ),
+            ),
+            SolverAttempt("greedy", make_solver("greedy")),
+        ]
+    )
+
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    started = time.perf_counter()
+    try:
+        with get_tracer().capture() as sink:
+            plan = chain.solve(problem, deadline_ms=args.deadline_ms)
+    finally:
+        set_metrics(previous)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+
+    feasible = len(plan.satisfied_results) >= problem.required_count
+    attempts = sink.find("pcqe.solver_attempt")
+    snapshot = registry.snapshot()
+
+    print(f"deadline per attempt : {args.deadline_ms:g} ms")
+    print(f"wall clock           : {elapsed_ms:.1f} ms")
+    print(f"winning solver       : {plan.algorithm}")
+    print(f"plan cost            : {plan.total_cost:.2f}")
+    print(
+        "satisfied results    : "
+        f"{len(plan.satisfied_results)}/{problem.required_count}"
+    )
+    print(f"fallback hops        : {snapshot.get('pcqe.fallback_hops', 0)}")
+
+    failures = []
+    if not feasible:
+        failures.append("plan is not feasible")
+    if not plan.algorithm.startswith("greedy"):
+        failures.append(f"expected the greedy fallback, got {plan.algorithm}")
+    if snapshot.get("pcqe.fallback_hops", 0) != 1:
+        failures.append("fallback hop was not recorded in metrics")
+    if not attempts or attempts[0].attributes.get("budget.exhausted") is not True:
+        failures.append("primary attempt span did not record budget.exhausted")
+    if elapsed_ms > max(args.deadline_ms * 40, 5_000.0):
+        failures.append(f"run took {elapsed_ms:.0f} ms — deadline not enforced")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("deadline smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,7 +36,7 @@ import logging
 import time
 from typing import Any, Callable
 
-from ..errors import ExecutionError, PlanError
+from ..errors import ExecutionError, PlanError, SchemaError
 from ..lineage.formula import TOP, Lineage, lineage_and, lineage_not, lineage_or, var
 from ..obs import TIMING_BUCKETS, get_metrics, get_tracer
 from ..storage.types import REAL, DataType
@@ -118,7 +118,20 @@ def _execute_alias(node: Alias) -> ResultSet:
 def _execute_filter(node: Filter) -> ResultSet:
     child = execute(node.child)
     predicate = node.bound_predicate
-    rows = [row for row in child.rows if predicate.evaluate(row.values) is True]
+    rows = []
+    for row in child.rows:
+        try:
+            keep = predicate.evaluate(row.values)
+        except ExecutionError:
+            raise
+        except (TypeError, ValueError, ArithmeticError) as error:
+            # A predicate blowing up on a row must surface, not silently
+            # drop the row (which would corrupt the released fraction).
+            raise ExecutionError(
+                f"predicate failed on row {row.values!r}: {error}"
+            ) from error
+        if keep is True:
+            rows.append(row)
     return ResultSet(node.schema, rows)
 
 
@@ -161,7 +174,8 @@ def _equi_join_columns(node: Join) -> tuple[int, int] | None:
     def side_index(ref: ColumnRef, schema) -> int | None:
         try:
             return schema.index_of(ref.name, ref.table)
-        except Exception:
+        except SchemaError:
+            # Unknown/ambiguous on this side: not an equi-join column here.
             return None
 
     left_on_left = side_index(condition.left, node.left.schema)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..errors import ReproError, SchemaError
 from ..storage.statistics import TableStatistics, collect_statistics
 from .expressions import ColumnRef, Comparison, Expression, LogicalAnd
 from .plan import Filter, Join, PlanNode, Project, ProjectItem, Scan
@@ -102,7 +103,9 @@ def _guarded_reorder(
     turn a valid query into an error."""
     try:
         return _try_reorder(root, extra_conditions)
-    except Exception:
+    except ReproError:
+        # Planner-level failures (binding, ambiguity) mean "keep the
+        # original tree"; genuine bugs (TypeError & co.) must surface.
         return None
 
 
@@ -207,7 +210,7 @@ def _resolve_side(
     for index, relation in enumerate(relations):
         try:
             relation.plan.schema.index_of(reference.name, reference.table)
-        except Exception:
+        except SchemaError:
             continue
         matches.append(index)
     if len(matches) == 1:

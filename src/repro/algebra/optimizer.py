@@ -18,6 +18,7 @@ DISTINCT projections, aggregates, limits or outer joins).
 
 from __future__ import annotations
 
+from ..errors import SchemaError
 from .expressions import ColumnRef, Expression, LogicalAnd
 from .plan import Alias, Filter, Join, PlanNode, Project, SemiJoin, Sort
 
@@ -50,7 +51,9 @@ def _references_resolvable(predicate: Expression, schema) -> bool:
     for table, name in predicate.references():
         try:
             schema.index_of(name, table)
-        except Exception:
+        except SchemaError:
+            # Unknown or ambiguous here — the predicate cannot be pushed
+            # to this operand.  Anything else (a buggy expression) surfaces.
             return False
     return True
 

@@ -31,6 +31,9 @@ Observability flags (before any command arguments):
     Stream every span the session produces to a JSON-lines file.
 ``--log-level debug``
     Configure ``repro`` logging (see :func:`repro.obs.configure_logging`).
+``--deadline-ms 50``
+    Give each strategy-finding attempt a wall-clock budget; a timed-out
+    primary solver degrades to greedy (see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -74,10 +77,11 @@ class CommandError(ReproError):
 class CommandShell:
     """State + command dispatch for the PCQE shell."""
 
-    def __init__(self) -> None:
+    def __init__(self, deadline_ms: float | None = None) -> None:
         self.db = Database("cli")
         self.policies = PolicyStore(default_threshold=0.0)
         self.solver = "greedy"
+        self.deadline_ms = deadline_ms
         self._commands: dict[str, Callable[[str], str]] = {
             "create": self._cmd_create,
             "load": self._cmd_load,
@@ -280,10 +284,32 @@ class CommandShell:
         )
 
     def _cmd_solver(self, rest: str) -> str:
-        if rest not in ("heuristic", "greedy", "dnc"):
-            raise CommandError("usage: solver heuristic|greedy|dnc")
-        self.solver = rest
-        return f"solver set to {rest}"
+        parts = rest.split()
+        usage = (
+            "usage: solver heuristic|greedy|dnc|local-search "
+            "[--deadline-ms <ms>]"
+        )
+        if not parts or parts[0] not in (
+            "heuristic",
+            "greedy",
+            "dnc",
+            "local-search",
+        ):
+            raise CommandError(usage)
+        if len(parts) == 3 and parts[1] == "--deadline-ms":
+            try:
+                self.deadline_ms = float(parts[2])
+            except ValueError:
+                raise CommandError(usage) from None
+        elif len(parts) != 1:
+            raise CommandError(usage)
+        self.solver = parts[0]
+        suffix = (
+            f" (deadline {self.deadline_ms:g} ms)"
+            if self.deadline_ms is not None
+            else ""
+        )
+        return f"solver set to {parts[0]}{suffix}"
 
     # -- the pipeline -----------------------------------------------------------
 
@@ -294,7 +320,20 @@ class CommandShell:
                 "usage: ask <user> <purpose> <required-fraction> <SELECT ...>"
             )
         user, purpose, fraction_text, sql = parts
-        engine = PCQEngine(self.db, self.policies, solver=self.solver)
+        # Under a deadline, a timed-out primary solver falls back to the
+        # (polynomial) greedy solver so the shell still answers.
+        fallback = (
+            ("greedy",)
+            if self.deadline_ms is not None and self.solver != "greedy"
+            else ()
+        )
+        engine = PCQEngine(
+            self.db,
+            self.policies,
+            solver=self.solver,
+            fallback=fallback,
+            deadline_ms=self.deadline_ms,
+        )
         return engine.execute(
             QueryRequest(sql, purpose, float(fraction_text), profile=profile),
             user=user,
@@ -350,7 +389,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
 
     trace_sink = None
-    while argv and argv[0] in ("--trace-out", "--log-level"):
+    deadline_ms: float | None = None
+    while argv and argv[0] in ("--trace-out", "--log-level", "--deadline-ms"):
         flag = argv.pop(0)
         if not argv:
             print(f"error: {flag} requires a value", file=sys.stderr)
@@ -361,12 +401,26 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             trace_sink = JsonLinesSink(value)
             get_tracer().add_sink(trace_sink)
+        elif flag == "--deadline-ms":
+            try:
+                deadline_ms = float(value)
+            except ValueError:
+                print(
+                    f"error: --deadline-ms needs a number, got {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            if deadline_ms <= 0:
+                print(
+                    "error: --deadline-ms must be positive", file=sys.stderr
+                )
+                return 2
         else:
             from .obs import configure_logging
 
             configure_logging(level=value)
 
-    shell = CommandShell()
+    shell = CommandShell(deadline_ms=deadline_ms)
 
     def run(line: str) -> int:
         try:

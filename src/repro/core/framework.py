@@ -29,12 +29,16 @@ from ..algebra.rows import AnnotatedTuple, ResultSet
 from ..errors import InfeasibleIncrementError, ReproError
 from ..obs import ProfileReport, get_metrics, get_tracer, metrics_diff
 from ..increment import (
+    Budget,
+    DegradationChain,
     DncOptions,
     GreedyOptions,
     HeuristicOptions,
     IncrementPlan,
     IncrementProblem,
     SimulatedImprovementService,
+    SolverAttempt,
+    as_budgeted,
     solve_dnc,
     solve_greedy,
     solve_heuristic,
@@ -54,32 +58,62 @@ __all__ = [
     "make_solver",
 ]
 
-Solver = Callable[[IncrementProblem], IncrementPlan]
+Solver = Callable[..., IncrementPlan]
 
 logger = logging.getLogger(__name__)
 
 
-def make_solver(name: str, **options) -> Solver:
+def make_solver(
+    name: str, deadline_ms: float | None = None, **options
+) -> Solver:
     """A solver callable from a name:
     ``"heuristic" | "greedy" | "dnc" | "local-search"``.
 
     Keyword arguments are forwarded into the corresponding options class.
+    The returned callable accepts ``(problem, budget=None)``; with
+    *deadline_ms* set, calls without an explicit budget get a fresh
+    :class:`~repro.increment.Budget` expiring that many milliseconds after
+    the call starts.
     """
     if name == "heuristic":
         configured = HeuristicOptions(**options)
-        return lambda problem: solve_heuristic(problem, configured)
-    if name == "greedy":
+
+        def solve(problem, budget=None):
+            return solve_heuristic(problem, configured, budget)
+
+    elif name == "greedy":
         configured_greedy = GreedyOptions(**options)
-        return lambda problem: solve_greedy(problem, configured_greedy)
-    if name == "dnc":
+
+        def solve(problem, budget=None):
+            return solve_greedy(problem, configured_greedy, budget)
+
+    elif name == "dnc":
         configured_dnc = DncOptions(**options)
-        return lambda problem: solve_dnc(problem, configured_dnc)
-    if name == "local-search":
+
+        def solve(problem, budget=None):
+            return solve_dnc(problem, configured_dnc, budget)
+
+    elif name == "local-search":
         from ..increment import LocalSearchOptions, solve_local_search
 
         configured_ls = LocalSearchOptions(**options)
-        return lambda problem: solve_local_search(problem, configured_ls)
-    raise ReproError(f"unknown solver {name!r}")
+
+        def solve(problem, budget=None):
+            return solve_local_search(problem, configured_ls, budget)
+
+    else:
+        raise ReproError(f"unknown solver {name!r}")
+    solve.__name__ = name
+    if deadline_ms is None:
+        return solve
+
+    def with_deadline(problem, budget=None):
+        if budget is None:
+            budget = Budget.from_deadline_ms(deadline_ms)
+        return solve(problem, budget)
+
+    with_deadline.__name__ = name
+    return with_deadline
 
 
 @dataclass(frozen=True)
@@ -89,18 +123,27 @@ class QueryRequest:
     ``profile=True`` additionally attaches a stage-by-stage
     :class:`~repro.obs.ProfileReport` (timings, span tree, metrics moved)
     to the returned :class:`PCQEResult`.
+
+    ``deadline_ms`` caps the wall-clock time each strategy-finding attempt
+    may take for *this* request (overriding the engine's default); see
+    ``docs/ROBUSTNESS.md`` for the anytime/degradation semantics.
     """
 
     sql: str
     purpose: str
     required_fraction: float = 1.0
     profile: bool = False
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.required_fraction <= 1.0:
             raise ReproError(
                 f"required_fraction must be in [0, 1], "
                 f"got {self.required_fraction}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ReproError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
             )
 
 
@@ -176,7 +219,15 @@ class PCQEngine:
         improvement: ImprovementService | None = None,
         approval: Callable[[CostQuote], bool] | None = None,
         delta: float = 0.1,
+        fallback: "tuple[str | Solver, ...] | list[str | Solver]" = (),
+        deadline_ms: float | None = None,
     ) -> None:
+        """*fallback* lists solvers tried, in order, when the primary one
+        times out (``heuristic → greedy`` is the canonical chain); each
+        attempt gets a fresh budget of *deadline_ms* milliseconds.  A
+        request's own ``deadline_ms`` overrides the engine default.  With
+        no deadline anywhere, solvers run unbudgeted exactly as before.
+        """
         self.db = db
         self.policies = policies
         self.solver: Solver = (
@@ -187,7 +238,18 @@ class PCQEngine:
         )
         self.approval = approval if approval is not None else (lambda _quote: True)
         self.delta = delta
+        self.deadline_ms = deadline_ms
+        attempts = [self._attempt(solver)]
+        attempts.extend(self._attempt(entry) for entry in fallback)
+        self.chain = DegradationChain(attempts, deadline_ms=deadline_ms)
         self._evaluator = PolicyEvaluator(policies)
+
+    @staticmethod
+    def _attempt(entry: "str | Solver") -> SolverAttempt:
+        if isinstance(entry, str):
+            return SolverAttempt(entry, make_solver(entry))
+        name = getattr(entry, "__name__", None) or type(entry).__name__
+        return SolverAttempt(name, as_budgeted(entry))
 
     # -- pipeline ----------------------------------------------------------
 
@@ -243,7 +305,13 @@ class PCQEngine:
                 with tracer.span(
                     "pcqe.strategy_finding", shortfall=shortfall
                 ) as span:
-                    plan = self._find_strategy(outcome, threshold, shortfall)
+                    plan = self._find_strategy(
+                        outcome,
+                        threshold,
+                        shortfall,
+                        deadline_ms=request.deadline_ms,
+                        span=span,
+                    )
                     span.set_attribute("cost", plan.total_cost)
             except InfeasibleIncrementError as error:
                 logger.warning(
@@ -393,10 +461,18 @@ class PCQEngine:
             requirement_groups=group_specs,
         )
         problem.check_feasible()
+        # A batch runs one solve for every query; the strictest per-request
+        # deadline (if any) governs it.
+        deadlines = [
+            request.deadline_ms
+            for request in requests
+            if request.deadline_ms is not None
+        ]
+        batch_deadline = min(deadlines) if deadlines else None
         with get_tracer().span(
             "pcqe.strategy_finding", queries=len(group_specs)
         ) as span:
-            plan = self.solver(problem)
+            plan = self._solve(problem, batch_deadline, span)
             span.set_attribute("cost", plan.total_cost)
         total_shortfall = sum(count for _members, count in group_specs)
         quote = CostQuote(plan, plan.total_cost, total_shortfall)
@@ -436,7 +512,12 @@ class PCQEngine:
         )
 
     def _find_strategy(
-        self, outcome: FilterOutcome, threshold: float, shortfall: int
+        self,
+        outcome: FilterOutcome,
+        threshold: float,
+        shortfall: int,
+        deadline_ms: float | None = None,
+        span: "object | None" = None,
     ) -> IncrementPlan:
         """Build and solve the increment problem for the withheld rows.
 
@@ -474,4 +555,22 @@ class PCQEngine:
             delta=self.delta,
         )
         problem.check_feasible()
-        return self.solver(problem)
+        return self._solve(problem, deadline_ms, span)
+
+    def _solve(
+        self,
+        problem: IncrementProblem,
+        deadline_ms: float | None = None,
+        span: "object | None" = None,
+    ) -> IncrementPlan:
+        """Run the degradation chain (or the bare solver when unbudgeted).
+
+        With no deadline and no fallback configured the primary solver is
+        called directly on the current thread — no worker thread, no
+        attempt spans — keeping unbudgeted runs byte-for-byte identical to
+        the pre-runtime engine.
+        """
+        effective = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if effective is None and len(self.chain.attempts) == 1:
+            return self.solver(problem)
+        return self.chain.solve(problem, deadline_ms=effective, span=span)

@@ -35,6 +35,7 @@ __all__ = [
     "CostModelError",
     "IncrementError",
     "InfeasibleIncrementError",
+    "TimeBudgetExceeded",
     "ImprovementRejectedError",
     "WorkloadError",
 ]
@@ -180,6 +181,30 @@ class IncrementError(ReproError):
 class InfeasibleIncrementError(IncrementError):
     """No assignment of confidence values can satisfy the requirement,
     even raising every base tuple to its maximum confidence."""
+
+
+class TimeBudgetExceeded(IncrementError):
+    """A solver's time/node/probe budget ran out before any feasible plan
+    was found.
+
+    ``algorithm`` names the solver that gave up; ``partial`` (a
+    :class:`~repro.increment.runtime.PartialProgress`, when available)
+    records the assignment built so far, its cost, and how many required
+    results it already satisfied.  Solvers that *do* hold a feasible
+    incumbent at exhaustion return it instead of raising (the anytime
+    contract); this error means even that was impossible in the budget.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        algorithm: str = "",
+        partial: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.partial = partial
 
 
 class ImprovementRejectedError(IncrementError):

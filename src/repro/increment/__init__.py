@@ -25,6 +25,13 @@ from .latency import (
     estimate_lead_time,
 )
 from .partition import PartitionOptions, partition_results
+from .runtime import (
+    Budget,
+    DegradationChain,
+    PartialProgress,
+    SolverAttempt,
+    as_budgeted,
+)
 from .problem import (
     BaseTupleState,
     IncrementPlan,
@@ -52,6 +59,11 @@ __all__ = [
     "solve_dnc",
     "LocalSearchOptions",
     "solve_local_search",
+    "Budget",
+    "DegradationChain",
+    "PartialProgress",
+    "SolverAttempt",
+    "as_budgeted",
     "ImprovementService",
     "SimulatedImprovementService",
     "ImprovementAction",

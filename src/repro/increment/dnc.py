@@ -38,6 +38,7 @@ from .problem import (
     SearchState,
     SolverStats,
 )
+from .runtime import Budget
 
 __all__ = ["DncOptions", "solve_dnc"]
 
@@ -78,9 +79,19 @@ class DncOptions:
 
 
 def solve_dnc(
-    problem: IncrementProblem, options: DncOptions | None = None
+    problem: IncrementProblem,
+    options: DncOptions | None = None,
+    budget: Budget | None = None,
 ) -> IncrementPlan:
-    """Approximate solution of *problem* by partition + per-group search."""
+    """Approximate solution of *problem* by partition + per-group search.
+
+    A runtime *budget* is shared by every inner solve (the per-group
+    greedy passes, the exact refinements, and the global top-up/refine
+    phases), so the whole pipeline honours one deadline.  Exhaustion
+    before the combined answer is feasible raises
+    :class:`~repro.errors.TimeBudgetExceeded`; afterwards the refinement
+    fixpoint stops early and the feasible plan is returned.
+    """
     options = options or DncOptions()
     stats = SolverStats()
     with solver_run(
@@ -89,6 +100,8 @@ def solve_dnc(
         results=len(problem.results),
         tuples=len(problem.tuples),
     ) as span:
+        if budget is not None and budget.deadline_ms is not None:
+            span.set_attribute("budget.deadline_ms", budget.deadline_ms)
         state = SearchState(problem)
 
         if not state.is_satisfied():
@@ -105,14 +118,19 @@ def solve_dnc(
                     len(groups),
                     max((len(group) for group in groups), default=0),
                 )
-            combined = _solve_groups(problem, groups, options, stats)
+            combined = _solve_groups(problem, groups, options, stats, budget)
             for tid, target in combined.items():
                 state.set_value(tid, target)
-            _top_up(problem, state, options, stats)
+            _top_up(problem, state, options, stats, budget)
             if options.refine:
-                _refine(problem, state, stats)
+                _refine(problem, state, stats, budget)
 
         stats.add_cone_stats(state)
+        if budget is not None and budget.exhausted:
+            stats.completed = False
+            stats.budget_exhausted = True
+            span.set_attribute("solver.incumbent_cost", state.cost)
+            get_metrics().gauge("solver.dnc.incumbent_cost").set(state.cost)
         span.set_attribute("cost", state.cost)
         return IncrementPlan(
             state.snapshot_targets(),
@@ -128,6 +146,7 @@ def _solve_groups(
     groups: list[list[int]],
     options: DncOptions,
     stats: SolverStats,
+    budget: Budget | None = None,
 ) -> dict[TupleId, float]:
     """Solve every group and merge targets by maximum."""
     combined: dict[TupleId, float] = {}
@@ -151,12 +170,12 @@ def _solve_groups(
         sub = sub.clamped_to_achievable()
         if sub.required_count == 0 or sub.is_trivial():
             continue
-        plan = solve_greedy(sub, options.greedy)
+        plan = solve_greedy(sub, options.greedy, budget)
         stats.gain_evaluations += plan.stats.gain_evaluations
         stats.cone_updates += plan.stats.cone_updates
         stats.cone_nodes += plan.stats.cone_nodes
         if len(sub.tuples) < options.tau:
-            refined = _exact_refinement(sub, plan, options)
+            refined = _exact_refinement(sub, plan, options, budget)
             if refined is not None and refined.total_cost < plan.total_cost:
                 plan = refined
         for tid, target in plan.targets.items():
@@ -166,7 +185,10 @@ def _solve_groups(
 
 
 def _exact_refinement(
-    sub: IncrementProblem, greedy_plan: IncrementPlan, options: DncOptions
+    sub: IncrementProblem,
+    greedy_plan: IncrementPlan,
+    options: DncOptions,
+    budget: Budget | None = None,
 ) -> IncrementPlan | None:
     """Branch-and-bound pass seeded with the greedy cost as upper bound."""
     heuristic_options = HeuristicOptions(
@@ -174,10 +196,11 @@ def _exact_refinement(
         node_limit=options.heuristic_node_limit,
     )
     try:
-        return solve_heuristic(sub, heuristic_options)
+        return solve_heuristic(sub, heuristic_options, budget)
     except IncrementError:
-        # No strictly cheaper solution below the bound (or budget ran out
-        # before finding one): keep the greedy answer.
+        # No strictly cheaper solution below the bound (or a budget —
+        # including TimeBudgetExceeded on the shared one — ran out before
+        # finding one): keep the feasible greedy answer.
         return None
 
 
@@ -186,6 +209,7 @@ def _top_up(
     state: SearchState,
     options: DncOptions,
     stats: SolverStats,
+    budget: Budget | None = None,
 ) -> None:
     """Safety net: if clamped groups left the global requirement short,
     finish with global greedy steps."""
@@ -194,12 +218,15 @@ def _top_up(
     greedy_options = options.greedy
     from .greedy import _phase_one
 
-    last_gain = _phase_one(problem, state, greedy_options, stats)
+    last_gain = _phase_one(problem, state, greedy_options, stats, budget)
     del last_gain  # refinement below recomputes gains at the final state
 
 
 def _refine(
-    problem: IncrementProblem, state: SearchState, stats: SolverStats
+    problem: IncrementProblem,
+    state: SearchState,
+    stats: SolverStats,
+    budget: Budget | None = None,
 ) -> None:
     """Global reduction passes (greedy phase-2 over the combined answer).
 
@@ -210,6 +237,8 @@ def _refine(
     iterate to a fixpoint; each pass is cheap relative to the solve.
     """
     while True:
+        if budget is not None and not budget.check():
+            return  # the combined state is feasible; stop refining
         changed = state.snapshot_targets()
         if not changed:
             return
@@ -220,6 +249,6 @@ def _refine(
             tid: _step_gain(problem, state, tid, "all", stats)
             for tid in changed
         }
-        _phase_two(problem, state, gains, stats)
+        _phase_two(problem, state, gains, stats, budget)
         if stats.phase2_reductions == before:
             return

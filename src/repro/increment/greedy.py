@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import IncrementError, InfeasibleIncrementError
-from ..obs import solver_run
+from ..obs import get_metrics, solver_run
 from ..storage.tuples import TupleId
 from .problem import (
     IncrementPlan,
@@ -35,6 +35,7 @@ from .problem import (
     SearchState,
     SolverStats,
 )
+from .runtime import Budget, budget_exceeded
 
 __all__ = ["GreedyOptions", "solve_greedy"]
 
@@ -74,9 +75,17 @@ class GreedyOptions:
 
 
 def solve_greedy(
-    problem: IncrementProblem, options: GreedyOptions | None = None
+    problem: IncrementProblem,
+    options: GreedyOptions | None = None,
+    budget: Budget | None = None,
 ) -> IncrementPlan:
-    """Approximate solution of *problem* by two-phase greedy search."""
+    """Approximate solution of *problem* by two-phase greedy search.
+
+    With a *budget*, phase 1 raises :class:`~repro.errors.TimeBudgetExceeded`
+    on exhaustion (no feasible incumbent can exist mid-phase-1), while
+    phase 2 simply stops refining and returns the feasible plan built so
+    far (``stats.budget_exhausted = True``).
+    """
     options = options or GreedyOptions()
     stats = SolverStats()
     with solver_run(
@@ -86,16 +95,23 @@ def solve_greedy(
         tuples=len(problem.tuples),
         two_phase=options.two_phase,
     ) as span:
+        if budget is not None and budget.deadline_ms is not None:
+            span.set_attribute("budget.deadline_ms", budget.deadline_ms)
         state = SearchState(problem)
 
         if not state.is_satisfied():
             problem.check_feasible()
-            last_gain = _phase_one(problem, state, options, stats)
+            last_gain = _phase_one(problem, state, options, stats, budget)
             if options.two_phase:
-                _phase_two(problem, state, last_gain, stats)
+                _phase_two(problem, state, last_gain, stats, budget)
 
         algorithm = "greedy" if options.two_phase else "greedy-1phase"
         stats.add_cone_stats(state)
+        if budget is not None and budget.exhausted:
+            stats.completed = False
+            stats.budget_exhausted = True
+            span.set_attribute("solver.incumbent_cost", state.cost)
+            get_metrics().gauge("solver.greedy.incumbent_cost").set(state.cost)
         span.set_attribute("cost", state.cost)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
@@ -159,13 +175,14 @@ def _phase_one(
     state: SearchState,
     options: GreedyOptions,
     stats: SolverStats,
+    budget: Budget | None = None,
 ) -> dict[TupleId, float]:
     """Raise confidences greedily until the requirement holds.
 
     Returns each increased tuple's latest gain* (phase-2 ordering).
     """
     if options.recompute == "full":
-        return _phase_one_full(problem, state, options, stats)
+        return _phase_one_full(problem, state, options, stats, budget)
     # tuple -> tuples sharing at least one result (gain invalidation set)
     neighbours: dict[TupleId, set[TupleId]] = {tid: set() for tid in problem.tuples}
     for result in problem.results:
@@ -180,6 +197,8 @@ def _phase_one(
     heap: list[tuple[float, TupleId, int]] = []
 
     def refresh(tid: TupleId) -> None:
+        if budget is not None:
+            budget.charge_probe()
         gain = _step_gain(problem, state, tid, options.gain_scope, stats)
         gains[tid] = gain
         stamps[tid] = stamps.get(tid, 0) + 1
@@ -191,6 +210,10 @@ def _phase_one(
     last_gain: dict[TupleId, float] = {}
 
     while not state.is_satisfied():
+        if budget is not None and not budget.charge():
+            # Phase 1 only terminates feasible; mid-loop there is no
+            # incumbent to fall back on.
+            raise budget_exceeded("greedy", problem, state, stats)
         pick: TupleId | None = None
         best = 0.0
         while heap:
@@ -226,14 +249,19 @@ def _phase_one_full(
     state: SearchState,
     options: GreedyOptions,
     stats: SolverStats,
+    budget: Budget | None = None,
 ) -> dict[TupleId, float]:
     """Paper-faithful phase 1: recompute every tuple's gain each step."""
     last_gain: dict[TupleId, float] = {}
     tuple_ids = list(problem.tuples)
     while not state.is_satisfied():
+        if budget is not None and not budget.charge():
+            raise budget_exceeded("greedy", problem, state, stats)
         pick: TupleId | None = None
         best = 0.0
         for tid in tuple_ids:
+            if budget is not None:
+                budget.charge_probe()
             gain = _step_gain(problem, state, tid, options.gain_scope, stats)
             if gain > best or (gain == best and pick is None):
                 pick, best = tid, gain
@@ -271,10 +299,18 @@ def _phase_two(
     state: SearchState,
     last_gain: dict[TupleId, float],
     stats: SolverStats,
+    budget: Budget | None = None,
 ) -> None:
-    """Walk back unnecessary increments, cheapest-gain tuples first."""
+    """Walk back unnecessary increments, cheapest-gain tuples first.
+
+    The state entering phase 2 is feasible and every move keeps it so; on
+    budget exhaustion refinement simply stops (anytime behavior — the
+    caller returns the current feasible assignment).
+    """
     order = sorted(last_gain, key=lambda tid: (last_gain[tid], tid))
     for tid in order:
+        if budget is not None and not budget.charge():
+            return
         initial = problem.tuples[tid].initial
         while state.value_of(tid) > initial + _EPS and state.is_satisfied():
             current = state.value_of(tid)

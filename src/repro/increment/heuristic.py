@@ -34,11 +34,10 @@ from __future__ import annotations
 
 import logging
 import math
-import time
 from dataclasses import dataclass
 
 from ..errors import IncrementError
-from ..obs import solver_run
+from ..obs import get_metrics, solver_run
 from ..storage.tuples import TupleId
 from .problem import (
     IncrementPlan,
@@ -47,6 +46,7 @@ from .problem import (
     SolverStats,
     UndoToken,
 )
+from .runtime import Budget, budget_exceeded
 
 __all__ = ["HeuristicOptions", "solve_heuristic", "cost_beta"]
 
@@ -121,34 +121,19 @@ def cost_beta(problem: IncrementProblem, tid: TupleId) -> float:
     return cost_max / (f_max / problem.threshold)
 
 
-class _Budget:
-    """Node / wall-clock budget shared across the recursion."""
-
-    def __init__(self, options: HeuristicOptions) -> None:
-        self.node_limit = options.node_limit
-        self.deadline = (
-            time.perf_counter() + options.time_limit_seconds
-            if options.time_limit_seconds is not None
-            else None
-        )
-        self.nodes = 0
-        self.exhausted = False
-
-    def charge(self) -> bool:
-        """Count one node; True while the budget holds."""
-        self.nodes += 1
-        if self.node_limit is not None and self.nodes > self.node_limit:
-            self.exhausted = True
-        elif self.deadline is not None and self.nodes % 256 == 0:
-            if time.perf_counter() > self.deadline:
-                self.exhausted = True
-        return not self.exhausted
-
-
 def solve_heuristic(
-    problem: IncrementProblem, options: HeuristicOptions | None = None
+    problem: IncrementProblem,
+    options: HeuristicOptions | None = None,
+    budget: Budget | None = None,
 ) -> IncrementPlan:
-    """Exact (given budget) branch-and-bound solution of *problem*."""
+    """Exact (given budget) branch-and-bound solution of *problem*.
+
+    *budget* is an optional runtime :class:`~repro.increment.runtime.Budget`
+    (e.g. a request deadline) enforced alongside the options' own
+    ``node_limit``/``time_limit_seconds``.  On exhaustion the best-so-far
+    incumbent is returned (``stats.budget_exhausted = True``); with no
+    incumbent a :class:`~repro.errors.TimeBudgetExceeded` is raised.
+    """
     options = options or HeuristicOptions()
     stats = SolverStats()
     with solver_run(
@@ -157,8 +142,15 @@ def solve_heuristic(
         results=len(problem.results),
         tuples=len(problem.tuples),
     ) as span:
-        plan = _solve(problem, options, stats)
+        if budget is not None and budget.deadline_ms is not None:
+            span.set_attribute("budget.deadline_ms", budget.deadline_ms)
+        plan = _solve(problem, options, stats, budget)
         span.set_attribute("cost", plan.total_cost)
+        if stats.budget_exhausted:
+            span.set_attribute("solver.incumbent_cost", plan.total_cost)
+            get_metrics().gauge("solver.heuristic.incumbent_cost").set(
+                plan.total_cost
+            )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "heuristic solved: cost=%.4f nodes=%d pruned bound=%d "
@@ -178,6 +170,7 @@ def _solve(
     problem: IncrementProblem,
     options: HeuristicOptions,
     stats: SolverStats,
+    shared_budget: Budget | None = None,
 ) -> IncrementPlan:
     if problem.is_trivial():
         state = SearchState(problem)
@@ -212,7 +205,13 @@ def _solve(
         )
 
     state = SearchState(problem)
-    budget = _Budget(options)
+    # The options' own limits and any caller-supplied (request-level)
+    # budget are enforced together: one charge() walks the parent chain.
+    budget = Budget(
+        deadline_seconds=options.time_limit_seconds,
+        node_limit=options.node_limit,
+        parent=shared_budget,
+    )
     best_cost = (
         options.initial_upper_bound
         if options.initial_upper_bound is not None
@@ -292,14 +291,22 @@ def _solve(
     if potential_state is not None:
         stats.add_cone_stats(potential_state)
     stats.completed = not budget.exhausted
+    stats.budget_exhausted = budget.exhausted
     if best_targets is None:
-        if options.initial_upper_bound is not None:
+        if options.initial_upper_bound is not None and not budget.exhausted:
             raise IncrementError(
                 "no solution at or below the supplied initial upper bound "
                 f"{options.initial_upper_bound}"
             )
-        raise IncrementError(
-            "branch-and-bound budget exhausted before any solution was found"
+        raise budget_exceeded(
+            "heuristic",
+            problem,
+            state,
+            stats,
+            message=(
+                "branch-and-bound budget exhausted before any solution "
+                "was found"
+            ),
         )
     return IncrementPlan(
         best_targets, best_cost, best_satisfied, "heuristic", stats

@@ -120,22 +120,27 @@ def estimate_lead_time(
 
     durations.sort(reverse=True)
     total_work = sum(duration for duration, _tid in durations)
-    workers = [0.0] * min(parallelism, len(durations))
-    finish_tuple: dict[int, TupleId] = {}
-    heap = [(0.0, index) for index in range(len(workers))]
+    worker_count = min(parallelism, len(durations))
+    heap = [(0.0, index) for index in range(worker_count)]
     heapq.heapify(heap)
+    # Track the critical tuple directly as each task is placed: it is the
+    # one with the latest *finish time*, not the last task of whichever
+    # worker ``max(heap)`` happens to pick (tuples compare by load, then
+    # by worker index — on load ties that index tie-break can name a
+    # worker whose final task finished long before the true makespan).
+    makespan = 0.0
+    critical: TupleId | None = None
     for duration, tid in durations:
         load, index = heapq.heappop(heap)
-        load += duration
-        finish_tuple[index] = tid
-        heapq.heappush(heap, (load, index))
-    makespan = max(load for load, _index in heap)
-    # The tuple finishing last on the most-loaded worker.
-    most_loaded = max(heap)[1]
+        finish = load + duration
+        if finish >= makespan:
+            makespan = finish
+            critical = tid
+        heapq.heappush(heap, (finish, index))
     return LeadTimeEstimate(
         makespan=makespan,
         total_work=total_work,
         actions=len(durations),
         parallelism=parallelism,
-        critical_tuple=finish_tuple.get(most_loaded),
+        critical_tuple=critical,
     )

@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass
 
 from ..errors import IncrementError
-from ..obs import solver_run
+from ..obs import get_metrics, solver_run
 from ..storage.tuples import TupleId
 from .greedy import GreedyOptions, _phase_two, _previous_level, _step_gain, solve_greedy
 from .problem import (
@@ -34,6 +34,7 @@ from .problem import (
     SearchState,
     SolverStats,
 )
+from .runtime import Budget
 
 __all__ = ["LocalSearchOptions", "solve_local_search"]
 
@@ -66,9 +67,18 @@ class LocalSearchOptions:
 
 
 def solve_local_search(
-    problem: IncrementProblem, options: LocalSearchOptions | None = None
+    problem: IncrementProblem,
+    options: LocalSearchOptions | None = None,
+    budget: Budget | None = None,
 ) -> IncrementPlan:
-    """Approximate solution by iterated local search over the δ-grid."""
+    """Approximate solution by iterated local search over the δ-grid.
+
+    The greedy seed (always feasible) is the anytime incumbent: once it
+    exists, budget exhaustion just ends the descent/perturbation loop and
+    the best plan found so far is returned.  Only a budget expiring inside
+    the seeding greedy run itself can raise
+    :class:`~repro.errors.TimeBudgetExceeded`.
+    """
     options = options or LocalSearchOptions()
     stats = SolverStats()
     with solver_run(
@@ -78,12 +88,14 @@ def solve_local_search(
         tuples=len(problem.tuples),
         restarts=options.restarts,
     ) as span:
+        if budget is not None and budget.deadline_ms is not None:
+            span.set_attribute("budget.deadline_ms", budget.deadline_ms)
         rng = random.Random(options.seed)
 
         if options.initial_plan is not None:
             seed_plan = options.initial_plan
         else:
-            seed_plan = solve_greedy(problem, options.greedy)
+            seed_plan = solve_greedy(problem, options.greedy, budget)
             stats.gain_evaluations += seed_plan.stats.gain_evaluations
 
         state = SearchState(problem)
@@ -99,7 +111,9 @@ def solve_local_search(
         best_satisfied = state.satisfied_indexes()
 
         for _restart in range(options.restarts):
-            _descend(problem, state, rng, options, stats)
+            if budget is not None and not budget.check():
+                break
+            _descend(problem, state, rng, options, stats, budget)
             if state.is_satisfied() and state.cost < best_cost - _EPS:
                 best_cost = state.cost
                 best_targets = state.snapshot_targets()
@@ -107,6 +121,13 @@ def solve_local_search(
             _perturb(problem, state, rng, options)
 
         stats.add_cone_stats(state)
+        if budget is not None and budget.exhausted:
+            stats.completed = False
+            stats.budget_exhausted = True
+            span.set_attribute("solver.incumbent_cost", best_cost)
+            get_metrics().gauge("solver.local-search.incumbent_cost").set(
+                best_cost
+            )
         span.set_attribute("cost", best_cost)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
@@ -135,11 +156,14 @@ def _descend(
     rng: random.Random,
     options: LocalSearchOptions,
     stats: SolverStats,
+    budget: Budget | None = None,
 ) -> None:
     """Lowering sweeps + randomized swap moves until no move improves."""
     improved = True
     while improved:
         improved = False
+        if budget is not None and not budget.charge():
+            return
         # Single-tuple lowering sweep (phase-2 style, ascending gain).
         changed = _changed_tuples(problem, state)
         if changed:
@@ -148,11 +172,13 @@ def _descend(
                 tid: _step_gain(problem, state, tid, "all", stats)
                 for tid in changed
             }
-            _phase_two(problem, state, gains, stats)
+            _phase_two(problem, state, gains, stats, budget)
             if stats.phase2_reductions > before:
                 improved = True
         # Randomized swap moves: raise B one level, then try to lower A.
         for _ in range(options.swap_attempts):
+            if budget is not None and not budget.charge():
+                return
             if _try_swap(problem, state, rng):
                 stats.swap_moves += 1
                 improved = True

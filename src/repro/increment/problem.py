@@ -425,6 +425,10 @@ class SolverStats:
     cone_nodes: int = 0
     elapsed_seconds: float = 0.0
     completed: bool = True
+    #: True when a runtime :class:`~repro.increment.runtime.Budget` ran out
+    #: and the returned plan is the best-so-far incumbent, not the solver's
+    #: normal answer.
+    budget_exhausted: bool = False
 
     def add_cone_stats(self, state: "SearchState") -> None:
         """Fold a search state's circuit-engine counters into this record."""

@@ -71,6 +71,9 @@ def _emit_solver_stats(algorithm: str, stats: Any, span: Any) -> None:
             if name == "completed" and not value:
                 metrics.counter(f"{prefix}.incomplete_runs").inc()
                 span.set_attribute("completed", False)
+            elif name == "budget_exhausted" and value:
+                metrics.counter(f"{prefix}.budget_exhausted").inc()
+                span.set_attribute("budget.exhausted", True)
             continue
         if isinstance(value, (int, float)) and value:
             metrics.counter(f"{prefix}.{name}").inc(value)

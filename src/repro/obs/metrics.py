@@ -50,40 +50,51 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Thread-safe: the degradation chain runs solvers on worker threads, so
+    ``inc`` (a read-modify-write) takes a per-instrument lock — plain
+    ``+=`` on a float drops increments under contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease by {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
 
 
 class Gauge:
-    """A value that can go up and down (last write wins)."""
+    """A value that can go up and down (last write wins); thread-safe."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> float:
         return self.value
@@ -96,7 +107,16 @@ class Histogram:
     slot is the overflow bucket (``> buckets[-1]``).
     """
 
-    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name",
+        "buckets",
+        "bucket_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_lock",
+    )
 
     def __init__(self, name: str, buckets: Iterable[float] | None = None) -> None:
         self.name = name
@@ -110,35 +130,38 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> dict[str, Any]:
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "buckets": {
-                **{
-                    f"le_{bound:g}": count
-                    for bound, count in zip(self.buckets, self.bucket_counts)
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "buckets": {
+                    **{
+                        f"le_{bound:g}": count
+                        for bound, count in zip(self.buckets, self.bucket_counts)
+                    },
+                    "overflow": self.bucket_counts[-1],
                 },
-                "overflow": self.bucket_counts[-1],
-            },
-        }
+            }
 
 
 class MetricsRegistry:

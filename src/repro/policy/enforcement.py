@@ -10,6 +10,7 @@ finding.
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -53,11 +54,24 @@ class FilterOutcome:
     def shortfall(self, required_fraction: float) -> int:
         """How many more rows must clear the threshold to reach θ.
 
-        The paper's ``(θ − θ′)·n``, rounded up to whole rows.
+        The paper's ``(θ − θ′)·n``, rounded up to whole rows — computed so
+        that ``shortfall(θ) == 0`` exactly when :meth:`satisfies` holds:
+        the naive ``ceil(θ·n − ε)`` on floats can demand one row too many
+        (θ·n just above an integer) or too few (θ the float just above a
+        fraction like 1/3, where θ·n rounds down to the integer) at
+        boundary fractions.
         """
-        import math
-
+        if self.total == 0:
+            return 0  # released_fraction is 1.0: vacuously satisfied
         needed = math.ceil(required_fraction * self.total - 1e-9)
+        needed = max(0, min(needed, self.total))
+        # Align with satisfies(), which compares released/total (a float
+        # division) against θ: pick the *minimal* integer count whose
+        # fraction clears θ under that same comparison.
+        while needed > 0 and (needed - 1) / self.total >= required_fraction:
+            needed -= 1
+        while needed < self.total and needed / self.total < required_fraction:
+            needed += 1
         return max(0, needed - len(self.released))
 
     def __repr__(self) -> str:  # pragma: no cover - display only

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..algebra.expressions import Expression
-from ..errors import BindError, PlanError, SqlError
+from ..errors import BindError, PlanError, ReproError, SqlError
 from ..storage.database import Database
 from ..storage.schema import Column, Schema
 from ..storage.types import BOOLEAN, INTEGER, REAL, TEXT, DataType
@@ -81,7 +81,9 @@ def execute_dml(db: Database, command) -> DmlResult:
         db.create_view(command.name, command.definition_sql)
         try:
             plan_statement(db, command.query)
-        except Exception:
+        except ReproError:
+            # Expected validation failures (unknown columns, bad plans):
+            # unregister the half-created view, then surface the error.
             db.drop_view(command.name)
             raise
         return DmlResult("CREATE VIEW", 0)

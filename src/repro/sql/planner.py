@@ -50,7 +50,7 @@ from ..algebra.plan import (
     Sort,
     SortKey,
 )
-from ..errors import BindError, PlanError
+from ..errors import BindError, PlanError, SchemaError
 from ..storage.database import Database
 from .ast import (
     AggregateCall,
@@ -388,7 +388,7 @@ def _rewrite_post_aggregate(
     ):
         try:
             display = expression.bind(child_schema).display
-        except Exception:
+        except (BindError, SchemaError):
             display = None  # contains aggregates or unresolvable names
         if display is not None and display in key_displays:
             return ColumnRef(key_displays[display])
@@ -513,7 +513,7 @@ def _plan_sort(plan: PlanNode, keys: list[SortKey]) -> PlanNode:
     """
     try:
         return Sort(plan, keys)
-    except Exception:
+    except (BindError, SchemaError):
         if not isinstance(plan, Project) or plan.distinct:
             raise
     hidden_items = list(plan.items)
@@ -521,7 +521,7 @@ def _plan_sort(plan: PlanNode, keys: list[SortKey]) -> PlanNode:
     for index, key in enumerate(keys):
         try:
             key.expression.bind(plan.schema)
-        except Exception:
+        except (BindError, SchemaError):
             # Resolve below the projection instead, through a hidden column.
             key.expression.bind(plan.child.schema)  # surface real errors
             hidden_name = f"__sort{index}__"

@@ -1,0 +1,97 @@
+"""Property-based tests for LPT lead-time estimation.
+
+For any set of verification durations and any worker count, the LPT
+schedule must respect the classic makespan bounds:
+
+* ``makespan >= max(total_work / m, longest_duration)`` — no schedule can
+  beat the work or the longest single task;
+* ``makespan <= total_work / m + longest_duration`` — the list-scheduling
+  guarantee (whoever finishes last started before the others were idle);
+* with one worker the makespan is exactly the total work;
+* the critical tuple is always one of the plan's tuples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import LinearCost
+from repro.increment import (
+    BaseTupleState,
+    IncrementPlan,
+    IncrementProblem,
+    SolverStats,
+    VerificationLatencyModel,
+    estimate_lead_time,
+)
+from repro.lineage import ConfidenceFunction, var
+from repro.storage import TupleId
+
+_EPS = 1e-6
+
+# Confidence increments in (0, 1]; the model below maps each directly to
+# a duration (per_confidence_unit=1, no overhead, no cost term).
+_MODEL = VerificationLatencyModel(
+    dispatch_overhead=0.0, per_confidence_unit=1.0, per_cost_unit=0.0
+)
+
+increments = st.lists(
+    st.floats(
+        min_value=0.01,
+        max_value=1.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _instance(deltas):
+    tids = [TupleId("t", index) for index in range(len(deltas))]
+    states = {tid: BaseTupleState(tid, 0.0, LinearCost(1.0)) for tid in tids}
+    results = [ConfidenceFunction(var(tid)) for tid in tids]
+    problem = IncrementProblem(results, states, 0.9, len(tids))
+    plan = IncrementPlan(
+        dict(zip(tids, deltas)), 0.0, (), "test", SolverStats()
+    )
+    return problem, plan
+
+
+@settings(max_examples=200, deadline=None)
+@given(deltas=increments, parallelism=st.integers(min_value=1, max_value=8))
+def test_makespan_within_list_scheduling_bounds(deltas, parallelism):
+    problem, plan = _instance(deltas)
+    estimate = estimate_lead_time(plan, problem, _MODEL, parallelism)
+    total_work = sum(deltas)
+    longest = max(deltas)
+    assert abs(estimate.total_work - total_work) <= _EPS
+    assert estimate.actions == len(deltas)
+    lower = max(total_work / parallelism, longest)
+    upper = total_work / parallelism + longest
+    assert estimate.makespan >= lower - _EPS
+    assert estimate.makespan <= upper + _EPS
+    assert estimate.makespan <= total_work + _EPS
+    assert estimate.critical_tuple in plan.targets
+
+
+@settings(max_examples=100, deadline=None)
+@given(deltas=increments)
+def test_single_worker_makespan_is_total_work(deltas):
+    problem, plan = _instance(deltas)
+    estimate = estimate_lead_time(plan, problem, _MODEL, parallelism=1)
+    assert abs(estimate.makespan - sum(deltas)) <= _EPS
+    assert abs(estimate.total_work - sum(deltas)) <= _EPS
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    deltas=increments,
+    parallelism=st.integers(min_value=1, max_value=8),
+)
+def test_more_workers_never_hurt(deltas, parallelism):
+    problem, plan = _instance(deltas)
+    fewer = estimate_lead_time(plan, problem, _MODEL, parallelism)
+    more = estimate_lead_time(plan, problem, _MODEL, parallelism + 1)
+    assert more.makespan <= fewer.makespan + _EPS

@@ -111,6 +111,15 @@ class TestPolicyCommands:
         with pytest.raises(CommandError):
             shell.execute_line("solver quantum")
 
+    def test_solver_deadline_flag(self, shell):
+        output = shell.execute_line("solver heuristic --deadline-ms 50")
+        assert "deadline 50 ms" in output
+        assert shell.deadline_ms == 50.0
+        with pytest.raises(CommandError):
+            shell.execute_line("solver heuristic --deadline-ms soon")
+        with pytest.raises(CommandError):
+            shell.execute_line("solver heuristic --deadline-ms")
+
 
 class TestAskCommand:
     def test_ask_satisfied(self, shell):
@@ -238,6 +247,19 @@ class TestMainEntry:
 
         assert main(["--log-level", "warning", "-c", "tables"]) == 0
         assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_deadline_ms_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["--deadline-ms", "75", "-c", "tables"]) == 0
+
+    def test_deadline_ms_flag_rejects_bad_values(self, capsys):
+        from repro.cli import main
+
+        assert main(["--deadline-ms", "soon", "-c", "tables"]) == 2
+        assert "needs a number" in capsys.readouterr().err
+        assert main(["--deadline-ms", "-3", "-c", "tables"]) == 2
+        assert "must be positive" in capsys.readouterr().err
 
     def test_help(self):
         shell = CommandShell()

@@ -1,0 +1,235 @@
+"""Regression tests for the swallowed-exception sweep.
+
+Every handler that used to say ``except Exception`` now names the errors
+it actually expects.  Each test pins both sides of that contract: the
+expected error class is still absorbed (behaviour preserved), and an
+unexpected error — the kind the old bare handler silently ate — now
+surfaces.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.algebra.executor import execute
+from repro.algebra.expressions import ColumnRef, Comparison, Literal
+from repro.algebra.joins import _resolve_side, reorder_joins
+from repro.algebra.optimizer import _references_resolvable
+from repro.algebra.plan import Filter, Join, Scan
+from repro.errors import (
+    BindError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.sql import execute_sql, run_sql
+from repro.storage import Database, Schema, TEXT
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    execute_sql(
+        database, "CREATE TABLE items (name TEXT NOT NULL, qty INT, price REAL)"
+    )
+    execute_sql(
+        database,
+        "INSERT INTO items VALUES ('apple', 5, 1.5), ('pear', 0, 2.0)",
+    )
+    return database
+
+
+class TestFilterPredicateErrors:
+    """algebra/executor.py: a predicate blowing up must surface the row."""
+
+    def _exploding_filter(self, db, error):
+        node = Filter(
+            Scan(db.table("items")),
+            Comparison(">", ColumnRef("qty"), Literal(0)),
+        )
+
+        def boom(values):
+            raise error
+
+        node.bound_predicate = SimpleNamespace(evaluate=boom)
+        return node
+
+    def test_type_error_becomes_execution_error_with_row(self, db):
+        node = self._exploding_filter(db, TypeError("unorderable types"))
+        with pytest.raises(ExecutionError) as excinfo:
+            execute(node)
+        assert "predicate failed on row" in str(excinfo.value)
+        assert "'apple'" in str(excinfo.value)  # the offending row's values
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_execution_errors_pass_through_unwrapped(self, db):
+        node = self._exploding_filter(db, ExecutionError("division by zero"))
+        with pytest.raises(ExecutionError) as excinfo:
+            execute(node)
+        assert str(excinfo.value) == "division by zero"
+
+    def test_division_by_zero_row_surfaces_end_to_end(self, db):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            run_sql(db, "SELECT * FROM items WHERE 10 / qty > 1")
+
+    def test_rows_are_never_silently_dropped(self, db):
+        # The healthy path still filters normally.
+        result = run_sql(db, "SELECT name FROM items WHERE qty > 0")
+        assert [row.values for row in result.rows] == [("apple",)]
+
+
+class TestEquiJoinDetection:
+    """algebra/executor.py ``side_index``: only SchemaError means 'not here'."""
+
+    def _join_node(self, condition):
+        left = SimpleNamespace(schema=Schema.of(("a", TEXT)).qualify("l"))
+        right = SimpleNamespace(schema=Schema.of(("b", TEXT)).qualify("r"))
+        return SimpleNamespace(condition=condition, left=left, right=right)
+
+    def test_unknown_column_is_not_an_equi_join(self):
+        from repro.algebra.executor import _equi_join_columns
+
+        node = self._join_node(
+            Comparison("=", ColumnRef("missing"), ColumnRef("b"))
+        )
+        assert _equi_join_columns(node) is None
+
+    def test_schema_bugs_surface(self):
+        from repro.algebra.executor import _equi_join_columns
+
+        class BrokenSchema:
+            def index_of(self, name, table=None):
+                raise RuntimeError("corrupted catalog")
+
+        node = SimpleNamespace(
+            condition=Comparison("=", ColumnRef("a"), ColumnRef("b")),
+            left=SimpleNamespace(schema=BrokenSchema()),
+            right=SimpleNamespace(schema=BrokenSchema()),
+        )
+        with pytest.raises(RuntimeError, match="corrupted catalog"):
+            _equi_join_columns(node)
+
+    def test_non_equi_join_still_executes_via_nested_loop(self, db):
+        result = run_sql(
+            db,
+            "SELECT a.name FROM items a JOIN items b ON a.qty > b.qty",
+        )
+        assert [row.values for row in result.rows] == [("apple",)]
+
+
+class TestOptimizerResolvability:
+    """algebra/optimizer.py: pushdown skips unresolvable, surfaces bugs."""
+
+    def test_unresolvable_reference_blocks_pushdown(self):
+        schema = Schema.of(("a", TEXT))
+        predicate = Comparison("=", ColumnRef("missing"), Literal("x"))
+        assert _references_resolvable(predicate, schema) is False
+        assert _references_resolvable(
+            Comparison("=", ColumnRef("a"), Literal("x")), schema
+        )
+
+    def test_broken_expression_surfaces(self):
+        schema = Schema.of(("a", TEXT))
+
+        class BrokenExpression:
+            def references(self):
+                raise RuntimeError("bad expression node")
+
+        with pytest.raises(RuntimeError, match="bad expression node"):
+            _references_resolvable(BrokenExpression(), schema)
+
+
+class TestJoinReorderGuard:
+    """algebra/joins.py: ReproError keeps the original tree, bugs surface."""
+
+    def _three_way_cluster(self, db):
+        items = db.table("items")
+        scan = lambda alias: Scan(items, alias)
+        inner = Join(
+            scan("a"),
+            scan("b"),
+            Comparison("=", ColumnRef("name", "a"), ColumnRef("name", "b")),
+        )
+        return Join(
+            inner,
+            scan("c"),
+            Comparison("=", ColumnRef("name", "b"), ColumnRef("name", "c")),
+        )
+
+    def test_repro_error_falls_back_to_original_plan(self, db, monkeypatch):
+        import repro.algebra.joins as joins_module
+
+        def explode(root, extra):
+            raise PlanError("estimator corner case")
+
+        monkeypatch.setattr(joins_module, "_try_reorder", explode)
+        plan = self._three_way_cluster(db)
+        rebuilt = reorder_joins(plan)  # must not raise
+        assert isinstance(rebuilt, Join)
+
+    def test_genuine_bug_in_reorder_surfaces(self, db, monkeypatch):
+        import repro.algebra.joins as joins_module
+
+        def explode(root, extra):
+            raise TypeError("estimator bug")
+
+        monkeypatch.setattr(joins_module, "_try_reorder", explode)
+        with pytest.raises(TypeError, match="estimator bug"):
+            reorder_joins(self._three_way_cluster(db))
+
+    def test_resolve_side_skips_schema_misses_only(self):
+        good = SimpleNamespace(
+            plan=SimpleNamespace(schema=Schema.of(("a", TEXT)))
+        )
+
+        class BrokenSchema:
+            def index_of(self, name, table=None):
+                raise ValueError("not a schema error")
+
+        broken = SimpleNamespace(plan=SimpleNamespace(schema=BrokenSchema()))
+        assert _resolve_side(ColumnRef("a"), [good]) == 0
+        assert _resolve_side(ColumnRef("zzz"), [good]) is None
+        with pytest.raises(ValueError, match="not a schema error"):
+            _resolve_side(ColumnRef("a"), [broken])
+
+
+class TestPlannerBindFallbacks:
+    """sql/planner.py: only BindError/SchemaError mean 'try another path'."""
+
+    def test_order_by_dropped_column_uses_hidden_projection(self, db):
+        result = run_sql(db, "SELECT name FROM items ORDER BY qty DESC")
+        assert [row.values for row in result.rows] == [("apple",), ("pear",)]
+        assert result.schema.names == ("name",)
+
+    def test_order_by_unknown_column_still_errors(self, db):
+        with pytest.raises((BindError, UnknownColumnError)):
+            run_sql(db, "SELECT name FROM items ORDER BY nonexistent")
+
+    def test_group_by_expression_reused_in_select(self, db):
+        result = run_sql(
+            db, "SELECT qty + 1, COUNT(*) FROM items GROUP BY qty + 1"
+        )
+        assert sorted(row.values for row in result.rows) == [(1, 1), (6, 1)]
+
+
+class TestCreateViewValidation:
+    """sql/dml.py: bad definitions roll back; infrastructure bugs surface."""
+
+    def test_invalid_view_is_unregistered_then_raises(self, db):
+        with pytest.raises(ReproError):
+            execute_sql(db, "CREATE VIEW v AS SELECT nonexistent FROM items")
+        # The half-created view was rolled back: the name is free again.
+        execute_sql(db, "CREATE VIEW v AS SELECT name FROM items")
+        assert len(run_sql(db, "SELECT * FROM v")) == 2
+
+    def test_non_repro_error_propagates(self, db, monkeypatch):
+        import repro.sql.planner as planner_module
+
+        def explode(database, statement):
+            raise RuntimeError("planner infrastructure failure")
+
+        monkeypatch.setattr(planner_module, "plan_statement", explode)
+        with pytest.raises(RuntimeError, match="infrastructure failure"):
+            execute_sql(db, "CREATE VIEW w AS SELECT name FROM items")

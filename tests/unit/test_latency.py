@@ -108,3 +108,57 @@ class TestEstimateLeadTime:
         estimate = estimate_lead_time(plan, problem, parallelism=2)
         assert estimate.actions == 2  # both tuples must rise to 0.9
         assert estimate.makespan > 0
+
+
+class TestCriticalTuple:
+    """The critical tuple is the one whose verification finishes last."""
+
+    def _states(self, count, rate=100.0):
+        tids = [TupleId("t", index) for index in range(count)]
+        return tids, {
+            tid: BaseTupleState(tid, 0.0, LinearCost(rate)) for tid in tids
+        }
+
+    def _problem(self, states):
+        results = [ConfidenceFunction(var(tid)) for tid in states]
+        return IncrementProblem(results, states, 0.9, len(states))
+
+    def _estimate(self, targets, parallelism):
+        tids, states = self._states(len(targets))
+        model = VerificationLatencyModel(
+            dispatch_overhead=0.0, per_confidence_unit=10.0, per_cost_unit=0.0
+        )
+        plan = plan_for(dict(zip(tids, targets)))
+        return (
+            tids,
+            estimate_lead_time(
+                plan, self._problem(states), model, parallelism=parallelism
+            ),
+        )
+
+    def test_more_workers_than_actions(self):
+        # Only as many workers as actions are ever used; the critical
+        # tuple is the single longest verification, not an idle worker.
+        tids, estimate = self._estimate([0.8, 0.3], parallelism=16)
+        assert estimate.makespan == pytest.approx(8.0)
+        assert estimate.critical_tuple == tids[0]
+
+    def test_tied_final_loads_name_a_truly_critical_tuple(self):
+        # Durations (5, 5, 2) on 2 workers: one worker ends at 7, the
+        # other at 5.  The critical tuple must be the duration-2 task
+        # stacked onto a length-5 worker — not whichever worker a
+        # max-by-(load, index) tie-break happens to select.
+        tids, estimate = self._estimate([0.5, 0.5, 0.2], parallelism=2)
+        assert estimate.makespan == pytest.approx(7.0)
+        assert estimate.critical_tuple == tids[2]
+
+    def test_all_equal_durations_still_pick_a_makespan_finisher(self):
+        tids, estimate = self._estimate([0.4, 0.4, 0.4, 0.4], parallelism=2)
+        assert estimate.makespan == pytest.approx(8.0)
+        assert estimate.critical_tuple in tids
+
+    def test_serial_critical_tuple_is_the_last_to_finish(self):
+        tids, estimate = self._estimate([0.6, 0.1], parallelism=1)
+        # LPT order: the 0.6 task runs first, then 0.1 finishes last.
+        assert estimate.makespan == pytest.approx(7.0)
+        assert estimate.critical_tuple == tids[1]

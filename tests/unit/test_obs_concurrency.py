@@ -1,0 +1,235 @@
+"""Thread-safety tests for the observability layer.
+
+The degradation chain runs solver attempts on worker threads, so the
+instruments they touch — counters, gauges, histograms, the registry's
+get-or-create, and the tracer's contextvar-based span parenting — must
+hold up under concurrency: counters must not lose increments and spans
+must not adopt parents from unrelated threads.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+from repro.increment import DegradationChain, SolverAttempt, as_budgeted, solve_greedy
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
+from repro.workload import WorkloadSpec, generate_problem
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def _run_in_threads(target, count=THREADS):
+    threads = [threading.Thread(target=target) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsUnderThreads:
+    def test_counter_loses_no_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def hammer():
+            for _ in range(ITERATIONS):
+                counter.inc()
+
+        _run_in_threads(hammer)
+        assert counter.value == THREADS * ITERATIONS
+
+    def test_gauge_inc_dec_balance_to_zero(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+
+        def hammer():
+            for _ in range(ITERATIONS):
+                gauge.inc(2.0)
+                gauge.dec(2.0)
+
+        _run_in_threads(hammer)
+        assert gauge.value == 0.0
+
+    def test_histogram_counts_every_observation(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+
+        def hammer():
+            for index in range(ITERATIONS):
+                histogram.observe(float(index % 7))
+
+        _run_in_threads(hammer)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == THREADS * ITERATIONS
+        assert sum(snapshot["buckets"].values()) == THREADS * ITERATIONS
+
+    def test_registry_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen: list[int] = []
+        barrier = threading.Barrier(THREADS)
+
+        def create():
+            barrier.wait()  # maximise racing on the creation path
+            for _ in range(100):
+                seen.append(id(registry.counter("contested")))
+
+        _run_in_threads(create)
+        assert len(set(seen)) == 1
+
+    def test_concurrent_increments_through_registry_lookup(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(ITERATIONS):
+                registry.counter("via.lookup").inc()
+
+        _run_in_threads(hammer)
+        assert registry.counter("via.lookup").value == THREADS * ITERATIONS
+
+
+class TestTracerUnderThreads:
+    def test_fresh_threads_do_not_inherit_the_current_span(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with tracer.capture() as sink:
+                with tracer.span("root"):
+                    recorded = []
+
+                    def worker():
+                        with tracer.span("detached") as span:
+                            recorded.append(span)
+
+                    _run_in_threads(worker, count=2)
+            detached = sink.find("detached")
+            assert len(detached) == 2
+            for span in detached:
+                assert span.parent_id is None  # no cross-thread adoption
+        finally:
+            set_tracer(previous)
+
+    def test_copied_context_preserves_the_parent(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with tracer.capture() as sink:
+                with tracer.span("root") as root:
+                    context = contextvars.copy_context()
+
+                    def worker():
+                        with tracer.span("adopted"):
+                            pass
+
+                    thread = threading.Thread(target=lambda: context.run(worker))
+                    thread.start()
+                    thread.join()
+            (adopted,) = sink.find("adopted")
+            assert adopted.parent_id == root.span_id
+        finally:
+            set_tracer(previous)
+
+    def test_parallel_span_stacks_do_not_interleave(self):
+        """Each thread's nesting is private: a child opened on thread A
+        never claims a parent opened on thread B."""
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with tracer.capture() as sink:
+                barrier = threading.Barrier(4)
+
+                def worker(label):
+                    def run():
+                        with tracer.span(f"outer-{label}") as outer:
+                            barrier.wait()
+                            with tracer.span(f"inner-{label}") as inner:
+                                assert inner.parent_id == outer.span_id
+
+                    return run
+
+                threads = [
+                    threading.Thread(target=worker(index)) for index in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            for label in range(4):
+                (outer,) = sink.find(f"outer-{label}")
+                (inner,) = sink.find(f"inner-{label}")
+                assert inner.parent_id == outer.span_id
+                assert outer.parent_id is None
+        finally:
+            set_tracer(previous)
+
+
+class TestThreadedEngineUse:
+    def test_concurrent_degradation_chains_count_every_hop(self):
+        """Chains solving in parallel from several threads must account
+        for every fallback hop exactly once."""
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            problem = generate_problem(
+                WorkloadSpec(data_size=20, tuples_per_result=4), seed=0
+            ).problem
+
+            def flaky(problem, budget=None):
+                from repro.increment.runtime import budget_exceeded
+
+                raise budget_exceeded("flaky", problem, None)
+
+            chain = DegradationChain(
+                [
+                    SolverAttempt("flaky", flaky),
+                    SolverAttempt("greedy", as_budgeted(solve_greedy)),
+                ]
+            )
+            plans = []
+
+            def solve():
+                plans.append(chain.solve(problem))
+
+            _run_in_threads(solve, count=4)
+            assert len(plans) == 4
+            snapshot = registry.snapshot()
+            assert snapshot["pcqe.fallback_hops"] == 4
+            assert snapshot["pcqe.fallback_successes"] == 4
+        finally:
+            set_metrics(previous)
+
+    def test_chain_worker_nesting_survives_concurrency(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            problem = generate_problem(
+                WorkloadSpec(data_size=15, tuples_per_result=4), seed=1
+            ).problem
+            chain = DegradationChain(
+                [SolverAttempt("greedy", as_budgeted(solve_greedy))]
+            )
+            with tracer.capture() as sink:
+
+                def solve():
+                    chain.solve(problem)
+
+                _run_in_threads(solve, count=3)
+            attempts = sink.find("pcqe.solver_attempt")
+            assert len(attempts) == 3
+            solver_roots = [
+                span for span in sink.spans if span.name == "solver.greedy"
+            ]
+            assert len(solver_roots) == 3
+            # Every solver span hangs off exactly one attempt span.
+            attempt_ids = {span.span_id for span in attempts}
+            for span in solver_roots:
+                assert span.parent_id in attempt_ids
+        finally:
+            set_tracer(previous)

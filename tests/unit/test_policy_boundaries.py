@@ -1,0 +1,148 @@
+"""Float-boundary tests for policy enforcement.
+
+Two contracts pinned here:
+
+* ``FilterOutcome.shortfall(θ)`` agrees exactly with ``satisfies(θ)`` —
+  ``shortfall == 0 ⟺ satisfies`` — including at fractions where naive
+  ``ceil(θ·n)`` arithmetic rounds the wrong way (θ·n integral, θ the
+  float just above 1/3, θ ∈ {0, 1}, empty result sets);
+* the release predicate is strictly ``confidence > β`` (paper §2): a row
+  whose confidence *equals* the threshold is withheld.
+"""
+
+import math
+
+import pytest
+
+from repro.algebra.rows import AnnotatedTuple, ResultSet
+from repro.lineage import var
+from repro.policy import PolicyEvaluator
+from repro.policy.enforcement import FilterOutcome
+from repro.storage import Schema, TEXT, TupleId
+
+
+def outcome(released: int, withheld: int) -> FilterOutcome:
+    """A FilterOutcome with the given partition sizes (rows are dummies)."""
+    return FilterOutcome(
+        threshold=0.5,
+        released=[(None, 0.9)] * released,
+        withheld=[(None, 0.1)] * withheld,
+    )
+
+
+class TestShortfallSatisfiesAlignment:
+    @pytest.mark.parametrize("total", range(1, 13))
+    def test_shortfall_zero_iff_satisfies(self, total):
+        fractions = {0.0, 1.0, 0.25, 0.5, 0.75, 1 / 3, 2 / 3}
+        fractions |= {k / total for k in range(total + 1)}
+        fractions |= {
+            math.nextafter(f, 1.0) for f in list(fractions) if f < 1.0
+        }
+        fractions |= {
+            math.nextafter(f, 0.0) for f in list(fractions) if f > 0.0
+        }
+        for released in range(total + 1):
+            out = outcome(released, total - released)
+            for theta in fractions:
+                shortfall = out.shortfall(theta)
+                assert (shortfall == 0) == out.satisfies(theta), (
+                    f"released={released}/{total} θ={theta!r}: "
+                    f"shortfall={shortfall} but satisfies="
+                    f"{out.satisfies(theta)}"
+                )
+
+    @pytest.mark.parametrize("total", range(1, 13))
+    def test_shortfall_is_the_minimal_fix(self, total):
+        """Releasing exactly `shortfall` more rows satisfies; one fewer
+        does not."""
+        for released in range(total + 1):
+            out = outcome(released, total - released)
+            for theta in (0.0, 0.3, 1 / 3, 0.5, 2 / 3, 0.75, 1.0):
+                missing = out.shortfall(theta)
+                assert 0 <= missing <= total - released
+                fixed = outcome(released + missing, total - released - missing)
+                assert fixed.satisfies(theta)
+                if missing > 0:
+                    nearly = outcome(
+                        released + missing - 1,
+                        total - released - missing + 1,
+                    )
+                    assert not nearly.satisfies(theta)
+
+    def test_theta_times_n_integral(self):
+        # θ·n = 2 exactly: 2 released rows of 4 suffice, 1 is short by 1.
+        assert outcome(2, 2).shortfall(0.5) == 0
+        assert outcome(1, 3).shortfall(0.5) == 1
+
+    def test_theta_just_above_a_third_demands_the_next_row(self):
+        # Naive ceil(θ·3 − ε) evaluates to 1, but 1/3 < nextafter(1/3, 1).
+        theta = math.nextafter(1 / 3, 1.0)
+        out = outcome(1, 2)
+        assert not out.satisfies(theta)
+        assert out.shortfall(theta) == 1
+
+    def test_theta_zero_is_always_satisfied(self):
+        assert outcome(0, 5).shortfall(0.0) == 0
+        assert outcome(0, 5).satisfies(0.0)
+
+    def test_theta_one_demands_every_row(self):
+        assert outcome(2, 3).shortfall(1.0) == 3
+        assert outcome(5, 0).shortfall(1.0) == 0
+
+    def test_empty_result_set_is_vacuously_satisfied(self):
+        empty = outcome(0, 0)
+        assert empty.released_fraction == 1.0
+        for theta in (0.0, 0.5, 1.0):
+            assert empty.satisfies(theta)
+            assert empty.shortfall(theta) == 0
+
+
+class TestStrictThresholdSemantics:
+    """Release requires ``confidence > β``, never ``>=``."""
+
+    def _result(self, confidences):
+        schema = Schema.of(("name", TEXT))
+        tids = [TupleId("t", index) for index in range(len(confidences))]
+        rows = [
+            AnnotatedTuple((f"row{index}",), var(tid))
+            for index, tid in enumerate(tids)
+        ]
+        source = dict(zip(tids, confidences))
+        return ResultSet(schema, rows), source
+
+    def test_confidence_equal_to_threshold_is_withheld(self):
+        result, source = self._result([0.5])
+        out = PolicyEvaluator.apply_threshold(result, source, 0.5)
+        assert len(out.released) == 0
+        assert len(out.withheld) == 1
+
+    def test_confidence_just_above_threshold_is_released(self):
+        beta = 0.5
+        result, source = self._result([math.nextafter(beta, 1.0)])
+        out = PolicyEvaluator.apply_threshold(result, source, beta)
+        assert len(out.released) == 1
+
+    def test_boundary_partition_is_exhaustive_and_disjoint(self):
+        beta = 0.3
+        confidences = [
+            0.0,
+            math.nextafter(beta, 0.0),
+            beta,
+            math.nextafter(beta, 1.0),
+            1.0,
+        ]
+        result, source = self._result(confidences)
+        out = PolicyEvaluator.apply_threshold(result, source, beta)
+        assert out.total == len(confidences)
+        assert len(out.released) == 2  # strictly above only
+        released_values = sorted(confidence for _, confidence in out.released)
+        assert released_values == [math.nextafter(beta, 1.0), 1.0]
+
+    def test_threshold_extremes(self):
+        result, source = self._result([0.0, 0.5, 1.0])
+        # β = 0: everything with any confidence at all is released.
+        at_zero = PolicyEvaluator.apply_threshold(result, source, 0.0)
+        assert len(at_zero.released) == 2  # 0.0 is not > 0.0
+        # β = 1: nothing can strictly exceed it.
+        at_one = PolicyEvaluator.apply_threshold(result, source, 1.0)
+        assert len(at_one.released) == 0

@@ -131,6 +131,68 @@ def test_search_state_probe_identical_across_backends():
     assert state_c.cost == state_t.cost
 
 
+class TestUnlimitedBudgetEquivalence:
+    """An unexpired budget must not perturb the search.
+
+    Budget checks piggyback on the historical branch-and-bound cadence
+    (one counter increment per node), so passing an unlimited
+    :class:`Budget` has to reproduce the unbudgeted solver bit for bit —
+    same targets, same cost, same satisfied set, same node counts.
+    """
+
+    def _assert_same_search(self, unbudgeted, budgeted):
+        assert budgeted.targets == unbudgeted.targets
+        assert budgeted.total_cost == unbudgeted.total_cost
+        assert budgeted.satisfied_results == unbudgeted.satisfied_results
+        assert budgeted.algorithm == unbudgeted.algorithm
+        assert (
+            budgeted.stats.nodes_explored == unbudgeted.stats.nodes_explored
+        )
+        assert not budgeted.stats.budget_exhausted
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_greedy(self, seed):
+        from repro.increment import Budget
+
+        problem = _workload(40, seed)
+        for options in (GreedyOptions(), GreedyOptions(recompute="full")):
+            self._assert_same_search(
+                solve_greedy(problem, options),
+                solve_greedy(problem, options, Budget()),
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_heuristic(self, seed):
+        from repro.increment import Budget
+
+        problem = _workload(8, seed)
+        self._assert_same_search(
+            solve_heuristic(problem, HeuristicOptions()),
+            solve_heuristic(problem, HeuristicOptions(), Budget()),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_dnc(self, seed):
+        from repro.increment import Budget
+
+        problem = _workload(60, seed)
+        self._assert_same_search(
+            solve_dnc(problem, DncOptions()),
+            solve_dnc(problem, DncOptions(), Budget()),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_local_search(self, seed):
+        from repro.increment import Budget
+
+        problem = _workload(30, seed)
+        options = LocalSearchOptions(seed=11, restarts=2, swap_attempts=50)
+        self._assert_same_search(
+            solve_local_search(problem, options),
+            solve_local_search(problem, options, Budget()),
+        )
+
+
 def test_mixed_backends_disable_circuit_path():
     base = _workload(10, 0)
     pool = CircuitPool()
