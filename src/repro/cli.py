@@ -34,6 +34,12 @@ Observability flags (before any command arguments):
 ``--deadline-ms 50``
     Give each strategy-finding attempt a wall-clock budget; a timed-out
     primary solver degrades to greedy (see ``docs/ROBUSTNESS.md``).
+``--data-dir state/``
+    Persist the shell's database in *state/* through a write-ahead log
+    and checksummed snapshots; reopening the directory recovers every
+    committed mutation (see the durability section of
+    ``docs/ROBUSTNESS.md``).  Adds the ``recover`` and ``checkpoint``
+    commands.
 """
 
 from __future__ import annotations
@@ -77,8 +83,16 @@ class CommandError(ReproError):
 class CommandShell:
     """State + command dispatch for the PCQE shell."""
 
-    def __init__(self, deadline_ms: float | None = None) -> None:
-        self.db = Database("cli")
+    def __init__(
+        self,
+        deadline_ms: float | None = None,
+        data_dir: str | None = None,
+    ) -> None:
+        self.data_dir = data_dir
+        if data_dir is not None:
+            self.db = Database.open(data_dir, "cli")
+        else:
+            self.db = Database("cli")
         self.policies = PolicyStore(default_threshold=0.0)
         self.solver = "greedy"
         self.deadline_ms = deadline_ms
@@ -97,8 +111,14 @@ class CommandShell:
             "circuit": self._cmd_circuit,
             "ask": self._cmd_ask,
             "demo": self._cmd_demo,
+            "recover": self._cmd_recover,
+            "checkpoint": self._cmd_checkpoint,
             "help": self._cmd_help,
         }
+
+    def close(self) -> None:
+        """Flush and detach the durable database, if any."""
+        self.db.close()
 
     # -- dispatch -----------------------------------------------------------
 
@@ -368,6 +388,7 @@ class CommandShell:
         from .workload import venture_capital_database
 
         scenario = venture_capital_database()
+        self.db.close()  # demo replaces the database; release the WAL
         self.db = scenario.db
         self.policies = scenario.policies
         return (
@@ -376,11 +397,36 @@ class CommandShell:
             f"  ask bob investment 1.0 {scenario.QUERY})"
         )
 
+    # -- durability -------------------------------------------------------------
+
+    def _cmd_recover(self, rest: str) -> str:
+        """Inspect what recovery would find in a data directory.
+
+        Recovers *rest* (or the shell's own --data-dir) into a throwaway
+        database and prints the report — it never touches ``self.db``.
+        """
+        target = rest.strip() or self.data_dir
+        if not target:
+            raise CommandError(
+                "usage: recover <data-dir> (or start with --data-dir)"
+            )
+        from .storage import recover
+
+        db, report = recover(target)
+        db.close()
+        return report.format()
+
+    def _cmd_checkpoint(self, rest: str) -> str:
+        if not self.db.is_durable:
+            raise CommandError("checkpoint needs --data-dir")
+        nbytes = self.db.checkpoint()
+        return f"checkpoint written ({nbytes} bytes); wal compacted"
+
     def _cmd_help(self, rest: str) -> str:
         return (
             "commands: create, load, tables, sql, explain, profile, "
             "role, purpose, user, policy, solver, circuit, ask, demo, "
-            "help, quit"
+            "recover, checkpoint, help, quit"
         )
 
 
@@ -390,7 +436,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     trace_sink = None
     deadline_ms: float | None = None
-    while argv and argv[0] in ("--trace-out", "--log-level", "--deadline-ms"):
+    data_dir: str | None = None
+    while argv and argv[0] in (
+        "--trace-out",
+        "--log-level",
+        "--deadline-ms",
+        "--data-dir",
+    ):
         flag = argv.pop(0)
         if not argv:
             print(f"error: {flag} requires a value", file=sys.stderr)
@@ -401,6 +453,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             trace_sink = JsonLinesSink(value)
             get_tracer().add_sink(trace_sink)
+        elif flag == "--data-dir":
+            data_dir = value
         elif flag == "--deadline-ms":
             try:
                 deadline_ms = float(value)
@@ -420,7 +474,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             configure_logging(level=value)
 
-    shell = CommandShell(deadline_ms=deadline_ms)
+    try:
+        shell = CommandShell(deadline_ms=deadline_ms, data_dir=data_dir)
+    except ReproError as error:  # e.g. corrupt WAL/snapshot in --data-dir
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     def run(line: str) -> int:
         try:
@@ -460,6 +518,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 break
         return 0
     finally:
+        shell.close()
         if trace_sink is not None:
             from .obs import get_tracer
 

@@ -344,9 +344,16 @@ class PCQEngine:
                 )
 
             with tracer.span("pcqe.improvement") as span:
+                # On a durable database the write-back lands as ONE WAL
+                # record (db.apply_confidences journals the whole batch),
+                # so a crash mid-improvement recovers to before-or-after
+                # the strategy, never half of it.
                 receipt = self.improvement.apply(self.db, plan)
                 span.set_attribute("tuples_improved", receipt.tuples_improved)
                 span.set_attribute("total_cost", receipt.total_cost)
+                span.set_attribute("durable", self.db.is_durable)
+                if self.db.is_durable:
+                    get_metrics().counter("pcqe.improvements_persisted").inc()
             with tracer.span("pcqe.reevaluation") as span:
                 # Same ResultSet object as the first enforcement pass, so
                 # the row circuits compiled there are evaluated again with
@@ -485,8 +492,11 @@ class PCQEngine:
                 quote=quote,
                 receipt=None,
             )
-        with get_tracer().span("pcqe.improvement"):
+        with get_tracer().span("pcqe.improvement") as span:
             receipt = self.improvement.apply(self.db, plan)
+            span.set_attribute("durable", self.db.is_durable)
+            if self.db.is_durable:
+                get_metrics().counter("pcqe.improvements_persisted").inc()
         results = []
         for _request, result, threshold, _old in evaluations:
             outcome = self._evaluator.apply_threshold(result, self.db, threshold)

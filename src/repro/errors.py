@@ -20,6 +20,9 @@ __all__ = [
     "StorageError",
     "UnknownTupleError",
     "InvalidConfidenceError",
+    "DurabilityError",
+    "CorruptLogError",
+    "CorruptSnapshotError",
     "SqlError",
     "SqlSyntaxError",
     "BindError",
@@ -93,6 +96,24 @@ class UnknownTupleError(StorageError):
 
 class InvalidConfidenceError(StorageError, ValueError):
     """A confidence value lies outside [0, 1] or above the tuple's cap."""
+
+
+class DurabilityError(StorageError):
+    """Base class for crash-safe persistence failures (WAL / snapshots)."""
+
+
+class CorruptLogError(DurabilityError):
+    """A write-ahead-log record failed its checksum or framing checks.
+
+    Raised when corruption is found *before* the log's tail — a damaged
+    record followed by intact ones cannot be a torn write, so recovery
+    refuses to guess.  A damaged record at the very tail is treated as a
+    torn write and truncated instead (see ``docs/ROBUSTNESS.md``).
+    """
+
+
+class CorruptSnapshotError(DurabilityError):
+    """A snapshot file failed its magic, framing, or checksum checks."""
 
 
 # --------------------------------------------------------------------------

@@ -57,29 +57,70 @@ class InMemorySink:
 
 
 class JsonLinesSink:
-    """Appends each completed span as one JSON object per line."""
+    """Appends each completed span as one JSON object per line.
 
-    def __init__(self, path_or_handle: "str | IO[str]") -> None:
+    Tracing must never take the query path down with it: an ``OSError``
+    from the underlying handle (disk full, closed pipe, revoked
+    permissions) drops that span, bumps the ``trace.sink_errors``
+    counter, and evaluation continues.  Pass a
+    :class:`~repro.storage.durability.retry.RetryPolicy` to retry
+    transient write failures before counting the span as dropped.
+    """
+
+    def __init__(
+        self,
+        path_or_handle: "str | IO[str]",
+        retry: "Any | None" = None,
+    ) -> None:
         if isinstance(path_or_handle, str):
             self._handle: IO[str] = open(path_or_handle, "a", encoding="utf-8")
             self._owned = True
         else:
             self._handle = path_or_handle
             self._owned = False
+        self._retry = retry
         self._lock = threading.Lock()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to write failures since this sink was created."""
+        return self._dropped
+
+    def _count_drop(self) -> None:
+        from .metrics import get_metrics
+
+        self._dropped += 1
+        get_metrics().counter("trace.sink_errors").inc()
 
     def export(self, span: Span) -> None:
         line = json.dumps(span.to_dict(), default=str, sort_keys=True)
-        with self._lock:
+
+        def write() -> None:
             self._handle.write(line + "\n")
 
+        with self._lock:
+            try:
+                if self._retry is not None:
+                    self._retry.call(write)
+                else:
+                    write()
+            except OSError:
+                self._count_drop()
+
     def flush(self) -> None:
-        self._handle.flush()
+        try:
+            self._handle.flush()
+        except OSError:
+            self._count_drop()
 
     def close(self) -> None:
         self.flush()
         if self._owned:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError:
+                self._count_drop()
 
     def __enter__(self) -> "JsonLinesSink":
         return self

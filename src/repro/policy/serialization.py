@@ -115,9 +115,17 @@ def store_from_dict(data: dict[str, Any]) -> PolicyStore:
 
 
 def save_store(store: PolicyStore, target: "str | Path | TextIO") -> None:
-    """Write *store* as JSON to a path or open file."""
+    """Write *store* as JSON to a path or open file.
+
+    Path targets are replaced atomically (temp file + fsync + rename):
+    the policy store is the system's access-control state, and a crash
+    mid-save must leave the previous snapshot intact, not a truncated
+    JSON document.
+    """
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
+        from ..storage.durability.atomic import atomic_text_writer
+
+        with atomic_text_writer(target) as handle:
             save_store(store, handle)
         return
     json.dump(store_to_dict(store), target, indent=2, sort_keys=True)

@@ -148,20 +148,23 @@ def _insert(db: Database, command: InsertStatement) -> DmlResult:
             raise SqlError("duplicate column in INSERT column list")
     confidence = _confidence_value(command.confidence)
     tids = []
-    for row in command.rows:
-        if len(row) != len(positions):
-            raise SqlError(
-                f"INSERT row has {len(row)} values for {len(positions)} columns"
+    # One WAL record per statement: a multi-row INSERT recovers atomically.
+    with db.durability_batch():
+        for row in command.rows:
+            if len(row) != len(positions):
+                raise SqlError(
+                    f"INSERT row has {len(row)} values for "
+                    f"{len(positions)} columns"
+                )
+            values: list = [None] * len(schema)
+            for position, expression in zip(positions, row):
+                values[position] = _constant(expression, "INSERT value")
+            tids.append(
+                table.insert(
+                    values,
+                    confidence=1.0 if confidence is None else confidence,
+                )
             )
-        values: list = [None] * len(schema)
-        for position, expression in zip(positions, row):
-            values[position] = _constant(expression, "INSERT value")
-        tids.append(
-            table.insert(
-                values,
-                confidence=1.0 if confidence is None else confidence,
-            )
-        )
     return DmlResult("INSERT", len(tids), tuple(tids))
 
 
@@ -188,23 +191,25 @@ def _update(db: Database, command: UpdateStatement) -> DmlResult:
     confidence = _confidence_value(command.confidence)
 
     affected = _matching_rows(table, command.where)
-    for row in affected:
-        values = list(row.values)
-        updates = [
-            (position, bound.evaluate(row.values))
-            for position, bound in assignments
-        ]
-        for position, value in updates:
-            values[position] = value
-        table.update(row.tid, values)
-        if confidence is not None:
-            table.set_confidence(row.tid, confidence)
+    with db.durability_batch():
+        for row in affected:
+            values = list(row.values)
+            updates = [
+                (position, bound.evaluate(row.values))
+                for position, bound in assignments
+            ]
+            for position, value in updates:
+                values[position] = value
+            table.update(row.tid, values)
+            if confidence is not None:
+                table.set_confidence(row.tid, confidence)
     return DmlResult("UPDATE", len(affected), tuple(row.tid for row in affected))
 
 
 def _delete(db: Database, command: DeleteStatement) -> DmlResult:
     table = db.table(command.table)
     affected = _matching_rows(table, command.where)
-    for row in affected:
-        table.delete(row.tid)
+    with db.durability_batch():
+        for row in affected:
+            table.delete(row.tid)
     return DmlResult("DELETE", len(affected), tuple(row.tid for row in affected))

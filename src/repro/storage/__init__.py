@@ -4,10 +4,23 @@ This is the substrate beneath the PCQE framework: tables hold
 :class:`~repro.storage.tuples.StoredTuple` rows, each carrying a confidence
 value (element 1 of the paper) and a :class:`~repro.cost.CostModel`
 describing what raising that confidence costs (element 4).
+
+Databases are in-memory by default; ``Database.open(data_dir)`` returns
+one persisted through a write-ahead log and checksummed snapshots (see
+:mod:`repro.storage.durability`).
 """
 
 from .csvio import CONFIDENCE_COLUMN, dump_csv, load_csv
 from .database import Database
+from .durability import (
+    DurabilityManager,
+    FaultInjector,
+    FaultSpec,
+    RecoveryReport,
+    RetryPolicy,
+    SimulatedCrash,
+    recover,
+)
 from .index import HashIndex
 from .schema import Column, Schema
 from .statistics import ColumnStatistics, TableStatistics, collect_statistics
@@ -34,4 +47,11 @@ __all__ = [
     "ColumnStatistics",
     "TableStatistics",
     "collect_statistics",
+    "DurabilityManager",
+    "FaultInjector",
+    "FaultSpec",
+    "RecoveryReport",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "recover",
 ]

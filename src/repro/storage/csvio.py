@@ -14,6 +14,7 @@ from typing import Any, TextIO
 
 from ..cost import CostModel
 from ..errors import SchemaError
+from .durability.atomic import atomic_text_writer
 from .table import Table
 from .types import DataType
 
@@ -31,9 +32,15 @@ def _parse_cell(text: str, dtype: DataType) -> Any:
     if dtype is DataType.TEXT:
         return text
     if dtype is DataType.INTEGER:
-        return int(text)
+        try:
+            return int(text)
+        except ValueError:
+            raise SchemaError(f"cannot parse {text!r} as INTEGER") from None
     if dtype is DataType.REAL:
-        return float(text)
+        try:
+            return float(text)
+        except ValueError:
+            raise SchemaError(f"cannot parse {text!r} as REAL") from None
     if dtype is DataType.BOOLEAN:
         lowered = text.strip().lower()
         if lowered in _TRUE_LITERALS:
@@ -54,12 +61,15 @@ def load_csv(
 
     The CSV header must contain every schema column (case-insensitive);
     extra columns other than ``__confidence__`` are rejected to catch schema
-    drift early.
+    drift early.  Malformed cells raise :class:`~repro.errors.SchemaError`
+    naming the file, row number and column, and ``__confidence__`` values
+    must be numbers in [0, 1].
     """
     if isinstance(source, (str, Path)):
         with open(source, newline="", encoding="utf-8") as handle:
             return load_csv(table, handle, default_confidence, cost_model)
 
+    source_name = getattr(source, "name", "<csv>")
     reader = csv.reader(source)
     try:
         header = next(reader)
@@ -90,25 +100,49 @@ def load_csv(
         )
 
     count = 0
-    for row in reader:
+    for row_number, row in enumerate(reader, start=2):  # 1 is the header
         if not row:
             continue
-        values = [
-            _parse_cell(row[position], column.dtype)
-            for position, column in zip(positions, table.schema)
-        ]
+        values = []
+        for position, column in zip(positions, table.schema):
+            try:
+                values.append(_parse_cell(row[position], column.dtype))
+            except SchemaError as error:
+                raise SchemaError(
+                    f"{source_name}: row {row_number}, "
+                    f"column {column.name!r}: {error}"
+                ) from None
         confidence = default_confidence
         if confidence_position is not None and row[confidence_position] != "":
-            confidence = float(row[confidence_position])
+            cell = row[confidence_position]
+            try:
+                confidence = float(cell)
+            except ValueError:
+                raise SchemaError(
+                    f"{source_name}: row {row_number}, "
+                    f"column {CONFIDENCE_COLUMN!r}: "
+                    f"cannot parse {cell!r} as a confidence"
+                ) from None
+            if not 0.0 <= confidence <= 1.0:
+                raise SchemaError(
+                    f"{source_name}: row {row_number}, "
+                    f"column {CONFIDENCE_COLUMN!r}: "
+                    f"confidence {confidence} outside [0, 1]"
+                )
         table.insert(values, confidence=confidence, cost_model=cost_model)
         count += 1
     return count
 
 
 def dump_csv(table: Table, target: str | Path | TextIO) -> int:
-    """Write *table* (with confidences) to CSV; returns the row count."""
+    """Write *table* (with confidences) to CSV; returns the row count.
+
+    Path targets are written atomically (temp file + fsync + rename), so
+    a crash mid-export never leaves a truncated file where a previous
+    export's data used to be.
+    """
     if isinstance(target, (str, Path)):
-        with open(target, "w", newline="", encoding="utf-8") as handle:
+        with atomic_text_writer(target, newline="") as handle:
             return dump_csv(table, handle)
 
     writer = csv.writer(target)

@@ -7,23 +7,103 @@ improvement service (to write increased confidences back).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, ContextManager, Iterable, Iterator, Mapping
 
 from ..errors import DuplicateTableError, UnknownTableError
 from .schema import Schema
 from .table import Table
 from .tuples import StoredTuple, TupleId
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .durability import DurabilityManager, RetryPolicy
+    from .durability.faults import FaultInjector
+
 __all__ = ["Database"]
 
 
 class Database:
-    """A named collection of :class:`~repro.storage.table.Table` objects."""
+    """A named collection of :class:`~repro.storage.table.Table` objects.
+
+    A database is in-memory by default; :meth:`open` returns one backed
+    by a write-ahead log and checksummed snapshots in a data directory
+    (see :mod:`repro.storage.durability`).
+    """
 
     def __init__(self, name: str = "main") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._views: dict[str, str] = {}
+        #: Set by DurabilityManager.attach; None = in-memory database.
+        self._durability: "DurabilityManager | None" = None
+
+    # -- durability ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        name: str = "main",
+        *,
+        sync: bool = True,
+        retry: "RetryPolicy | None" = None,
+        checkpoint_bytes: int | None = None,
+        faults: "FaultInjector | None" = None,
+    ) -> "Database":
+        """Open (or create) a durable database persisted under *data_dir*.
+
+        Recovers the newest valid snapshot plus the committed WAL suffix,
+        then journals every subsequent mutation.  Raises
+        :class:`~repro.errors.CorruptLogError` /
+        :class:`~repro.errors.CorruptSnapshotError` on damaged state
+        rather than silently dropping data.
+        """
+        from .durability import DurabilityManager, recover
+
+        db, report = recover(data_dir, name)
+        manager = DurabilityManager(
+            data_dir,
+            sync=sync,
+            retry=retry,
+            checkpoint_bytes=checkpoint_bytes,
+            faults=faults,
+        )
+        manager.attach(db, report.last_seq)
+        return db
+
+    @property
+    def is_durable(self) -> bool:
+        """True when mutations are journaled to a write-ahead log."""
+        return self._durability is not None
+
+    def checkpoint(self) -> int:
+        """Snapshot the state and compact the WAL; returns snapshot bytes.
+
+        No-op (returns 0) for in-memory databases.
+        """
+        if self._durability is None:
+            return 0
+        return self._durability.checkpoint()
+
+    def close(self) -> None:
+        """Flush and detach durability (safe to call twice; no-op if none)."""
+        if self._durability is not None:
+            self._durability.close()
+
+    def durability_batch(self) -> ContextManager[Any]:
+        """Context manager grouping enclosed mutations into one WAL record.
+
+        Multi-row DML statements and accepted increment strategies wrap
+        themselves in this so they recover atomically.  For in-memory
+        databases this is a free no-op.
+        """
+        if self._durability is None:
+            return nullcontext()
+        return self._durability.batch()
+
+    def _journal(self, op: "dict[str, Any]") -> None:
+        if self._durability is not None:
+            self._durability.log_op(op)
 
     # -- catalog ----------------------------------------------------------
 
@@ -38,6 +118,17 @@ class Database:
             raise DuplicateTableError(f"table {name!r} already exists")
         table = Table(name, schema)
         self._tables[key] = table
+        if self._durability is not None:
+            from .durability.codec import encode_schema
+
+            table._journal = self._durability.log_op
+            self._journal(
+                {
+                    "op": "create_table",
+                    "table": name,
+                    "columns": encode_schema(table.schema),
+                }
+            )
         return table
 
     def drop_table(self, name: str) -> None:
@@ -45,7 +136,9 @@ class Database:
         key = name.lower()
         if key not in self._tables:
             raise UnknownTableError(f"no table {name!r}")
+        self._tables[key]._journal = None
         del self._tables[key]
+        self._journal({"op": "drop_table", "table": name})
 
     def table(self, name: str) -> Table:
         """Look up a table by (case-insensitive) name."""
@@ -102,12 +195,14 @@ class Database:
         if key in self._tables or key in self._views:
             raise DuplicateTableError(f"table or view {name!r} already exists")
         self._views[key] = sql
+        self._journal({"op": "create_view", "name": name, "sql": sql})
 
     def drop_view(self, name: str) -> None:
         key = name.lower()
         if key not in self._views:
             raise UnknownTableError(f"no view {name!r}")
         del self._views[key]
+        self._journal({"op": "drop_view", "name": name})
 
     def view_definition(self, name: str) -> str | None:
         """The SQL text of view *name*, or None if no such view."""
@@ -138,7 +233,10 @@ class Database:
         """Apply a batch of confidence updates atomically-in-effect.
 
         All updates are validated before any is applied, so a bad target
-        leaves the database unchanged.
+        leaves the database unchanged.  On a durable database the whole
+        batch — e.g. an accepted increment strategy's write-back — is
+        journaled as ONE atomic WAL record: recovery sees either none of
+        the strategy or all of it.
         """
         rows = [(self.resolve(tid), value) for tid, value in updates.items()]
         for row, value in rows:
@@ -151,6 +249,16 @@ class Database:
                 )
         for row, value in rows:
             row.set_confidence(value)
+        if rows:
+            self._journal(
+                {
+                    "op": "confidences",
+                    "updates": [
+                        [row.tid.table, row.tid.ordinal, row.confidence]
+                        for row, _ in rows
+                    ],
+                }
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - display only
         return f"Database({self.name!r}, tables={self.table_names()})"

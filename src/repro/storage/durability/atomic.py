@@ -1,0 +1,90 @@
+"""Atomic file replacement: temp file + fsync + ``os.replace``.
+
+Every non-append write in the repository goes through these helpers so a
+crash can never leave a half-written file under the final name.  The
+protocol is the classic one:
+
+1. write the full payload to ``<target>.tmp.<pid>`` in the same directory;
+2. flush and ``fsync`` the temp file (the data is durable *before* any
+   rename is visible);
+3. ``os.replace`` the temp file over the target (atomic on POSIX and NT);
+4. ``fsync`` the parent directory so the rename itself survives a crash.
+
+Readers therefore observe either the complete old file or the complete new
+file — never a torn mixture, never a truncated target.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+from .fileio import fsync_dir
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_text_writer"]
+
+
+def _temp_name(target: Path) -> Path:
+    return target.with_name(f"{target.name}.tmp.{os.getpid()}")
+
+
+def atomic_write_bytes(target: "str | Path", data: bytes) -> None:
+    """Atomically replace *target* with *data* (crash leaves old or new)."""
+    target = Path(target)
+    temp = _temp_name(target)
+    fd = os.open(temp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(str(target.parent))
+
+
+def atomic_write_text(
+    target: "str | Path", text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace *target* with *text*."""
+    atomic_write_bytes(target, text.encode(encoding))
+
+
+@contextmanager
+def atomic_text_writer(
+    target: "str | Path", encoding: str = "utf-8", newline: str | None = None
+) -> Iterator[IO[str]]:
+    """Context manager yielding a text handle whose contents atomically
+    replace *target* on success (and are discarded on error).
+
+    Streaming writers (CSV export, JSON dumps) use this so they keep their
+    incremental ``write`` calls while still getting all-or-nothing
+    on-disk semantics.
+    """
+    target = Path(target)
+    temp = _temp_name(target)
+    handle = open(temp, "w", encoding=encoding, newline=newline)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(temp, target)
+    except BaseException:
+        try:
+            handle.close()
+        except OSError:  # pragma: no cover - close after failed write
+            pass
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(str(target.parent))

@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the durability layer.
+
+The harness models the *physics* of a crash instead of monkey-patching
+outcomes: a :class:`FaultyFile` keeps an explicit "page cache" (bytes
+written but not yet fsynced), so every simulated failure corresponds to a
+real machine state:
+
+* ``crash`` — the process dies at a crash point; unsynced bytes are lost.
+* ``torn`` — the process dies mid-``write``; a seeded *prefix* of the
+  write reaches disk (plus everything previously buffered).
+* ``bitflip`` — the write reaches disk in full but one seeded bit is
+  corrupted in transit.
+* ``lost_fsync`` — ``fsync`` reports success without persisting anything;
+  the process continues (and may ``os.replace`` a file whose contents
+  never became durable) until it hits ``crash_at``.
+
+Crash points are string names hit by the WAL/snapshot/manager code paths
+(:data:`CRASH_POINTS` enumerates them together with the modes that make
+sense at each).  All randomness (torn prefix length, flipped bit position)
+comes from a seeded RNG, so every matrix cell replays identically.
+
+``SimulatedCrash`` derives from ``BaseException`` so that no ``except
+Exception`` handler between the injection site and the test can swallow
+the "process death".
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "SimulatedCrash",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultyFile",
+    "CRASH_POINTS",
+    "iter_fault_specs",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death; never caught by library code."""
+
+    def __init__(self, point: str, mode: str) -> None:
+        super().__init__(f"simulated crash at {point!r} (mode {mode})")
+        self.point = point
+        self.mode = mode
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One cell of the fault matrix.
+
+    ``point`` is where the fault fires (on its ``occurrence``-th hit);
+    ``mode`` is what happens there.  For ``lost_fsync``, ``crash_at``
+    names the point at which the process finally dies (default: the next
+    point hit after the lost fsync).
+    """
+
+    point: str
+    mode: str = "crash"
+    occurrence: int = 1
+    seed: int = 0
+    crash_at: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("crash", "torn", "bitflip", "lost_fsync"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+
+
+#: Crash points and the modes meaningful at each.  ``*.write`` and
+#: ``*.fsync`` fire inside :class:`FaultyFile` (they need byte access);
+#: the rest are plain :meth:`FaultInjector.hit` barriers in the
+#: WAL/checkpoint code.
+CRASH_POINTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("wal.append.before_write", ("crash",)),
+    ("wal.write", ("crash", "torn", "bitflip")),
+    ("wal.fsync", ("crash", "lost_fsync")),
+    ("wal.append.after_fsync", ("crash",)),
+    ("checkpoint.before_snapshot", ("crash",)),
+    ("snapshot.write", ("crash", "torn", "bitflip")),
+    ("snapshot.fsync", ("crash", "lost_fsync")),
+    ("snapshot.before_replace", ("crash",)),
+    ("snapshot.after_replace", ("crash",)),
+    ("checkpoint.after_wal_rotate", ("crash",)),
+)
+
+
+def iter_fault_specs(seed: int = 0) -> Iterator[FaultSpec]:
+    """Every (point, mode) cell of the matrix as a :class:`FaultSpec`.
+
+    The ``lost_fsync`` cell for the snapshot path crashes *after* the
+    rename, which is the scenario where an un-fsynced temp file gets
+    installed — the case checksums exist to catch.
+    """
+    for point, modes in CRASH_POINTS:
+        for mode in modes:
+            crash_at = None
+            if mode == "lost_fsync" and point == "snapshot.fsync":
+                crash_at = "snapshot.after_replace"
+            yield FaultSpec(point, mode, seed=seed, crash_at=crash_at)
+
+
+class FaultInjector:
+    """Counts crash-point hits and fires the configured fault.
+
+    One injector drives one scripted session; arm it with a
+    :class:`FaultSpec` and hand it to ``Database.open(...,
+    faults=injector)``.  ``tripped`` records whether the fault actually
+    fired (a matrix cell whose point is never reached is a test bug, not
+    a pass).
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.hits: dict[str, int] = {}
+        self.tripped = False
+        self._crash_pending = False
+        self._fsync_lost = False
+
+    # -- plain barriers ----------------------------------------------------
+
+    def hit(self, point: str) -> None:
+        """A code-path barrier: may raise :class:`SimulatedCrash`."""
+        self._check_pending(point)
+        if self._matches(point) and self.spec.mode == "crash":
+            self._trip(point)
+
+    # -- byte-level interceptions (called by FaultyFile) -------------------
+
+    def intercept_write(self, point: str, data: bytes) -> "bytes | None":
+        """Decide the fate of a write at *point*.
+
+        Returns ``None`` for a normal buffered write; for ``torn`` /
+        ``bitflip`` returns the bytes that reach disk before the simulated
+        death (the caller must persist them, then re-raise).
+        """
+        self._check_pending(point)
+        if not self._matches(point):
+            return None
+        if self.spec.mode == "crash":
+            self._trip(point)
+        if self.spec.mode == "torn":
+            return data[: self.rng.randrange(0, max(1, len(data)))]
+        if self.spec.mode == "bitflip" and data:
+            corrupted = bytearray(data)
+            position = self.rng.randrange(0, len(corrupted))
+            corrupted[position] ^= 1 << self.rng.randrange(0, 8)
+            return bytes(corrupted)
+        return None
+
+    def intercept_fsync(self, point: str) -> bool:
+        """True if this fsync should be silently *lost* (skipped)."""
+        self._check_pending(point)
+        if self._matches(point):
+            if self.spec.mode == "crash":
+                self._trip(point)
+            if self.spec.mode == "lost_fsync":
+                self._fsync_lost = True
+                if self.spec.crash_at is None:
+                    self._crash_pending = True
+                return True
+        return False
+
+    # -- internals ---------------------------------------------------------
+
+    def _matches(self, point: str) -> bool:
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        return point == self.spec.point and count == self.spec.occurrence
+
+    def _check_pending(self, point: str) -> None:
+        if self._crash_pending or (
+            self._fsync_lost and point == self.spec.crash_at
+        ):
+            self.tripped = True
+            raise SimulatedCrash(point, self.spec.mode)
+
+    def _trip(self, point: str) -> None:
+        self.tripped = True
+        raise SimulatedCrash(point, self.spec.mode)
+
+    def crash_during_write(self, point: str, landed: bytes) -> None:
+        """Record the fault firing from inside a write interception."""
+        del landed  # the FaultyFile already persisted the bytes
+        self.tripped = True
+        raise SimulatedCrash(point, self.spec.mode)
+
+
+class FaultyFile:
+    """A :class:`~repro.storage.durability.fileio.DurableFile` with an
+    explicit page cache, driven by a :class:`FaultInjector`.
+
+    Writes accumulate in ``_pending`` (the simulated page cache); only
+    ``fsync`` moves them to the real file.  A simulated crash therefore
+    loses exactly the unsynced suffix — and a *later* successful fsync
+    persists earlier lost-fsync writes too, just like a real kernel.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        mode: str,
+        injector: FaultInjector,
+        tag: str,
+    ) -> None:
+        flags = os.O_WRONLY | os.O_CREAT | (
+            os.O_APPEND if mode == "ab" else os.O_TRUNC
+        )
+        self._fd = os.open(path, flags, 0o644)
+        self.path = path
+        self._injector = injector
+        self._tag = tag
+        self._pending = bytearray()
+        self._closed = False
+
+    # -- DurableFile interface ---------------------------------------------
+
+    def write(self, data: bytes) -> None:
+        point = f"{self._tag}.write"
+        landed = self._injector.intercept_write(point, data)
+        if landed is None:
+            self._pending += data
+            return
+        # Torn / bit-flipped write: the (corrupted) bytes hit the platter
+        # together with everything previously buffered, then the process
+        # dies.
+        self._persist(bytes(self._pending) + landed)
+        self._pending.clear()
+        self._injector.crash_during_write(point, landed)
+
+    def fsync(self) -> None:
+        if self._injector.intercept_fsync(f"{self._tag}.fsync"):
+            return  # lost: report success, persist nothing
+        self._persist(bytes(self._pending))
+        self._pending.clear()
+        os.fsync(self._fd)
+
+    def tell(self) -> int:
+        return os.lseek(self._fd, 0, os.SEEK_END) + len(self._pending)
+
+    def truncate(self, size: int) -> None:
+        self._pending.clear()
+        os.ftruncate(self._fd, size)
+
+    def close(self) -> None:
+        # A clean close flushes the cache (the kernel writes back
+        # eventually); crash tests never reach here.
+        if not self._closed:
+            self._closed = True
+            self._persist(bytes(self._pending))
+            self._pending.clear()
+            os.close(self._fd)
+
+    # -- internals ---------------------------------------------------------
+
+    def _persist(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            written = os.write(self._fd, view)
+            view = view[written:]

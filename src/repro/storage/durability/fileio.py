@@ -1,0 +1,87 @@
+"""The byte-level file interface the durability layer writes through.
+
+Everything that must survive a crash goes through a :class:`DurableFile`:
+the real :class:`OsFile` in production, or the fault harness's
+``FaultyFile`` (which models the page cache, so "lost fsync" and torn
+writes are physically faithful) in tests.  An *opener* callable produces
+the file; injecting one is how the fault harness gets between the WAL and
+the disk without patching.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Protocol
+
+__all__ = ["DurableFile", "Opener", "OsFile", "os_opener", "fsync_dir"]
+
+
+class DurableFile(Protocol):
+    """Append-oriented file handle with explicit durability points."""
+
+    def write(self, data: bytes) -> None: ...  # pragma: no cover - protocol
+
+    def fsync(self) -> None: ...  # pragma: no cover - protocol
+
+    def tell(self) -> int: ...  # pragma: no cover - protocol
+
+    def truncate(self, size: int) -> None: ...  # pragma: no cover - protocol
+
+    def close(self) -> None: ...  # pragma: no cover - protocol
+
+
+#: ``opener(path, mode)`` with mode ``"ab"`` (append) or ``"wb"`` (create).
+Opener = Callable[[str, str], DurableFile]
+
+
+class OsFile:
+    """Thin write-through wrapper over an OS-level file descriptor."""
+
+    def __init__(self, path: str, mode: str = "ab") -> None:
+        if mode not in ("ab", "wb"):
+            raise ValueError(f"unsupported mode {mode!r}")
+        flags = os.O_WRONLY | os.O_CREAT | (
+            os.O_APPEND if mode == "ab" else os.O_TRUNC
+        )
+        self._fd = os.open(path, flags, 0o644)
+        self.path = path
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            written = os.write(self._fd, view)
+            view = view[written:]
+
+    def fsync(self) -> None:
+        os.fsync(self._fd)
+
+    def tell(self) -> int:
+        return os.lseek(self._fd, 0, os.SEEK_CUR)
+
+    def truncate(self, size: int) -> None:
+        os.ftruncate(self._fd, size)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            os.close(self._fd)
+
+
+def os_opener(path: str, mode: str = "ab") -> OsFile:
+    """The default opener: a real OS file."""
+    return OsFile(path, mode)
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a rename inside it is durable (POSIX only)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directory fsync unsupported
+        pass
+    finally:
+        os.close(fd)

@@ -1,0 +1,208 @@
+"""The durability manager: one WAL + snapshot pair behind a database.
+
+A :class:`DurabilityManager` attaches to a
+:class:`~repro.storage.database.Database` and receives every logical
+mutation through the journal hooks (``Table._journal`` and the
+database's catalog/confidence paths).  Each op becomes one fsync'd WAL
+record; :meth:`batch` groups a multi-row statement (or a solver's entire
+accepted strategy) into a single atomic record; :meth:`checkpoint`
+writes a checksummed snapshot and compacts the WAL.
+
+Observability: every append runs under a ``wal.append`` span (no-op
+unless tracing is enabled) and moves ``wal.records`` / ``wal.bytes`` /
+``wal.fsyncs`` counters plus a ``wal.size_bytes`` gauge; checkpoints
+move ``wal.checkpoints`` and ``snapshot.bytes``; transient-IO retries
+move ``wal.retries``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ...obs import get_metrics, get_tracer
+from .codec import encode_op
+from .faults import FaultInjector, FaultyFile
+from .fileio import DurableFile, os_opener
+from .recovery import SNAPSHOT_FILE, WAL_FILE
+from .retry import RetryPolicy
+from .wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..database import Database
+
+__all__ = ["DurabilityManager"]
+
+
+class DurabilityManager:
+    """Crash-safe persistence for one database directory.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory holding ``wal.log`` and ``snapshot.snap``.
+    sync:
+        fsync every WAL append (the default).  ``False`` trades the
+        single-op durability guarantee for speed: a crash may lose the
+        unsynced suffix, but never corrupts what was synced.
+    retry:
+        :class:`RetryPolicy` for transient append-path IO errors.
+    checkpoint_bytes:
+        Auto-checkpoint when the WAL grows past this size (``None`` =
+        manual checkpoints only).
+    faults:
+        A :class:`FaultInjector` for crash testing; file IO then runs
+        through :class:`FaultyFile` so torn writes and lost fsyncs are
+        simulated at the byte level.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        *,
+        sync: bool = True,
+        retry: RetryPolicy | None = None,
+        checkpoint_bytes: int | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
+        self.sync = sync
+        self.checkpoint_bytes = checkpoint_bytes
+        self._injector = faults
+        self._metrics = get_metrics()
+        self._wal = WriteAheadLog(
+            os.path.join(data_dir, WAL_FILE),
+            opener=lambda path, mode: self._open(path, mode, "wal"),
+            sync=sync,
+            retry=retry,
+            injector=faults,
+            on_retry=self._count_retry,
+        )
+        self._db: "Database | None" = None
+        self._seq = 0
+        self._batch: "list[dict[str, Any]] | None" = None
+        self._closed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def _open(self, path: str, mode: str, tag: str) -> DurableFile:
+        if self._injector is not None:
+            return FaultyFile(path, mode, self._injector, tag)
+        return os_opener(path, mode)
+
+    def _count_retry(self, attempt: int, error: BaseException) -> None:
+        self._metrics.counter("wal.retries").inc()
+
+    def attach(self, db: "Database", last_seq: int) -> None:
+        """Start journaling *db* (state must already match the log)."""
+        self._db = db
+        self._seq = last_seq
+        db._durability = self
+        for table in db.tables():
+            table._journal = self.log_op
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def wal_size_bytes(self) -> int:
+        return self._wal.size_bytes
+
+    # -- journaling --------------------------------------------------------
+
+    def log_op(self, op: dict[str, Any]) -> None:
+        """Journal one logical op (buffered inside an open batch)."""
+        if self._batch is not None:
+            self._batch.append(op)
+            return
+        self._commit(op)
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group every op journaled inside into one atomic WAL record.
+
+        The buffered ops are committed even when the guarded statement
+        raises: journal hooks fire *after* each in-memory mutation, so
+        the buffer is exactly what was applied — flushing it keeps the
+        log and the in-memory state convergent on partial failures.
+        Nested batches flatten into the outermost record.
+        """
+        if self._batch is not None:
+            yield  # nested: outer batch owns the commit
+            return
+        self._batch = []
+        try:
+            yield
+        finally:
+            buffered, self._batch = self._batch, None
+            if len(buffered) == 1:
+                self._commit(buffered[0])
+            elif buffered:
+                self._commit({"op": "batch", "ops": buffered})
+
+    def _commit(self, op: dict[str, Any]) -> None:
+        encoded = encode_op(op)
+        self._seq += 1
+        encoded["seq"] = self._seq
+        payload = json.dumps(encoded, separators=(",", ":")).encode("utf-8")
+        with get_tracer().span(
+            "wal.append", op=op.get("op", "?"), seq=self._seq
+        ) as span:
+            nbytes = self._wal.append(payload)
+            span.set_attribute("bytes", nbytes)
+        self._metrics.counter("wal.records").inc()
+        self._metrics.counter("wal.bytes").inc(nbytes)
+        if self.sync:
+            self._metrics.counter("wal.fsyncs").inc()
+        self._metrics.gauge("wal.size_bytes").set(self._wal.size_bytes)
+        if (
+            self.checkpoint_bytes is not None
+            and self._wal.size_bytes >= self.checkpoint_bytes
+        ):
+            self.checkpoint()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a snapshot and compact the WAL; returns snapshot bytes.
+
+        Crash-safe in both directions: the snapshot lands atomically and
+        records ``wal_seq``, so replaying a not-yet-rotated WAL over it
+        skips everything already folded in.
+        """
+        if self._db is None:
+            raise RuntimeError("checkpoint before attach")
+        from .snapshot import write_snapshot
+
+        if self._injector is not None:
+            self._injector.hit("checkpoint.before_snapshot")
+        with get_tracer().span("durability.checkpoint", seq=self._seq) as span:
+            nbytes = write_snapshot(
+                self._db,
+                os.path.join(self.data_dir, SNAPSHOT_FILE),
+                wal_seq=self._seq,
+                opener=lambda path, mode: self._open(path, mode, "snapshot"),
+                injector=self._injector,
+            )
+            self._wal.rotate()
+            span.set_attribute("snapshot_bytes", nbytes)
+        self._metrics.counter("wal.checkpoints").inc()
+        self._metrics.gauge("snapshot.bytes").set(nbytes)
+        self._metrics.gauge("wal.size_bytes").set(self._wal.size_bytes)
+        return nbytes
+
+    def close(self) -> None:
+        """Flush and close the WAL (safe to call twice)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._wal.close()
+        if self._db is not None:
+            for table in self._db.tables():
+                table._journal = None
+            self._db._durability = None
+            self._db = None

@@ -1,0 +1,82 @@
+"""Transient-IO retry with capped exponential backoff and jitter.
+
+One policy object serves every writer in the system: the WAL append path
+wraps its ``write``/``fsync`` calls in a :class:`RetryPolicy` so a
+transient ``OSError`` (NFS hiccup, ``EINTR``, momentary ``ENOSPC``) does
+not immediately fail a commit, and the observability sinks reuse the same
+policy before counting a span as dropped.
+
+The policy is deterministic under test: the jitter stream comes from a
+seedable :class:`random.Random` and the sleep function is injectable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Retry a callable on transient errors with capped backoff + jitter.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries (the first call counts); the last failure re-raises.
+    base_delay / max_delay:
+        The backoff starts at *base_delay* seconds and doubles per retry,
+        capped at *max_delay*.
+    jitter:
+        Each sleep is scaled by a uniform factor in ``[1-jitter, 1+jitter]``
+        so synchronized writers do not retry in lockstep.
+    retryable:
+        Exception classes considered transient.  Anything else — including
+        the fault harness's ``SimulatedCrash`` — propagates immediately.
+    sleep / seed:
+        Injectable for deterministic tests.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    retryable: tuple[type[BaseException], ...] = (OSError,)
+    sleep: Callable[[float], None] = time.sleep
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        self._rng = random.Random(self.seed)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> T:
+        """Invoke *fn*, retrying transient failures; returns its result.
+
+        *on_retry* (if given) is called with ``(attempt_number, error)``
+        before each backoff sleep — the WAL uses it to bump a metric.
+        """
+        delay = self.base_delay
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except self.retryable as error:
+                if attempt == self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+                self.sleep(max(0.0, delay * factor))
+                delay = min(delay * 2.0, self.max_delay)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,253 @@
+"""The write-ahead log: length-prefixed, checksummed, fsync'd records.
+
+File format (``wal.log``)::
+
+    +--------------------------------------------------------------+
+    | magic "PCQEWAL1" (8 bytes)                                   |
+    +-------------+---------------+--------------+-----------------+
+    | len u32 LE  | payload CRC32C| header CRC32C| payload (len B) |  × N
+    +-------------+---------------+--------------+-----------------+
+
+Each record's payload is one JSON-encoded logical operation (see
+:mod:`~repro.storage.durability.codec`) carrying a monotonically
+increasing ``seq``.  The header checksum covers the length and payload
+checksum fields, so a bit flip in the *length* cannot silently send the
+scanner off the rails.
+
+Torn-tail policy (the crash-consistency contract):
+
+* a record whose header or payload is **incomplete** (the file ends
+  mid-record) is a torn write — the tail is truncated on recovery and
+  the log is usable;
+* a record that is **complete but fails a checksum** is corruption — a
+  torn write produced by a crashed ``write`` is always a *prefix* of the
+  record, so a full-length record with a bad CRC means bits changed on
+  disk, and recovery raises :class:`~repro.errors.CorruptLogError`
+  rather than guess.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+from ...errors import CorruptLogError, DurabilityError
+from .checksum import crc32c
+from .faults import FaultInjector
+from .fileio import DurableFile, Opener, os_opener
+from .retry import RetryPolicy
+
+__all__ = ["WAL_MAGIC", "WriteAheadLog", "ScanResult", "scan_wal"]
+
+WAL_MAGIC = b"PCQEWAL1"
+_HEADER = struct.Struct("<III")  # payload length, payload CRC, header CRC
+_LEN_CRC = struct.Struct("<II")
+#: Upper bound on a single record; anything larger is framing corruption.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def _frame(payload: bytes) -> bytes:
+    if len(payload) > MAX_RECORD_BYTES:
+        raise DurabilityError(
+            f"WAL record of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte limit"
+        )
+    length_crc = _LEN_CRC.pack(len(payload), crc32c(payload))
+    return length_crc + struct.pack("<I", crc32c(length_crc)) + payload
+
+
+@dataclass
+class ScanResult:
+    """Outcome of scanning a WAL file."""
+
+    payloads: list[bytes]
+    good_length: int  #: byte offset up to which the log is intact
+    file_length: int  #: actual file size (> good_length ⇒ torn tail)
+
+    @property
+    def torn_bytes(self) -> int:
+        return self.file_length - self.good_length
+
+
+def scan_wal(path: "str | os.PathLike[str]") -> ScanResult:
+    """Read every intact record of the log at *path*.
+
+    Applies the torn-tail policy documented in the module docstring;
+    raises :class:`CorruptLogError` on checksum corruption or a foreign
+    file, and never raises for a well-formed torn tail.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+    if size < len(WAL_MAGIC):
+        # A torn header write: only a prefix of the magic landed.
+        if data and not WAL_MAGIC.startswith(data):
+            raise CorruptLogError(
+                f"{path}: not a PCQE write-ahead log (bad magic)"
+            )
+        return ScanResult([], 0, size)
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise CorruptLogError(f"{path}: not a PCQE write-ahead log (bad magic)")
+
+    payloads: list[bytes] = []
+    offset = len(WAL_MAGIC)
+    while offset < size:
+        remaining = size - offset
+        if remaining < _HEADER.size:
+            return ScanResult(payloads, offset, size)  # torn header
+        length, payload_crc, header_crc = _HEADER.unpack_from(data, offset)
+        if crc32c(data[offset : offset + _LEN_CRC.size]) != header_crc:
+            raise CorruptLogError(
+                f"{path}: record header checksum mismatch at offset {offset}"
+            )
+        if length > MAX_RECORD_BYTES:
+            raise CorruptLogError(
+                f"{path}: implausible record length {length} at offset "
+                f"{offset}"
+            )
+        body_start = offset + _HEADER.size
+        if body_start + length > size:
+            return ScanResult(payloads, offset, size)  # torn payload
+        payload = data[body_start : body_start + length]
+        if crc32c(payload) != payload_crc:
+            raise CorruptLogError(
+                f"{path}: record payload checksum mismatch at offset "
+                f"{offset} (record {len(payloads)})"
+            )
+        payloads.append(payload)
+        offset = body_start + length
+    return ScanResult(payloads, offset, size)
+
+
+def truncate_torn_tail(path: "str | os.PathLike[str]", scan: ScanResult) -> int:
+    """Physically truncate a torn tail found by :func:`scan_wal`.
+
+    Returns the number of bytes removed (0 if the log was intact).  The
+    truncation itself is fsync'd so recovery is idempotent.
+    """
+    if scan.torn_bytes <= 0:
+        return 0
+    fd = os.open(path, os.O_RDWR)
+    try:
+        os.ftruncate(fd, scan.good_length)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return scan.torn_bytes
+
+
+class WriteAheadLog:
+    """Appender for the WAL file (reading goes through :func:`scan_wal`).
+
+    Appends are framed, checksummed, written, and (by default) fsync'd
+    before :meth:`append` returns — a record the caller saw committed is
+    durable.  Transient ``OSError`` s are retried under *retry* after
+    rewinding to the record boundary, so a half-written first attempt
+    cannot linger in front of its retry.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        opener: Opener = os_opener,
+        *,
+        sync: bool = True,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        on_retry=None,
+    ) -> None:
+        self.path = path
+        self._opener = opener
+        self._sync = sync
+        self._retry = retry
+        self._injector = injector
+        self._on_retry = on_retry
+        existing = os.path.getsize(path) if os.path.exists(path) else 0
+        self._file: DurableFile = opener(path, "ab")
+        if existing == 0:
+            self._file.write(WAL_MAGIC)
+            self._file.fsync()
+            existing = len(WAL_MAGIC)
+        self._size = existing
+        self._dirty = False
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical size of the log (header + committed records)."""
+        return self._size
+
+    def _hit(self, point: str) -> None:
+        if self._injector is not None:
+            self._injector.hit(point)
+
+    def append(self, payload: bytes) -> int:
+        """Durably append one record; returns the bytes written."""
+        record = _frame(payload)
+        start = self._size
+        if self._dirty:
+            # A previous append failed after possibly writing part of its
+            # record; rewind to the last committed boundary first.
+            self._file.truncate(start)
+            self._dirty = False
+        self._hit("wal.append.before_write")
+        self._dirty = True
+
+        def write_record() -> None:
+            self._file.write(record)
+
+        def write_record_rewound() -> None:
+            # A failed attempt may have written part of the record; rewind
+            # to the boundary so the retry cannot produce two copies.
+            self._file.truncate(start)
+            self._file.write(record)
+
+        if self._retry is None:
+            write_record()
+            if self._sync:
+                self._file.fsync()
+        else:
+            first = True
+
+            def attempt() -> None:
+                nonlocal first
+                if first:
+                    first = False
+                    write_record()
+                else:
+                    write_record_rewound()
+                if self._sync:
+                    self._file.fsync()
+
+            self._retry.call(attempt, on_retry=self._on_retry)
+        self._hit("wal.append.after_fsync")
+        self._dirty = False
+        self._size = start + len(record)
+        return len(record)
+
+    def rotate(self) -> None:
+        """Atomically reset the log to empty (WAL compaction).
+
+        A fresh header-only file is prepared next to the log, fsync'd,
+        and ``os.replace``'d over it; a crash at any point leaves either
+        the full old log or the fresh empty one.
+        """
+        self._file.close()
+        temp = f"{self.path}.rotate"
+        fresh = self._opener(temp, "wb")
+        try:
+            fresh.write(WAL_MAGIC)
+            fresh.fsync()
+        finally:
+            fresh.close()
+        os.replace(temp, self.path)
+        from .fileio import fsync_dir
+
+        fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+        self._hit("checkpoint.after_wal_rotate")
+        self._file = self._opener(self.path, "ab")
+        self._size = len(WAL_MAGIC)
+        self._dirty = False
+
+    def close(self) -> None:
+        self._file.close()

@@ -27,6 +27,12 @@ class Table:
 
     Not thread-safe; the engine is single-threaded by design (the paper's
     algorithms are CPU-bound search procedures, not concurrent workloads).
+
+    When the owning database is durable, ``_journal`` holds the
+    :meth:`~repro.storage.durability.manager.DurabilityManager.log_op`
+    hook; every successful mutation emits one logical operation *after*
+    applying it in memory, so the write-ahead log records exactly what
+    happened (see ``docs/ROBUSTNESS.md``).
     """
 
     def __init__(self, name: str, schema: Schema) -> None:
@@ -39,6 +45,8 @@ class Table:
         self._rows: dict[int, StoredTuple] = {}
         self._next_ordinal = 0
         self._indexes: dict[int, HashIndex] = {}
+        #: Durability hook (``Callable[[dict], None]``); None = in-memory.
+        self._journal = None
 
     # -- metadata --------------------------------------------------------
 
@@ -93,6 +101,17 @@ class Table:
         self._rows[tid.ordinal] = row
         for column_index, index in self._indexes.items():
             index.add(coerced[column_index], tid)
+        if self._journal is not None:
+            self._journal(
+                {
+                    "op": "insert",
+                    "table": self._name,
+                    "ordinal": tid.ordinal,
+                    "values": row.values,
+                    "confidence": row.confidence,
+                    "cost_model": row.cost_model,
+                }
+            )
         return tid
 
     def insert_many(
@@ -113,10 +132,24 @@ class Table:
         del self._rows[tid.ordinal]
         for column_index, index in self._indexes.items():
             index.remove(row.values[column_index], tid)
+        if self._journal is not None:
+            self._journal(
+                {"op": "delete", "table": self._name, "ordinal": tid.ordinal}
+            )
 
     def set_confidence(self, tid: TupleId, confidence: float) -> None:
         """Overwrite the stored confidence of tuple *tid*."""
-        self._lookup(tid).set_confidence(confidence)
+        row = self._lookup(tid)
+        row.set_confidence(confidence)
+        if self._journal is not None:
+            self._journal(
+                {
+                    "op": "set_confidence",
+                    "table": self._name,
+                    "ordinal": tid.ordinal,
+                    "confidence": row.confidence,
+                }
+            )
 
     def update(self, tid: TupleId, values: Sequence[Any]) -> None:
         """Replace tuple *tid*'s values (validated against the schema).
@@ -143,6 +176,15 @@ class Table:
             index.remove(row.values[column_index], tid)
             index.add(coerced[column_index], tid)
         row.values = coerced
+        if self._journal is not None:
+            self._journal(
+                {
+                    "op": "update",
+                    "table": self._name,
+                    "ordinal": tid.ordinal,
+                    "values": coerced,
+                }
+            )
 
     # -- reading ---------------------------------------------------------
 
@@ -176,6 +218,14 @@ class Table:
         for row in self._rows.values():
             index.add(row.values[column_index], row.tid)
         self._indexes[column_index] = index
+        if self._journal is not None:
+            self._journal(
+                {
+                    "op": "create_index",
+                    "table": self._name,
+                    "column": self._schema[column_index].name,
+                }
+            )
 
     def index_on(self, column: str) -> HashIndex | None:
         """The hash index on *column*, if one exists."""
@@ -234,6 +284,16 @@ class Table:
         """
         for row in self._rows.values():
             row.set_confidence(assigner(row))
+        if self._journal is not None:
+            self._journal(
+                {
+                    "op": "confidences",
+                    "updates": [
+                        [self._name, row.tid.ordinal, row.confidence]
+                        for row in self._rows.values()
+                    ],
+                }
+            )
 
     def _lookup(self, tid: TupleId) -> StoredTuple:
         if tid.table != self._name or tid.ordinal not in self._rows:

@@ -152,6 +152,7 @@ class ConfidenceAssigner:
             if record is None:
                 continue
             confidence = min(self.score(record), row.max_confidence)
-            row.set_confidence(confidence)
+            # Route through the table so durable databases journal the write.
+            table.set_confidence(row.tid, confidence)
             applied[row.tid] = confidence
         return applied
