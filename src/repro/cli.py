@@ -40,6 +40,16 @@ Observability flags (before any command arguments):
     committed mutation (see the durability section of
     ``docs/ROBUSTNESS.md``).  Adds the ``recover`` and ``checkpoint``
     commands.
+``--audit-log audit.log``
+    Journal every ``ask``'s release/block decisions (policy triple,
+    confidence, lineage, verdict, increment write-backs) to a
+    checksummed append-only audit log; ``audit explain <query-id>
+    <tuple-id>`` replays the deterministic explanation and ``audit
+    list`` summarizes recorded queries (see ``docs/OBSERVABILITY.md``).
+
+Telemetry commands: ``metrics dump [path]`` writes the OpenMetrics
+exposition, ``metrics serve [port]`` / ``metrics stop`` run the
+``/metrics`` HTTP endpoint.
 """
 
 from __future__ import annotations
@@ -87,6 +97,7 @@ class CommandShell:
         self,
         deadline_ms: float | None = None,
         data_dir: str | None = None,
+        audit_log: str | None = None,
     ) -> None:
         self.data_dir = data_dir
         if data_dir is not None:
@@ -96,6 +107,13 @@ class CommandShell:
         self.policies = PolicyStore(default_threshold=0.0)
         self.solver = "greedy"
         self.deadline_ms = deadline_ms
+        self.audit_path = audit_log
+        self.audit = None
+        if audit_log is not None:
+            from .obs.audit import AuditLog
+
+            self.audit = AuditLog(audit_log)
+        self.metrics_server = None
         self._commands: dict[str, Callable[[str], str]] = {
             "create": self._cmd_create,
             "load": self._cmd_load,
@@ -113,12 +131,19 @@ class CommandShell:
             "demo": self._cmd_demo,
             "recover": self._cmd_recover,
             "checkpoint": self._cmd_checkpoint,
+            "audit": self._cmd_audit,
+            "metrics": self._cmd_metrics,
             "help": self._cmd_help,
         }
 
     def close(self) -> None:
-        """Flush and detach the durable database, if any."""
+        """Flush and detach the durable database, audit log, and server."""
         self.db.close()
+        if self.audit is not None:
+            self.audit.close()
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
 
     # -- dispatch -----------------------------------------------------------
 
@@ -242,8 +267,18 @@ class CommandShell:
         )
 
     def _profile_ask(self, rest: str) -> str:
-        reply = self._run_pipeline(rest, profile=True)
+        reply, user, purpose, fraction = self._run_pipeline(rest, profile=True)
         lines = [f"status: {reply.status.value} (threshold {reply.threshold})"]
+        # One audit summary line per applicable policy: the decision
+        # counts under the ⟨role, purpose, β⟩ that governed this ask.
+        policy = self.policies.select_policy(user, purpose)
+        shortfall = reply.outcome.shortfall(fraction)
+        lines.append(
+            f"audit: policy ⟨{policy.role}, {policy.purpose}, "
+            f"β={policy.threshold:g}⟩ released={len(reply.released)} "
+            f"blocked={reply.withheld_count} shortfall={shortfall} "
+            f"status={reply.status.value}"
+        )
         assert reply.profile is not None  # profile=True guarantees a report
         lines.append(reply.profile.format())
         return "\n".join(lines)
@@ -353,14 +388,16 @@ class CommandShell:
             solver=self.solver,
             fallback=fallback,
             deadline_ms=self.deadline_ms,
+            audit=self.audit,
         )
-        return engine.execute(
+        reply = engine.execute(
             QueryRequest(sql, purpose, float(fraction_text), profile=profile),
             user=user,
         )
+        return reply, user, purpose, float(fraction_text)
 
     def _cmd_ask(self, rest: str) -> str:
-        reply = self._run_pipeline(rest)
+        reply, _user, _purpose, _fraction = self._run_pipeline(rest)
         lines = [
             f"status: {reply.status.value} (threshold {reply.threshold})"
         ]
@@ -422,11 +459,81 @@ class CommandShell:
         nbytes = self.db.checkpoint()
         return f"checkpoint written ({nbytes} bytes); wal compacted"
 
+    # -- auditing & telemetry ---------------------------------------------------
+
+    def _cmd_audit(self, rest: str) -> str:
+        """``audit explain <query-id> <tuple-id>`` / ``audit list``."""
+        usage = "usage: audit explain <query-id> <tuple-id> | audit list"
+        if self.audit_path is None:
+            raise CommandError("audit commands need --audit-log")
+        parts = shlex.split(rest)
+        from .obs.audit import build_trails, explain_decision, read_audit_log
+
+        if self.audit is not None:
+            self.audit.drain()  # completed trails become visible to scan
+        records = read_audit_log(self.audit_path)
+        if len(parts) == 3 and parts[0] == "explain":
+            return explain_decision(records, parts[1], parts[2])
+        if parts and parts[0] == "list":
+            trails = build_trails(records)
+            if not trails:
+                return "(no audited queries)"
+            lines = []
+            for query_id, trail in trails.items():
+                query = trail.query or {}
+                outcome = trail.outcome or {}
+                lines.append(
+                    f"{query_id}: user={query.get('user', '?')} "
+                    f"purpose={query.get('purpose', '?')} "
+                    f"β={query.get('threshold', '?')} "
+                    f"status={outcome.get('status', 'in-flight')} "
+                    f"decisions={len(trail.decisions)}"
+                )
+            return "\n".join(lines)
+        raise CommandError(usage)
+
+    def _cmd_metrics(self, rest: str) -> str:
+        """``metrics dump [path]`` / ``metrics serve [port]`` / ``metrics stop``."""
+        usage = "usage: metrics dump [path] | metrics serve [port] | metrics stop"
+        parts = shlex.split(rest)
+        if not parts:
+            raise CommandError(usage)
+        from .obs import MetricsServer, render_openmetrics
+
+        if parts[0] == "dump":
+            text = render_openmetrics()
+            if len(parts) == 2:
+                with open(parts[1], "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                return f"metrics written to {parts[1]}"
+            if len(parts) == 1:
+                return text.rstrip("\n")
+            raise CommandError(usage)
+        if parts[0] == "serve":
+            if self.metrics_server is not None:
+                raise CommandError(
+                    f"metrics server already running at {self.metrics_server.url}"
+                )
+            try:
+                port = int(parts[1]) if len(parts) == 2 else 0
+            except ValueError:
+                raise CommandError(usage) from None
+            self.metrics_server = MetricsServer(port=port).start()
+            return f"serving OpenMetrics at {self.metrics_server.url}"
+        if parts[0] == "stop":
+            if self.metrics_server is None:
+                raise CommandError("no metrics server running")
+            url = self.metrics_server.url
+            self.metrics_server.stop()
+            self.metrics_server = None
+            return f"stopped metrics server at {url}"
+        raise CommandError(usage)
+
     def _cmd_help(self, rest: str) -> str:
         return (
             "commands: create, load, tables, sql, explain, profile, "
             "role, purpose, user, policy, solver, circuit, ask, demo, "
-            "recover, checkpoint, help, quit"
+            "recover, checkpoint, audit, metrics, help, quit"
         )
 
 
@@ -437,11 +544,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_sink = None
     deadline_ms: float | None = None
     data_dir: str | None = None
+    audit_log: str | None = None
     while argv and argv[0] in (
         "--trace-out",
         "--log-level",
         "--deadline-ms",
         "--data-dir",
+        "--audit-log",
     ):
         flag = argv.pop(0)
         if not argv:
@@ -455,6 +564,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             get_tracer().add_sink(trace_sink)
         elif flag == "--data-dir":
             data_dir = value
+        elif flag == "--audit-log":
+            audit_log = value
         elif flag == "--deadline-ms":
             try:
                 deadline_ms = float(value)
@@ -475,7 +586,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             configure_logging(level=value)
 
     try:
-        shell = CommandShell(deadline_ms=deadline_ms, data_dir=data_dir)
+        shell = CommandShell(
+            deadline_ms=deadline_ms, data_dir=data_dir, audit_log=audit_log
+        )
     except ReproError as error:  # e.g. corrupt WAL/snapshot in --data-dir
         print(f"error: {error}", file=sys.stderr)
         return 1

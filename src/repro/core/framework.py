@@ -22,12 +22,22 @@ from __future__ import annotations
 
 import enum
 import logging
+import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..algebra.rows import AnnotatedTuple, ResultSet
 from ..errors import InfeasibleIncrementError, ReproError
-from ..obs import ProfileReport, get_metrics, get_tracer, metrics_diff
+from ..obs import (
+    TIMING_BUCKETS,
+    ProfileReport,
+    get_metrics,
+    get_tracer,
+    metrics_diff,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.audit import AuditLog
 from ..increment import (
     Budget,
     DegradationChain,
@@ -221,12 +231,19 @@ class PCQEngine:
         delta: float = 0.1,
         fallback: "tuple[str | Solver, ...] | list[str | Solver]" = (),
         deadline_ms: float | None = None,
+        audit: "AuditLog | None" = None,
     ) -> None:
         """*fallback* lists solvers tried, in order, when the primary one
         times out (``heuristic → greedy`` is the canonical chain); each
         attempt gets a fresh budget of *deadline_ms* milliseconds.  A
         request's own ``deadline_ms`` overrides the engine default.  With
         no deadline anywhere, solvers run unbudgeted exactly as before.
+
+        *audit* attaches an :class:`~repro.obs.audit.AuditLog`: every
+        :meth:`execute` then journals one record per result tuple per
+        enforcement pass — policy triple, confidence, contributing
+        lineage, verdict — plus increment write-backs and the final
+        outcome (see ``docs/OBSERVABILITY.md``).
         """
         self.db = db
         self.policies = policies
@@ -239,6 +256,7 @@ class PCQEngine:
         self.approval = approval if approval is not None else (lambda _quote: True)
         self.delta = delta
         self.deadline_ms = deadline_ms
+        self.audit = audit
         attempts = [self._attempt(solver)]
         attempts.extend(self._attempt(entry) for entry in fallback)
         self.chain = DegradationChain(attempts, deadline_ms=deadline_ms)
@@ -260,19 +278,25 @@ class PCQEngine:
         tracer is enabled for the duration if it was not already) and a
         :class:`~repro.obs.ProfileReport` is attached to the result.
         """
-        if not request.profile:
-            return self._execute_pipeline(request, user)
-        tracer = get_tracer()
-        metrics = get_metrics()
-        before = metrics.snapshot()
-        with tracer.capture() as sink:
-            result = self._execute_pipeline(request, user)
-        result.profile = ProfileReport.from_spans(
-            sink.spans,
-            root="pcqe.execute",
-            metrics=metrics_diff(before, metrics.snapshot()),
-        )
-        return result
+        started = time.monotonic_ns()
+        try:
+            if not request.profile:
+                return self._execute_pipeline(request, user)
+            tracer = get_tracer()
+            metrics = get_metrics()
+            before = metrics.snapshot()
+            with tracer.capture() as sink:
+                result = self._execute_pipeline(request, user)
+            result.profile = ProfileReport.from_spans(
+                sink.spans,
+                root="pcqe.execute",
+                metrics=metrics_diff(before, metrics.snapshot()),
+            )
+            return result
+        finally:
+            get_metrics().histogram(
+                "pcqe.ask.latency_seconds", TIMING_BUCKETS
+            ).observe((time.monotonic_ns() - started) / 1e9)
 
     def _execute_pipeline(self, request: QueryRequest, user: str) -> PCQEResult:
         tracer = get_tracer()
@@ -289,8 +313,32 @@ class PCQEngine:
                 )
             get_metrics().counter("pcqe.queries").inc()
 
+            audit = self.audit
+            query_id: str | None = None
+            if audit is not None:
+                policy = self.policies.select_policy(user, request.purpose)
+                query_id = audit.begin_query(
+                    user=user,
+                    purpose=request.purpose,
+                    role=policy.role,
+                    threshold=threshold,
+                    required_fraction=request.required_fraction,
+                    sql=request.sql,
+                )
+                root.set_attribute("audit.query_id", query_id)
+                initial_decisions = self._audit_enforcement(
+                    audit, query_id, result, outcome, phase="initial"
+                )
+
             if outcome.satisfies(request.required_fraction):
                 root.set_attribute("status", QueryStatus.SATISFIED.value)
+                if audit is not None and query_id is not None:
+                    audit.end_query(
+                        query_id,
+                        status=QueryStatus.SATISFIED.value,
+                        released=len(outcome.released),
+                        withheld=len(outcome.withheld),
+                    )
                 return PCQEResult(
                     status=QueryStatus.SATISFIED,
                     threshold=threshold,
@@ -322,6 +370,14 @@ class PCQEngine:
                 )
                 get_metrics().counter("pcqe.infeasible").inc()
                 root.set_attribute("status", QueryStatus.INFEASIBLE.value)
+                if audit is not None and query_id is not None:
+                    audit.end_query(
+                        query_id,
+                        status=QueryStatus.INFEASIBLE.value,
+                        released=len(outcome.released),
+                        withheld=len(outcome.withheld),
+                        shortfall=shortfall,
+                    )
                 return PCQEResult(
                     status=QueryStatus.INFEASIBLE,
                     threshold=threshold,
@@ -333,6 +389,22 @@ class PCQEngine:
             quote = CostQuote(plan, plan.total_cost, shortfall)
             if not self.approval(quote):
                 root.set_attribute("status", QueryStatus.QUOTED.value)
+                if audit is not None and query_id is not None:
+                    audit.record_increment(
+                        query_id,
+                        approved=False,
+                        cost=plan.total_cost,
+                        targets={
+                            str(tid): conf for tid, conf in plan.targets.items()
+                        },
+                    )
+                    audit.end_query(
+                        query_id,
+                        status=QueryStatus.QUOTED.value,
+                        released=len(outcome.released),
+                        withheld=len(outcome.withheld),
+                        shortfall=shortfall,
+                    )
                 return PCQEResult(
                     status=QueryStatus.QUOTED,
                     threshold=threshold,
@@ -373,6 +445,33 @@ class PCQEngine:
                 improved_outcome.total,
             )
             root.set_attribute("status", QueryStatus.IMPROVED.value)
+            if audit is not None and query_id is not None:
+                # The write-back that changed verdicts: the applied targets
+                # and a fresh decision record per tuple under the new
+                # confidences, so replay can reconstruct the verdict flip.
+                audit.record_increment(
+                    query_id,
+                    approved=True,
+                    cost=receipt.total_cost,
+                    targets={
+                        str(tid): conf for tid, conf in plan.targets.items()
+                    },
+                )
+                self._audit_enforcement(
+                    audit,
+                    query_id,
+                    result,
+                    improved_outcome,
+                    phase="post_increment",
+                    previous=initial_decisions,
+                )
+                audit.end_query(
+                    query_id,
+                    status=QueryStatus.IMPROVED.value,
+                    released=len(improved_outcome.released),
+                    withheld=len(improved_outcome.withheld),
+                    shortfall=shortfall,
+                )
             return PCQEResult(
                 status=QueryStatus.IMPROVED,
                 threshold=threshold,
@@ -383,6 +482,61 @@ class PCQEngine:
                 receipt=receipt,
                 raw_result=result,
             )
+
+    def _audit_enforcement(
+        self,
+        audit: "AuditLog",
+        query_id: str,
+        result: ResultSet,
+        outcome: FilterOutcome,
+        phase: str,
+        previous: "dict[int, tuple[float, str]] | None" = None,
+    ) -> dict[int, tuple[float, str]]:
+        """Journal one decision record per result tuple, in result order.
+
+        Tuple ids are positional (``t0``, ``t1``, …) within the query's
+        result set — stable across both enforcement passes because
+        re-evaluation reuses the same :class:`ResultSet` object.  Each
+        record carries the base-tuple lineage ids and the confidences they
+        held *at decision time*, read from the database in one batch.
+
+        With *previous* (the map this returned for the ``initial`` pass),
+        tuples whose confidence and verdict are unchanged are skipped —
+        their initial record remains the decision of record, and the
+        journal only grows where the increment actually changed something.
+        Returns ``{tuple index: (confidence, verdict)}`` for this pass.
+        """
+        base = (
+            self.db.confidences(result.base_tuples()) if len(result) else {}
+        )
+        labels = {tid: str(tid) for tid in base}
+        verdicts: dict[int, tuple[float, str]] = {}
+        for row, confidence in outcome.released:
+            verdicts[id(row)] = (confidence, "released")
+        for row, confidence in outcome.withheld:
+            verdicts[id(row)] = (confidence, "blocked")
+        decided: dict[int, tuple[float, str]] = {}
+        entries = []
+        for index, row in enumerate(result.rows):
+            confidence, verdict = verdicts[id(row)]
+            decided[index] = (confidence, verdict)
+            if previous is not None and previous.get(index) == (
+                confidence,
+                verdict,
+            ):
+                continue
+            lineage = [
+                (labels[tid], base[tid])
+                for tid in sorted(
+                    row.lineage.variables,
+                    key=lambda tid: (tid.table, tid.ordinal),
+                )
+            ]
+            entries.append(
+                (f"t{index}", row.values, confidence, verdict, phase, lineage)
+            )
+        audit.record_decisions(query_id, entries)
+        return decided
 
     def execute_many(
         self, requests: "list[QueryRequest]", user: str

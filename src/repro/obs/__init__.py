@@ -17,6 +17,13 @@ greedy gain recomputation, D&C partitioning), so a run can explain itself:
   result under ``profile=True``.
 * :func:`configure_logging` — one-call stdlib-logging setup for the
   package's module loggers.
+* :func:`render_openmetrics` / :func:`parse_openmetrics` /
+  :class:`MetricsServer` — OpenMetrics text exposition of the registry,
+  its strict validator, and a zero-dependency ``/metrics`` HTTP server.
+* :class:`SamplingProfiler` — a ``sys._current_frames`` stack sampler
+  with flame-style per-stage reports that reconcile against span trees.
+* :mod:`repro.obs.audit` (imported directly, not re-exported here) — the
+  append-only decision audit journal and its replay/explain tooling.
 
 Typical use::
 
@@ -40,6 +47,13 @@ from .metrics import (
     set_metrics,
 )
 from .profile import ProfileReport
+from .profiler import SamplingProfiler, StackProfile
+from .export import (
+    MetricsServer,
+    OpenMetricsParseError,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from .sinks import InMemorySink, JsonLinesSink, LoggingSink, SpanSink
 from .tracer import Span, SpanEvent, Tracer, get_tracer, set_tracer
 
@@ -61,6 +75,12 @@ __all__ = [
     "set_metrics",
     "metrics_diff",
     "ProfileReport",
+    "SamplingProfiler",
+    "StackProfile",
+    "MetricsServer",
+    "OpenMetricsParseError",
+    "parse_openmetrics",
+    "render_openmetrics",
     "solver_run",
     "TIMING_BUCKETS",
     "configure_logging",

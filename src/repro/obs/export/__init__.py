@@ -1,0 +1,27 @@
+"""Production telemetry exposition for the metrics registry.
+
+* :func:`render_openmetrics` — the registry as OpenMetrics/Prometheus
+  text: counters as ``_total`` samples, gauges, histograms with proper
+  cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` encoding, names
+  and labels sanitized to the spec's grammar, terminated by ``# EOF``.
+* :func:`parse_openmetrics` — a strict parser for the same format; the
+  round-trip validator CI runs against every dump.
+* :class:`MetricsServer` — a zero-dependency ``http.server`` exposing
+  ``/metrics`` (the shell's ``metrics serve``).
+"""
+
+from .openmetrics import (
+    OpenMetricsParseError,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from .server import MetricsServer
+
+__all__ = [
+    "OpenMetricsParseError",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "MetricsServer",
+]

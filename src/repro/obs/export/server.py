@@ -1,0 +1,95 @@
+"""A zero-dependency ``/metrics`` endpoint over ``http.server``.
+
+:class:`MetricsServer` serves the process-wide (or an explicit) registry
+as OpenMetrics text on a daemon thread — the shell's ``metrics serve``
+and the scrape target the ROADMAP's serving arc will publish through.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..metrics import MetricsRegistry, get_metrics
+from .openmetrics import render_openmetrics
+
+__all__ = ["MetricsServer", "CONTENT_TYPE"]
+
+#: The OpenMetrics content type Prometheus negotiates for.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry | None = None  # set per-server subclass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        registry = self.registry if self.registry is not None else get_metrics()
+        body = render_openmetrics(registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; stay silent
+
+
+class MetricsServer:
+    """Serve a metrics registry on ``http://host:port/metrics``.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    bound one.  The server runs on a daemon thread: :meth:`start` returns
+    immediately, :meth:`stop` shuts it down and joins the thread.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 9464,
+    ) -> None:
+        handler = type("BoundHandler", (_Handler,), {"registry": registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is not None:
+            raise RuntimeError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -105,6 +105,14 @@ class Histogram:
 
     ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the final
     slot is the overflow bucket (``> buckets[-1]``).
+
+    :meth:`percentile` estimates quantiles by locating the bucket the
+    requested rank falls into and interpolating *linearly within it*
+    (clamped to the observed min/max).  The estimate is exact when the
+    rank lands on a bucket boundary; otherwise the error is bounded by
+    the width of the containing bucket — pick bucket boundaries around
+    your SLO targets (see :data:`~repro.obs.instrument.TIMING_BUCKETS`)
+    and p50/p95/p99 are trustworthy to that resolution.
     """
 
     __slots__ = (
@@ -145,6 +153,51 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float | None:
+        """The *p*-th percentile (``0 <= p <= 100``), or ``None`` if empty.
+
+        Rank semantics: the value at cumulative position ``p/100 * count``
+        under the histogram's bucketing, interpolated linearly inside the
+        containing bucket.  The first bucket interpolates from the observed
+        minimum and the overflow bucket toward the observed maximum, so the
+        estimate never leaves ``[min, max]``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if self.count == 0:
+                return None
+            counts = list(self.bucket_counts)
+            count = self.count
+            low = self.min if self.min is not None else 0.0
+            high = self.max if self.max is not None else 0.0
+        target = (p / 100.0) * count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                # Bucket i spans (lower, upper]; interpolate the rank's
+                # position inside it assuming uniform spread.
+                lower = low if index == 0 else self.buckets[index - 1]
+                upper = high if index == len(self.buckets) else self.buckets[index]
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, low), high)
+            cumulative += bucket_count
+        return high  # p == 100 with floating-point drift
+
+    def summary(self) -> dict[str, Any]:
+        """count/sum/mean plus interpolated p50/p95/p99 (for expositions)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:

@@ -1,0 +1,252 @@
+"""A low-overhead sampling profiler for the PCQE pipeline.
+
+:class:`SamplingProfiler` snapshots a target thread's stack at a
+configurable rate via ``sys._current_frames()`` on a daemon thread — no
+sys.settrace, no per-call overhead on the profiled code, safe to leave on
+in production at double-digit Hz.  Samples aggregate into a
+:class:`StackProfile`:
+
+* :meth:`StackProfile.collapsed` — flame-graph collapsed-stack lines
+  (``pkg.mod.fn;pkg.mod.fn2 42``), pastable into any flamegraph tool;
+* :meth:`StackProfile.by_function` — self/total sample counts per frame;
+* :meth:`StackProfile.by_stage` — samples attributed to the pipeline
+  stages (query evaluation, confidence, policy, strategy finding,
+  storage) by module prefix;
+* :meth:`StackProfile.reconcile` — the stage shares lined up against a
+  tracer :class:`~repro.obs.profile.ProfileReport`, so the sampler and
+  the span tree can cross-check each other.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .profile import ProfileReport
+
+__all__ = ["SamplingProfiler", "StackProfile", "stage_of_module"]
+
+#: Module-prefix → pipeline-stage attribution (first match wins).
+_STAGE_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("repro.sql", "query_evaluation"),
+    ("repro.algebra", "query_evaluation"),
+    ("repro.lineage", "confidence"),
+    ("repro.policy", "policy_enforcement"),
+    ("repro.increment", "strategy_finding"),
+    ("repro.cost", "strategy_finding"),
+    ("repro.storage", "storage"),
+    ("repro.obs", "observability"),
+)
+
+#: Tracer stage-span name → sampler stage, for reconciliation.
+_SPAN_STAGES: dict[str, str] = {
+    "pcqe.query_evaluation": "query_evaluation",
+    "pcqe.policy_enforcement": "policy_enforcement",
+    "pcqe.strategy_finding": "strategy_finding",
+    "pcqe.improvement": "storage",
+    "pcqe.reevaluation": "policy_enforcement",
+}
+
+
+def stage_of_module(module: str) -> str:
+    """The pipeline stage a module's samples attribute to."""
+    for prefix, stage in _STAGE_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return stage
+    return "other"
+
+
+class StackProfile:
+    """Aggregated samples from one profiling session."""
+
+    def __init__(
+        self,
+        samples: Counter,
+        hz: float,
+        wall_seconds: float,
+        missed: int = 0,
+    ) -> None:
+        #: stack (outermost→innermost tuple of ``module:function``) → count
+        self.samples = samples
+        self.hz = hz
+        self.wall_seconds = wall_seconds
+        #: Sampling ticks where the target thread had no frame (exited).
+        self.missed = missed
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def collapsed(self) -> list[str]:
+        """Flame-graph collapsed-stack lines, deterministic order."""
+        return [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.samples.items())
+        ]
+
+    def by_function(self) -> list[tuple[str, int, int]]:
+        """``(frame, self_samples, total_samples)`` sorted by self desc."""
+        self_counts: Counter = Counter()
+        total_counts: Counter = Counter()
+        for stack, count in self.samples.items():
+            if not stack:
+                continue
+            self_counts[stack[-1]] += count
+            for frame in set(stack):
+                total_counts[frame] += count
+        return sorted(
+            (
+                (frame, self_counts.get(frame, 0), total_counts[frame])
+                for frame in total_counts
+            ),
+            key=lambda item: (-item[1], -item[2], item[0]),
+        )
+
+    def by_stage(self) -> dict[str, int]:
+        """Self-samples per pipeline stage (innermost frame decides)."""
+        stages: Counter = Counter()
+        for stack, count in self.samples.items():
+            if not stack:
+                continue
+            module = stack[-1].rsplit(":", 1)[0]
+            stages[stage_of_module(module)] += count
+        return dict(stages)
+
+    def reconcile(self, report: "ProfileReport") -> list[dict[str, float]]:
+        """Line the sampler's stage shares up against a span-tree report.
+
+        For each stage the tracer timed, reports the span-derived share of
+        total wall-clock next to the sampler's share of total samples.
+        The two measure different things (wall-clock vs on-CPU of one
+        thread) but should rank stages identically on a CPU-bound run —
+        a large disagreement means a stage is blocking off-CPU.
+        """
+        stage_samples = self.by_stage()
+        total = self.total_samples or 1
+        rows: list[dict[str, float]] = []
+        for span_name, seconds in report.stages.items():
+            stage = _SPAN_STAGES.get(span_name, "other")
+            rows.append(
+                {
+                    "span": span_name,
+                    "stage": stage,
+                    "span_seconds": seconds,
+                    "span_share": (
+                        seconds / report.total_seconds
+                        if report.total_seconds
+                        else 0.0
+                    ),
+                    "sample_share": stage_samples.get(stage, 0) / total,
+                }
+            )
+        return rows
+
+    def format(self, limit: int = 15) -> str:
+        """Human-readable flame-style report for the CLI."""
+        lines = [
+            f"sampling profile: {self.total_samples} samples "
+            f"@ {self.hz:g} Hz over {self.wall_seconds:.2f}s"
+        ]
+        stages = self.by_stage()
+        total = self.total_samples or 1
+        for stage, count in sorted(stages.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  stage {stage:<20} {100.0 * count / total:5.1f}%")
+        lines.append("hottest frames (self%):")
+        for frame, self_count, total_count in self.by_function()[:limit]:
+            lines.append(
+                f"  {frame:<52} {100.0 * self_count / total:5.1f}% "
+                f"(total {100.0 * total_count / total:5.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+class SamplingProfiler:
+    """Sample one thread's stack at *hz* until stopped.
+
+    By default the *calling* thread of :meth:`start` is profiled — wrap
+    the code under test::
+
+        with SamplingProfiler(hz=200) as profiler:
+            engine.execute(request, user="bob")
+        print(profiler.profile.format())
+    """
+
+    def __init__(self, hz: float = 99.0, thread_id: int | None = None) -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz}")
+        self.hz = hz
+        self._thread_id = thread_id
+        self._stop = threading.Event()
+        self._sampler: threading.Thread | None = None
+        self._samples: Counter = Counter()
+        self._missed = 0
+        self._started_ns = 0
+        self.profile: StackProfile | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._sampler is not None:
+            raise RuntimeError("profiler already started")
+        if self._thread_id is None:
+            self._thread_id = threading.get_ident()
+        self._stop.clear()
+        self._started_ns = time.monotonic_ns()
+        self._sampler = threading.Thread(
+            target=self._run, name="repro-sampling-profiler", daemon=True
+        )
+        self._sampler.start()
+        return self
+
+    def stop(self) -> StackProfile:
+        if self._sampler is None:
+            raise RuntimeError("profiler not started")
+        self._stop.set()
+        self._sampler.join(timeout=5.0)
+        self._sampler = None
+        wall = (time.monotonic_ns() - self._started_ns) / 1e9
+        self.profile = StackProfile(
+            Counter(self._samples), self.hz, wall, self._missed
+        )
+        return self.profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling loop -----------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        target = self._thread_id
+        while not self._stop.wait(interval):
+            frame = sys._current_frames().get(target)
+            if frame is None:
+                self._missed += 1
+                continue
+            self._samples[_walk(frame)] += 1
+
+    @property
+    def overhead_note(self) -> str:
+        """Why this is safe to leave on (for docs/CLI help)."""
+        return (
+            f"~{self.hz:g} stack walks/second on a background thread; "
+            f"the profiled code runs unmodified"
+        )
+
+
+def _walk(frame) -> tuple[str, ...]:
+    """The frame's stack as outermost→innermost ``module:function``."""
+    stack: list[str] = []
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "?")
+        stack.append(f"{module}:{frame.f_code.co_name}")
+        frame = frame.f_back
+    stack.reverse()
+    return tuple(stack)

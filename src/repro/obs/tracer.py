@@ -61,7 +61,7 @@ class Span:
         "attributes",
         "events",
         "status",
-        "_started",
+        "_started_ns",
         "duration_seconds",
     )
 
@@ -77,11 +77,14 @@ class Span:
         self.span_id = next(_span_ids)
         self.parent_id = parent_id
         self.start_index = next(_start_indexes)
+        # Wall-clock timestamp is an *attribute* of the span (for log
+        # correlation); durations are measured on the monotonic clock so a
+        # clock adjustment mid-span can never produce a negative duration.
         self.start_time = time.time()
         self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
         self.events: list[SpanEvent] = []
         self.status = "ok"
-        self._started = time.perf_counter()
+        self._started_ns = time.monotonic_ns()
         self.duration_seconds: float | None = None
 
     def set_attribute(self, key: str, value: Any) -> None:
@@ -91,7 +94,7 @@ class Span:
         self.events.append(SpanEvent(name, attributes or None))
 
     def _finish(self, status: str | None = None) -> None:
-        self.duration_seconds = time.perf_counter() - self._started
+        self.duration_seconds = (time.monotonic_ns() - self._started_ns) / 1e9
         if status is not None:
             self.status = status
 

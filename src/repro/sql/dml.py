@@ -18,10 +18,12 @@ expressions evaluate against the target table's schema.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..algebra.expressions import Expression
 from ..errors import BindError, PlanError, ReproError, SqlError
+from ..obs import TIMING_BUCKETS, get_metrics
 from ..storage.database import Database
 from ..storage.schema import Column, Schema
 from ..storage.types import BOOLEAN, INTEGER, REAL, TEXT, DataType
@@ -67,7 +69,23 @@ class DmlResult:
 
 
 def execute_dml(db: Database, command) -> DmlResult:
-    """Apply one DML/DDL *command* to *db*."""
+    """Apply one DML/DDL *command* to *db*.
+
+    Every statement lands one observation in the
+    ``dml.statement.latency_seconds`` histogram (fixed SLO-oriented
+    boundaries), so the DML path has true p50/p95/p99 in the metrics
+    exposition alongside the ask and solver paths.
+    """
+    started = time.monotonic_ns()
+    try:
+        return _dispatch_dml(db, command)
+    finally:
+        get_metrics().histogram(
+            "dml.statement.latency_seconds", TIMING_BUCKETS
+        ).observe((time.monotonic_ns() - started) / 1e9)
+
+
+def _dispatch_dml(db: Database, command) -> DmlResult:
     if isinstance(command, CreateTableStatement):
         return _create_table(db, command)
     if isinstance(command, DropTableStatement):

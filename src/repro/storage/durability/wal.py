@@ -47,14 +47,14 @@ _LEN_CRC = struct.Struct("<II")
 MAX_RECORD_BYTES = 64 * 1024 * 1024
 
 
-def _frame(payload: bytes) -> bytes:
+def _frame(payload: bytes, checksum=crc32c) -> bytes:
     if len(payload) > MAX_RECORD_BYTES:
         raise DurabilityError(
             f"WAL record of {len(payload)} bytes exceeds the "
             f"{MAX_RECORD_BYTES}-byte limit"
         )
-    length_crc = _LEN_CRC.pack(len(payload), crc32c(payload))
-    return length_crc + struct.pack("<I", crc32c(length_crc)) + payload
+    length_crc = _LEN_CRC.pack(len(payload), checksum(payload))
+    return length_crc + struct.pack("<I", checksum(length_crc)) + payload
 
 
 @dataclass
@@ -70,12 +70,14 @@ class ScanResult:
         return self.file_length - self.good_length
 
 
-def scan_wal(path: "str | os.PathLike[str]") -> ScanResult:
+def scan_wal(path: "str | os.PathLike[str]", checksum=crc32c) -> ScanResult:
     """Read every intact record of the log at *path*.
 
     Applies the torn-tail policy documented in the module docstring;
     raises :class:`CorruptLogError` on checksum corruption or a foreign
-    file, and never raises for a well-formed torn tail.
+    file, and never raises for a well-formed torn tail.  *checksum* must
+    match the function the log was written with — the storage WAL uses
+    the default CRC32C; the audit journal frames with ``zlib.crc32``.
     """
     with open(path, "rb") as handle:
         data = handle.read()
@@ -97,7 +99,7 @@ def scan_wal(path: "str | os.PathLike[str]") -> ScanResult:
         if remaining < _HEADER.size:
             return ScanResult(payloads, offset, size)  # torn header
         length, payload_crc, header_crc = _HEADER.unpack_from(data, offset)
-        if crc32c(data[offset : offset + _LEN_CRC.size]) != header_crc:
+        if checksum(data[offset : offset + _LEN_CRC.size]) != header_crc:
             raise CorruptLogError(
                 f"{path}: record header checksum mismatch at offset {offset}"
             )
@@ -110,7 +112,7 @@ def scan_wal(path: "str | os.PathLike[str]") -> ScanResult:
         if body_start + length > size:
             return ScanResult(payloads, offset, size)  # torn payload
         payload = data[body_start : body_start + length]
-        if crc32c(payload) != payload_crc:
+        if checksum(payload) != payload_crc:
             raise CorruptLogError(
                 f"{path}: record payload checksum mismatch at offset "
                 f"{offset} (record {len(payloads)})"
@@ -156,10 +158,12 @@ class WriteAheadLog:
         retry: RetryPolicy | None = None,
         injector: FaultInjector | None = None,
         on_retry=None,
+        checksum=crc32c,
     ) -> None:
         self.path = path
         self._opener = opener
         self._sync = sync
+        self._checksum = checksum
         self._retry = retry
         self._injector = injector
         self._on_retry = on_retry
@@ -183,7 +187,7 @@ class WriteAheadLog:
 
     def append(self, payload: bytes) -> int:
         """Durably append one record; returns the bytes written."""
-        record = _frame(payload)
+        record = _frame(payload, self._checksum)
         start = self._size
         if self._dirty:
             # A previous append failed after possibly writing part of its

@@ -187,6 +187,108 @@ class TestProfileAsk:
             shell.execute_line("profile")
 
 
+DEMO_ASK = (
+    "ask bob investment 1.0 "
+    "SELECT ci.Company, ci.Income FROM (SELECT DISTINCT Company "
+    "FROM Proposal WHERE Funding < 1.0) AS cand JOIN CompanyInfo "
+    "AS ci ON cand.Company = ci.Company"
+)
+
+
+class TestAuditCommands:
+    def test_audit_needs_the_flag(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("audit list")
+
+    def test_audit_list_and_explain(self, tmp_path):
+        shell = CommandShell(audit_log=str(tmp_path / "audit.log"))
+        try:
+            shell.execute_line("demo")
+            shell.execute_line(DEMO_ASK)
+            listing = shell.execute_line("audit list")
+            assert "q1: user=bob purpose=investment" in listing
+            assert "status=improved" in listing
+            explanation = shell.execute_line("audit explain q1 t0")
+            assert "policy=⟨Manager, investment" in explanation
+            assert "initial: t0" in explanation
+            assert "outcome: improved" in explanation
+        finally:
+            shell.close()
+
+    def test_audit_list_empty(self, tmp_path):
+        shell = CommandShell(audit_log=str(tmp_path / "audit.log"))
+        try:
+            assert shell.execute_line("audit list") == "(no audited queries)"
+        finally:
+            shell.close()
+
+    def test_audit_usage_error(self, tmp_path):
+        shell = CommandShell(audit_log=str(tmp_path / "audit.log"))
+        try:
+            with pytest.raises(CommandError):
+                shell.execute_line("audit")
+        finally:
+            shell.close()
+
+    def test_audit_survives_shell_restart(self, tmp_path):
+        path = str(tmp_path / "audit.log")
+        shell = CommandShell(audit_log=path)
+        try:
+            shell.execute_line("demo")
+            shell.execute_line(DEMO_ASK)
+        finally:
+            shell.close()
+        shell = CommandShell(audit_log=path)
+        try:
+            assert "q1:" in shell.execute_line("audit list")
+        finally:
+            shell.close()
+
+
+class TestMetricsCommands:
+    def test_metrics_dump_is_valid_openmetrics(self, shell):
+        from repro.obs import parse_openmetrics
+
+        shell.execute_line("demo")
+        shell.execute_line(DEMO_ASK)
+        text = shell.execute_line("metrics dump")
+        parse_openmetrics(text + "\n")
+
+    def test_metrics_dump_to_file(self, shell, tmp_path):
+        from repro.obs import parse_openmetrics
+
+        target = tmp_path / "metrics.txt"
+        output = shell.execute_line(f"metrics dump {target}")
+        assert str(target) in output
+        parse_openmetrics(target.read_text())
+
+    def test_metrics_serve_and_stop(self, shell):
+        import urllib.request
+
+        output = shell.execute_line("metrics serve 0")
+        assert "serving OpenMetrics at http://" in output
+        url = shell.metrics_server.url
+        with urllib.request.urlopen(url, timeout=5) as response:
+            assert response.status == 200
+        with pytest.raises(CommandError):
+            shell.execute_line("metrics serve 0")  # already running
+        assert "stopped" in shell.execute_line("metrics stop")
+        with pytest.raises(CommandError):
+            shell.execute_line("metrics stop")  # nothing running
+
+    def test_metrics_usage_error(self, shell):
+        with pytest.raises(CommandError):
+            shell.execute_line("metrics")
+
+
+class TestProfileAskAuditLine:
+    def test_profile_ask_summarises_the_decision(self, shell):
+        shell.execute_line("demo")
+        output = shell.execute_line(f"profile {DEMO_ASK}")
+        assert "audit: policy ⟨Manager, investment" in output
+        assert "released" in output
+
+
 class TestMainEntry:
     def test_main_with_commands(self, capsys):
         from repro.cli import main

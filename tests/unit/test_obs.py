@@ -123,6 +123,28 @@ class TestTracer:
     def test_global_tracer_exists(self):
         assert isinstance(get_tracer(), Tracer)
 
+    def test_duration_uses_the_monotonic_clock(self, monkeypatch):
+        """A wall-clock step backwards mid-span (NTP adjustment) must not
+        produce a negative duration — durations come from monotonic_ns."""
+        import time as time_module
+
+        tracer = Tracer(sinks=[InMemorySink()])
+        wall = iter([1_000_000.0, 999_000.0])  # time.time jumps backwards
+        monkeypatch.setattr(time_module, "time", lambda: next(wall, 999_000.0))
+        with tracer.span("adjusted") as span:
+            pass
+        assert span.duration_seconds is not None
+        assert span.duration_seconds >= 0.0
+
+    def test_span_records_wall_start_but_monotonic_duration(self):
+        tracer = Tracer(sinks=[InMemorySink()])
+        with tracer.span("timed") as span:
+            pass
+        # start_time is a wall-clock timestamp for log correlation...
+        assert span.start_time == pytest.approx(__import__("time").time(), abs=60)
+        # ...while the duration was measured in nanoseconds internally.
+        assert isinstance(span._started_ns, int)
+
 
 class TestSinks:
     def test_in_memory_ring_buffer_evicts_oldest(self):
@@ -215,6 +237,67 @@ class TestMetrics:
         assert registry.names() == ["a", "b"]
         registry.reset()
         assert registry.names() == []
+
+    def test_percentile_empty_histogram_is_none(self):
+        histogram = MetricsRegistry().histogram("empty")
+        assert histogram.percentile(50.0) is None
+
+    def test_percentile_range_validation(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101.0)
+
+    def test_percentile_exact_on_bucket_boundary(self):
+        """The estimate is exact when the rank lands on a bucket edge."""
+        histogram = MetricsRegistry().histogram("h", buckets=[10.0, 20.0])
+        for value in (10.0, 10.0, 20.0, 20.0):
+            histogram.observe(value)
+        # Rank 2 of 4 exhausts the first bucket exactly -> its upper bound.
+        assert histogram.percentile(50.0) == pytest.approx(10.0)
+        assert histogram.percentile(100.0) == pytest.approx(20.0)
+
+    def test_percentile_error_bounded_by_bucket_width(self):
+        """Interpolated estimates stay within the containing bucket, so
+        the error against exact quantiles is at most one bucket width."""
+        import statistics as stats
+
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=[5.0, 10.0, 15.0, 20.0, 25.0]
+        )
+        values = [0.5 + (i % 25) for i in range(500)]  # uniform over (0, 25)
+        for value in values:
+            histogram.observe(value)
+        exact = stats.quantiles(values, n=100)
+        for p in (50.0, 95.0, 99.0):
+            estimate = histogram.percentile(p)
+            assert abs(estimate - exact[int(p) - 1]) <= 5.0  # bucket width
+
+    def test_percentile_clamps_to_observed_min_and_max(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[100.0])
+        histogram.observe(40.0)
+        histogram.observe(60.0)
+        # All mass in one wide bucket: interpolation cannot escape [40, 60].
+        assert 40.0 <= histogram.percentile(1.0) <= 60.0
+        assert 40.0 <= histogram.percentile(99.0) <= 60.0
+
+    def test_percentile_overflow_bucket_interpolates_toward_max(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0])
+        for value in (0.5, 5.0, 9.0):
+            histogram.observe(value)
+        estimate = histogram.percentile(99.0)
+        assert 1.0 <= estimate <= 9.0
+
+    def test_summary_carries_quantiles(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 2.0, 8.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["p50"] is not None
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
 
     def test_metrics_diff(self):
         registry = MetricsRegistry()

@@ -11,15 +11,18 @@ from __future__ import annotations
 
 import contextvars
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.increment import DegradationChain, SolverAttempt, as_budgeted, solve_greedy
 from repro.obs import (
+    JsonLinesSink,
     MetricsRegistry,
     Tracer,
     get_tracer,
     set_metrics,
     set_tracer,
 )
+from repro.storage.durability.retry import RetryPolicy
 from repro.workload import WorkloadSpec, generate_problem
 
 THREADS = 8
@@ -233,3 +236,127 @@ class TestThreadedEngineUse:
                 assert span.parent_id in attempt_ids
         finally:
             set_tracer(previous)
+
+
+class _FlakyHandle:
+    """A file-like handle that fails the first *failures* writes."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.attempts = 0
+        self.lines: list[str] = []
+
+    def write(self, text: str) -> None:
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise OSError("transient write failure")
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        pass
+
+
+class TestSinkErrorHandling:
+    """Tracing must never take the query path down with it."""
+
+    def _isolated(self):
+        registry = MetricsRegistry()
+        return registry, set_metrics(registry)
+
+    def test_retry_policy_recovers_a_transient_failure(self):
+        registry, previous = self._isolated()
+        try:
+            handle = _FlakyHandle(failures=1)
+            retry = RetryPolicy(attempts=3, base_delay=0.0, sleep=lambda _s: None)
+            sink = JsonLinesSink(handle, retry=retry)
+            tracer = Tracer(sinks=[sink])
+            with tracer.span("survives"):
+                pass
+            assert sink.dropped == 0
+            assert handle.attempts == 2  # one failure, one retried success
+            assert len(handle.lines) == 1
+            assert "trace.sink_errors" not in registry.snapshot()
+        finally:
+            set_metrics(previous)
+
+    def test_exhausted_retries_count_the_drop_and_do_not_raise(self):
+        registry, previous = self._isolated()
+        try:
+            handle = _FlakyHandle(failures=10)
+            retry = RetryPolicy(attempts=2, base_delay=0.0, sleep=lambda _s: None)
+            sink = JsonLinesSink(handle, retry=retry)
+            tracer = Tracer(sinks=[sink])
+            with tracer.span("dropped"):
+                pass  # the export failure must not propagate here
+            assert sink.dropped == 1
+            assert handle.attempts == 2
+            assert registry.snapshot()["trace.sink_errors"] == 1
+        finally:
+            set_metrics(previous)
+
+    def test_concurrent_exports_count_every_drop(self):
+        registry, previous = self._isolated()
+        try:
+            handle = _FlakyHandle(failures=10**9)  # never succeeds
+            sink = JsonLinesSink(handle)
+            tracer = Tracer(sinks=[sink])
+
+            def trace():
+                for _ in range(50):
+                    with tracer.span("doomed"):
+                        pass
+
+            _run_in_threads(trace, count=4)
+            assert sink.dropped == 200
+            assert registry.snapshot()["trace.sink_errors"] == 200
+        finally:
+            set_metrics(previous)
+
+
+class TestMetricLockContentionUnderPool:
+    """The serving arc observes from a thread pool; instruments must stay
+    exact while readers (snapshots, percentiles, expositions) run
+    concurrently with writers."""
+
+    def test_histogram_is_exact_under_pool_writers_and_readers(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("pool.latency", buckets=[1.0, 5.0, 25.0])
+        writes_per_worker = 1_000
+
+        def write(worker: int) -> None:
+            for index in range(writes_per_worker):
+                histogram.observe(float((worker + index) % 30))
+
+        def read(_worker: int) -> None:
+            for _ in range(200):
+                snap = histogram.snapshot()
+                # A snapshot is internally consistent: bucket counts always
+                # sum to the count taken under the same lock.
+                assert sum(snap["buckets"].values()) == snap["count"]
+                histogram.percentile(95.0)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(write, worker) for worker in range(4)]
+            futures += [pool.submit(read, worker) for worker in range(4)]
+            for future in futures:
+                future.result()
+        assert histogram.count == 4 * writes_per_worker
+
+    def test_mixed_instruments_under_one_pool(self):
+        registry = MetricsRegistry()
+        rounds = 500
+
+        def work(worker: int) -> None:
+            for _ in range(rounds):
+                registry.counter("pool.counter").inc()
+                registry.gauge("pool.gauge").inc()
+                registry.gauge("pool.gauge").dec()
+                registry.histogram("pool.histogram").observe(0.5)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [pool.submit(work, w) for w in range(8)]:
+                future.result()
+        snap = registry.snapshot()
+        assert snap["pool.counter"] == 8 * rounds
+        assert snap["pool.gauge"] == 0.0
+        assert snap["pool.histogram"]["count"] == 8 * rounds

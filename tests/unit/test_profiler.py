@@ -1,0 +1,121 @@
+"""Unit tests for the sampling profiler (repro.obs.profiler)."""
+
+import time
+from collections import Counter
+
+import pytest
+
+from repro.obs import SamplingProfiler, StackProfile
+from repro.obs.profile import ProfileReport
+from repro.obs.profiler import stage_of_module
+
+
+def spin(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_samples_a_busy_calling_thread(self):
+        with SamplingProfiler(hz=400) as profiler:
+            spin(time.perf_counter() + 0.25)
+        profile = profiler.profile
+        assert profile is not None
+        assert profile.total_samples > 0
+        assert profile.wall_seconds >= 0.2
+        # The busy loop dominates; its frame must appear somewhere.
+        frames = {frame for stack in profile.samples for frame in stack}
+        assert any(frame.endswith(":spin") for frame in frames)
+
+    def test_collapsed_lines_are_flamegraph_format(self):
+        with SamplingProfiler(hz=400) as profiler:
+            spin(time.perf_counter() + 0.1)
+        for line in profiler.profile.collapsed():
+            stacks, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert all(":" in frame for frame in stacks.split(";"))
+
+    def test_by_function_self_and_total(self):
+        profile = StackProfile(
+            Counter(
+                {
+                    ("m:outer", "m:inner"): 3,
+                    ("m:outer",): 1,
+                }
+            ),
+            hz=99.0,
+            wall_seconds=1.0,
+        )
+        rows = {frame: (own, total) for frame, own, total in profile.by_function()}
+        assert rows["m:inner"] == (3, 3)
+        assert rows["m:outer"] == (1, 4)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_double_start_and_unstarted_stop_raise(self):
+        profiler = SamplingProfiler(hz=50)
+        with pytest.raises(RuntimeError):
+            profiler.stop()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_format_mentions_stages_and_frames(self):
+        with SamplingProfiler(hz=400) as profiler:
+            spin(time.perf_counter() + 0.1)
+        text = profiler.profile.format()
+        assert "sampling profile:" in text
+        assert "hottest frames" in text
+
+
+class TestStageAttribution:
+    def test_module_prefixes_map_to_stages(self):
+        assert stage_of_module("repro.sql.parser") == "query_evaluation"
+        assert stage_of_module("repro.lineage") == "confidence"
+        assert stage_of_module("repro.policy.store") == "policy_enforcement"
+        assert stage_of_module("repro.increment.greedy") == "strategy_finding"
+        assert stage_of_module("repro.storage.table") == "storage"
+        assert stage_of_module("numpy.core") == "other"
+        # A prefix must match on a module boundary, not mid-name.
+        assert stage_of_module("repro.sqlish") == "other"
+
+    def test_by_stage_uses_the_innermost_frame(self):
+        profile = StackProfile(
+            Counter(
+                {
+                    ("repro.core:execute", "repro.increment.greedy:solve"): 5,
+                    ("repro.core:execute", "repro.sql.executor:scan"): 2,
+                }
+            ),
+            hz=99.0,
+            wall_seconds=1.0,
+        )
+        assert profile.by_stage() == {
+            "strategy_finding": 5,
+            "query_evaluation": 2,
+        }
+
+    def test_reconcile_lines_up_spans_and_samples(self):
+        profile = StackProfile(
+            Counter({("repro.increment.greedy:solve",): 8}),
+            hz=99.0,
+            wall_seconds=1.0,
+        )
+        report = ProfileReport(
+            root="pcqe.ask",
+            total_seconds=2.0,
+            stages={"pcqe.strategy_finding": 1.5, "pcqe.query_evaluation": 0.5},
+        )
+        rows = {row["span"]: row for row in profile.reconcile(report)}
+        finding = rows["pcqe.strategy_finding"]
+        assert finding["stage"] == "strategy_finding"
+        assert finding["span_share"] == pytest.approx(0.75)
+        assert finding["sample_share"] == pytest.approx(1.0)
+        assert rows["pcqe.query_evaluation"]["sample_share"] == 0.0

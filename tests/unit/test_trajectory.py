@@ -1,0 +1,167 @@
+"""Unit tests for the BENCH_*.json performance trajectory tool."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "trajectory",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "trajectory.py",
+)
+trajectory = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("trajectory", trajectory)
+_SPEC.loader.exec_module(trajectory)
+
+
+ENVIRONMENT = {
+    "python_version": "3.12.0",
+    "python_implementation": "CPython",
+    "machine": "x86_64",
+    "full_profile": False,
+}
+
+
+def results_file(tmp_path, panel_seconds, environment=None, name="results.json"):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps(
+            {
+                "schema_version": 1,
+                "environment": environment or ENVIRONMENT,
+                "panel_seconds": panel_seconds,
+                "series": {"fig11b greedy": [{"n": 100, "seconds": 0.5}]},
+            }
+        )
+    )
+    return str(path)
+
+
+def run(argv):
+    return trajectory.main(argv)
+
+
+class TestRecord:
+    def test_creates_schema_versioned_trajectory(self, tmp_path, capsys):
+        results = results_file(tmp_path, {"fig11be": 1.5})
+        assert run(["record", results, "--bench-dir", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "BENCH_fig11be.json").read_text())
+        assert (
+            data["trajectory_schema_version"]
+            == trajectory.TRAJECTORY_SCHEMA_VERSION
+        )
+        assert data["panel"] == "fig11be"
+        (record,) = data["runs"]
+        assert record["panel_seconds"] == 1.5
+        assert record["environment"] == ENVIRONMENT
+        # The fig11b series rides along under the fig11be panel.
+        assert "fig11b greedy" in record["series"]
+
+    def test_appends_and_prunes_to_keep(self, tmp_path):
+        results = results_file(tmp_path, {"tables": 0.2})
+        for _ in range(4):
+            run(["record", results, "--bench-dir", str(tmp_path), "--keep", "3"])
+        data = json.loads((tmp_path / "BENCH_tables.json").read_text())
+        assert len(data["runs"]) == 3
+
+    def test_panel_name_is_sanitized(self, tmp_path):
+        results = results_file(tmp_path, {"a/b c": 0.1})
+        run(["record", results, "--bench-dir", str(tmp_path)])
+        assert (tmp_path / "BENCH_a_b_c.json").exists()
+
+    def test_rejects_non_harness_files(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit):
+            run(["record", str(bad), "--bench-dir", str(tmp_path)])
+
+    def test_rejects_unknown_trajectory_schema(self, tmp_path):
+        results = results_file(tmp_path, {"tables": 0.2})
+        (tmp_path / "BENCH_tables.json").write_text(
+            json.dumps({"trajectory_schema_version": 999, "runs": []})
+        )
+        with pytest.raises(SystemExit):
+            run(["record", results, "--bench-dir", str(tmp_path)])
+
+
+class TestCheck:
+    def seed(self, tmp_path, seconds_history):
+        for index, seconds in enumerate(seconds_history):
+            results = results_file(
+                tmp_path, {"tables": seconds}, name=f"seed{index}.json"
+            )
+            run(["record", results, "--bench-dir", str(tmp_path)])
+
+    def test_passes_within_threshold(self, tmp_path):
+        self.seed(tmp_path, [1.0, 1.1, 0.9])
+        candidate = results_file(tmp_path, {"tables": 1.1}, name="cand.json")
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 0
+
+    def test_fails_beyond_threshold(self, tmp_path, capsys):
+        self.seed(tmp_path, [1.0, 1.0, 1.0])
+        candidate = results_file(tmp_path, {"tables": 1.3}, name="cand.json")
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_is_configurable(self, tmp_path):
+        self.seed(tmp_path, [1.0])
+        candidate = results_file(tmp_path, {"tables": 1.3}, name="cand.json")
+        assert (
+            run(
+                [
+                    "check",
+                    candidate,
+                    "--bench-dir",
+                    str(tmp_path),
+                    "--threshold",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+
+    def test_no_trajectory_file_passes(self, tmp_path, capsys):
+        candidate = results_file(tmp_path, {"tables": 9.9}, name="cand.json")
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 0
+        assert "no trajectory file" in capsys.readouterr().out
+
+    def test_foreign_fingerprint_is_not_a_baseline(self, tmp_path, capsys):
+        """A fast dev machine's history must not gate a slow CI runner."""
+        self.seed(tmp_path, [0.1, 0.1])
+        other = dict(ENVIRONMENT, machine="arm64")
+        candidate = results_file(
+            tmp_path, {"tables": 5.0}, environment=other, name="cand.json"
+        )
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 0
+        assert "no baseline for this environment" in capsys.readouterr().out
+
+    def test_median_absorbs_one_noisy_run(self, tmp_path):
+        self.seed(tmp_path, [1.0, 1.0, 30.0])
+        candidate = results_file(tmp_path, {"tables": 1.1}, name="cand.json")
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 0
+
+    def test_min_slack_floor_tolerates_millisecond_jitter(self, tmp_path):
+        """+60% on an 8 ms panel is scheduler noise, not a regression."""
+        self.seed(tmp_path, [0.008, 0.008])
+        candidate = results_file(tmp_path, {"tables": 0.013}, name="cand.json")
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 0
+
+    def test_min_slack_zero_restores_the_pure_relative_gate(
+        self, tmp_path, capsys
+    ):
+        self.seed(tmp_path, [0.008, 0.008])
+        candidate = results_file(tmp_path, {"tables": 0.013}, name="cand.json")
+        argv = [
+            "check", candidate, "--bench-dir", str(tmp_path),
+            "--min-slack", "0",
+        ]
+        assert run(argv) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_min_slack_does_not_mask_real_regressions(self, tmp_path):
+        """The floor only covers jitter-sized deltas, never 2x slowdowns."""
+        self.seed(tmp_path, [1.0, 1.0])
+        candidate = results_file(tmp_path, {"tables": 2.0}, name="cand.json")
+        assert run(["check", candidate, "--bench-dir", str(tmp_path)]) == 1
