@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Execution-engine benchmark: native (row-at-a-time) vs columnar.
+
+Times the same optimized logical plans on both engines over synthetic
+tables of 10^3..10^5 rows, asserting differential equivalence (identical
+rows, lineage, confidences) before trusting any timing, and records one
+``exec <workload>`` series row per (size, engine) pair.
+
+Usage:
+    python benchmarks/exec_bench.py                      # text tables
+    python benchmarks/exec_bench.py --json exec.json     # machine-readable
+    python benchmarks/exec_bench.py --min-speedup 2.0    # CI gate: columnar
+        must beat native by >= 2x on the scan/filter workload at the
+        largest size, else exit 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_common import (
+    SCHEMA_VERSION,
+    SERIES,
+    environment_info,
+    format_series,
+    record,
+)
+
+from repro.engines import select_engine
+from repro.sql import plan_sql
+from repro.storage import Database, INTEGER, REAL, Schema, TEXT
+
+SIZES = (1_000, 10_000, 100_000)
+REPEATS = 3
+#: Differential checks compare confidences only up to this result size —
+#: beyond it, rows and lineage formulas are still compared exactly.
+CONFIDENCE_CHECK_LIMIT = 20_000
+
+WORKLOADS = {
+    # Scan/filter-heavy: the columnar engine's best case (vectorized
+    # predicate, deferred lineage for dropped rows).
+    "scan_filter": "SELECT k, v FROM events WHERE v < 100",
+    # Projection with arithmetic: per-row expression evaluation dominates.
+    "project": "SELECT k, v * 2 + 1, x / 2.0 FROM events",
+    # Equi hash join against a small dimension table.
+    "join": (
+        "SELECT e.k, d.label FROM events AS e "
+        "JOIN dims AS d ON e.k = d.k WHERE e.v < 500"
+    ),
+    # Distinct + semijoin: duplicate merging and probe-side OR lineage.
+    "distinct_semijoin": (
+        "SELECT DISTINCT k FROM events WHERE k IN "
+        "(SELECT k FROM dims WHERE tier > 1)"
+    ),
+}
+
+
+def build_db(size: int) -> Database:
+    db = Database(f"exec-bench-{size}")
+    events = db.create_table(
+        "events", Schema.of(("k", TEXT), ("v", INTEGER), ("x", REAL))
+    )
+    for i in range(size):
+        events.insert(
+            [f"k{i % 97}", i % 1000, (i % 357) / 357.0],
+            confidence=0.1 + (i % 80) / 100.0,
+        )
+    dims = db.create_table(
+        "dims", Schema.of(("k", TEXT), ("label", TEXT), ("tier", INTEGER))
+    )
+    for i in range(97):
+        dims.insert(
+            [f"k{i}", f"group-{i % 7}", i % 4],
+            confidence=0.2 + (i % 60) / 100.0,
+        )
+    return db
+
+
+def assert_equivalent(db: Database, plan, check_confidences: bool) -> int:
+    """Both engines must agree before a timing is worth recording."""
+    native = select_engine(plan, "native").execute()
+    columnar = select_engine(plan, "columnar").execute()
+    native_rows = [(row.values, row.lineage) for row in native.rows]
+    columnar_rows = [(row.values, row.lineage) for row in columnar.rows]
+    if native_rows != columnar_rows:
+        raise SystemExit(
+            "differential equivalence FAILED: engines disagree on "
+            f"rows/lineage ({len(native_rows)} vs {len(columnar_rows)} rows)"
+        )
+    if check_confidences and native.confidences(db) != columnar.confidences(db):
+        raise SystemExit(
+            "differential equivalence FAILED: confidences differ"
+        )
+    return len(native_rows)
+
+
+def time_engine(plan, mode: str) -> float:
+    prepared = select_engine(plan, mode)
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        prepared.execute()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(args) -> dict[str, dict[int, dict[str, float]]]:
+    timings: dict[str, dict[int, dict[str, float]]] = {}
+    for size in SIZES:
+        print(f"building database ({size} rows) ...", file=sys.stderr)
+        db = build_db(size)
+        for workload, sql in WORKLOADS.items():
+            plan = plan_sql(db, sql)
+            result_rows = assert_equivalent(
+                db, plan, check_confidences=size <= CONFIDENCE_CHECK_LIMIT
+            )
+            row: dict[str, float] = {}
+            for mode in ("native", "columnar"):
+                row[mode] = time_engine(plan, mode)
+            speedup = row["native"] / row["columnar"]
+            timings.setdefault(workload, {})[size] = row
+            record(
+                f"exec {workload}",
+                rows=size,
+                result_rows=result_rows,
+                native_s=round(row["native"], 6),
+                columnar_s=round(row["columnar"], 6),
+                speedup=round(speedup, 2),
+            )
+    return timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write series + metrics snapshot + environment as JSON",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless columnar beats native by >= X on the "
+        "scan_filter workload at the largest size",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    timings = run(args)
+    panel_seconds = time.perf_counter() - started
+    print(format_series())
+
+    if args.json:
+        from repro.obs import get_metrics
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "environment": environment_info(),
+            "panel_seconds": {"exec": panel_seconds},
+            "series": dict(SERIES),
+            "metrics": get_metrics().snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    if args.min_speedup is not None:
+        largest = max(SIZES)
+        row = timings["scan_filter"][largest]
+        speedup = row["native"] / row["columnar"]
+        if speedup < args.min_speedup:
+            print(
+                f"speedup gate FAILED: columnar {speedup:.2f}x native on "
+                f"scan_filter@{largest} (required >= "
+                f"{args.min_speedup:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"speedup gate passed: columnar {speedup:.2f}x native on "
+            f"scan_filter@{largest}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,6 +101,7 @@ _PANEL_FIGURES: dict[str, tuple[str, ...]] = {
     "circuit": ("circuit",),
     "ablations": ("ablation",),
     "obs": ("obs",),
+    "exec": ("exec",),
 }
 
 

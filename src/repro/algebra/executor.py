@@ -54,6 +54,7 @@ from .plan import (
     SemiJoin,
     SetOperation,
     Sort,
+    Transfer,
 )
 from .rows import AnnotatedTuple, ResultSet
 
@@ -454,6 +455,15 @@ def _execute_limit(node: Limit) -> ResultSet:
     return ResultSet(node.schema, list(window))
 
 
+def _execute_transfer(node: Transfer) -> ResultSet:
+    """Engine boundary: run the subtree on the named engine, pass rows up."""
+    # Late import — engines build on top of the executor, not vice versa.
+    from ..engines import get_engine
+
+    result = get_engine(node.engine).execute(node.child)
+    return ResultSet(node.schema, result.rows)
+
+
 _HANDLERS: dict[type, Callable[[Any], ResultSet]] = {
     Scan: _execute_scan,
     Alias: _execute_alias,
@@ -465,4 +475,5 @@ _HANDLERS: dict[type, Callable[[Any], ResultSet]] = {
     Aggregate: _execute_aggregate,
     Sort: _execute_sort,
     Limit: _execute_limit,
+    Transfer: _execute_transfer,
 }

@@ -47,23 +47,59 @@ __all__ = [
 
 
 class BoundExpression:
-    """A compiled expression: a result type plus a positional evaluator."""
+    """A compiled expression: a result type plus a positional evaluator.
 
-    __slots__ = ("dtype", "_evaluate", "display")
+    Binding resolves every column reference to a positional index once per
+    plan, so neither the scalar nor the batch path chases names per row.
+    Expressions that support vectorized evaluation also carry a *batch*
+    kernel ``(columns, count) -> list``; the rest fall back to per-row
+    scalar evaluation over materialized rows inside
+    :meth:`evaluate_batch`, so unsupported expressions still run batched.
+    """
+
+    __slots__ = ("dtype", "_evaluate", "display", "_batch")
 
     def __init__(
         self,
         dtype: DataType,
         evaluate: Callable[[tuple[Any, ...]], Any],
         display: str,
+        batch: Callable[[Sequence[list], int], list] | None = None,
     ) -> None:
         self.dtype = dtype
         self._evaluate = evaluate
         self.display = display
+        self._batch = batch
 
     def evaluate(self, values: tuple[Any, ...]) -> Any:
         """The expression's value on one row's *values*."""
         return self._evaluate(values)
+
+    def evaluate_batch(self, columns: Sequence[list], count: int) -> list:
+        """The expression's value on every row of a column batch.
+
+        *columns* holds one value list per schema column, each of length
+        *count*.  The returned list may alias an input column (e.g. a bare
+        column reference), so callers must treat both inputs and outputs
+        as read-only.  Row-level results and raised errors match
+        :meth:`evaluate` row by row; when two sub-expressions would each
+        raise, batch order may surface a different one first (columnar
+        filter kernels re-run scalar evaluation on error to report the
+        exact native diagnostic).
+        """
+        if count == 0:
+            return []
+        if self._batch is not None:
+            return self._batch(columns, count)
+        evaluate = self._evaluate
+        if not columns:  # zero-column batches cannot occur via Schema
+            return [evaluate(()) for _ in range(count)]
+        return [evaluate(values) for values in zip(*columns)]
+
+    @property
+    def has_batch_kernel(self) -> bool:
+        """True when a dedicated vectorized kernel exists (no fallback)."""
+        return self._batch is not None
 
     def __repr__(self) -> str:  # pragma: no cover - display only
         return f"BoundExpression({self.display}:{self.dtype})"
@@ -182,7 +218,12 @@ class Literal(Expression):
             dtype = TEXT
         else:
             raise BindError(f"unsupported literal {value!r}")
-        return BoundExpression(dtype, lambda _values: value, repr(value))
+        return BoundExpression(
+            dtype,
+            lambda _values: value,
+            repr(value),
+            batch=lambda _columns, count: [value] * count,
+        )
 
     def __hash__(self) -> int:
         return hash(("lit", self.value))
@@ -202,6 +243,8 @@ class ColumnRef(Expression):
             column.dtype,
             lambda values, i=index: values[i],
             column.qualified_name,
+            # Returns the input column itself (read-only contract).
+            batch=lambda columns, _count, i=index: columns[i],
         )
 
     def references(self) -> set[tuple[str | None, str]]:
@@ -237,7 +280,12 @@ class Arithmetic(Expression):
             # NULL arithmetic is NULL regardless of the other operand.
             other = right if _is_null_literal(self.left) else left
             dtype = other.dtype if other.dtype.is_numeric else REAL
-            return BoundExpression(dtype, lambda _values: None, display)
+            return BoundExpression(
+                dtype,
+                lambda _values: None,
+                display,
+                batch=lambda _columns, count: [None] * count,
+            )
         if self.op == "+" and left.dtype is TEXT and right.dtype is TEXT:
             # String concatenation convenience.
             def concat(values: tuple[Any, ...]) -> Any:
@@ -247,7 +295,16 @@ class Arithmetic(Expression):
                     return None
                 return a + b
 
-            return BoundExpression(TEXT, concat, display)
+            def concat_batch(columns: Sequence[list], count: int) -> list:
+                return [
+                    None if (a is None or b is None) else a + b
+                    for a, b in zip(
+                        left.evaluate_batch(columns, count),
+                        right.evaluate_batch(columns, count),
+                    )
+                ]
+
+            return BoundExpression(TEXT, concat, display, batch=concat_batch)
         try:
             dtype = common_type(left.dtype, right.dtype)
         except TypeMismatchError as error:
@@ -264,20 +321,63 @@ class Arithmetic(Expression):
                     raise ExecutionError(f"division by zero in {display}")
                 return a / b
 
-            return BoundExpression(dtype, divide, display)
+            def divide_batch(columns: Sequence[list], count: int) -> list:
+                out: list[Any] = []
+                append = out.append
+                for a, b in zip(
+                    left.evaluate_batch(columns, count),
+                    right.evaluate_batch(columns, count),
+                ):
+                    if a is None or b is None:
+                        append(None)
+                    elif b == 0:
+                        raise ExecutionError(f"division by zero in {display}")
+                    else:
+                        append(a / b)
+                return out
+
+            return BoundExpression(dtype, divide, display, batch=divide_batch)
         operate = _ARITH_OPS[self.op]
+        op = self.op
 
         def evaluate(values: tuple[Any, ...]) -> Any:
             a = left.evaluate(values)
             b = right.evaluate(values)
             if a is None or b is None:
                 return None
-            if self.op == "%" and b == 0:
+            if op == "%" and b == 0:
                 raise ExecutionError(f"modulo by zero in {display}")
             result = operate(a, b)
             return float(result) if dtype is REAL else result
 
-        return BoundExpression(dtype, evaluate, display)
+        def batch(columns: Sequence[list], count: int) -> list:
+            pairs = zip(
+                left.evaluate_batch(columns, count),
+                right.evaluate_batch(columns, count),
+            )
+            if op == "%":
+                out: list[Any] = []
+                append = out.append
+                for a, b in pairs:
+                    if a is None or b is None:
+                        append(None)
+                    elif b == 0:
+                        raise ExecutionError(f"modulo by zero in {display}")
+                    else:
+                        result = operate(a, b)
+                        append(float(result) if dtype is REAL else result)
+                return out
+            if dtype is REAL:
+                return [
+                    None if (a is None or b is None) else float(operate(a, b))
+                    for a, b in pairs
+                ]
+            return [
+                None if (a is None or b is None) else operate(a, b)
+                for a, b in pairs
+            ]
+
+        return BoundExpression(dtype, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.left.references() | self.right.references()
@@ -301,7 +401,15 @@ class Negate(Expression):
             value = operand.evaluate(values)
             return None if value is None else -value
 
-        return BoundExpression(operand.dtype, evaluate, f"-{operand.display}")
+        def batch(columns: Sequence[list], count: int) -> list:
+            return [
+                None if value is None else -value
+                for value in operand.evaluate_batch(columns, count)
+            ]
+
+        return BoundExpression(
+            operand.dtype, evaluate, f"-{operand.display}", batch=batch
+        )
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.operand.references()
@@ -349,8 +457,17 @@ class Comparison(Expression):
                 return None
             return operate(a, b)
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            return [
+                None if (a is None or b is None) else operate(a, b)
+                for a, b in zip(
+                    left.evaluate_batch(columns, count),
+                    right.evaluate_batch(columns, count),
+                )
+            ]
+
         display = f"({left.display} {self.op} {right.display})"
-        return BoundExpression(BOOLEAN, evaluate, display)
+        return BoundExpression(BOOLEAN, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.left.references() | self.right.references()
@@ -388,8 +505,31 @@ class LogicalAnd(Expression):
                 return None
             return True
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            # Mask-and-gather preserves the scalar short-circuit: the right
+            # side is only evaluated on rows the left did not already decide,
+            # so guarded predicates (``x <> 0 AND 10 / x > 1``) never raise
+            # on rows the scalar path would have skipped.
+            a_col = left.evaluate_batch(columns, count)
+            pending = [i for i in range(count) if a_col[i] is not False]
+            out: list[Any] = [False] * count
+            if not pending:
+                return out
+            if len(pending) == count:
+                b_col = right.evaluate_batch(columns, count)
+                pairs = zip(range(count), b_col)
+            else:
+                sub = [[column[i] for i in pending] for column in columns]
+                b_col = right.evaluate_batch(sub, len(pending))
+                pairs = zip(pending, b_col)
+            for i, b in pairs:
+                if b is False:
+                    continue
+                out[i] = None if (a_col[i] is None or b is None) else True
+            return out
+
         display = f"({left.display} AND {right.display})"
-        return BoundExpression(BOOLEAN, evaluate, display)
+        return BoundExpression(BOOLEAN, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.left.references() | self.right.references()
@@ -422,8 +562,29 @@ class LogicalOr(Expression):
                 return None
             return False
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            # Mirror of the AND mask: right side evaluated only where the
+            # left is not already True.
+            a_col = left.evaluate_batch(columns, count)
+            pending = [i for i in range(count) if a_col[i] is not True]
+            out: list[Any] = [True] * count
+            if not pending:
+                return out
+            if len(pending) == count:
+                b_col = right.evaluate_batch(columns, count)
+                pairs = zip(range(count), b_col)
+            else:
+                sub = [[column[i] for i in pending] for column in columns]
+                b_col = right.evaluate_batch(sub, len(pending))
+                pairs = zip(pending, b_col)
+            for i, b in pairs:
+                if b is True:
+                    continue
+                out[i] = None if (a_col[i] is None or b is None) else False
+            return out
+
         display = f"({left.display} OR {right.display})"
-        return BoundExpression(BOOLEAN, evaluate, display)
+        return BoundExpression(BOOLEAN, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.left.references() | self.right.references()
@@ -446,7 +607,15 @@ class LogicalNot(Expression):
             value = operand.evaluate(values)
             return None if value is None else not value
 
-        return BoundExpression(BOOLEAN, evaluate, f"(NOT {operand.display})")
+        def batch(columns: Sequence[list], count: int) -> list:
+            return [
+                None if value is None else not value
+                for value in operand.evaluate_batch(columns, count)
+            ]
+
+        return BoundExpression(
+            BOOLEAN, evaluate, f"(NOT {operand.display})", batch=batch
+        )
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.operand.references()
@@ -470,8 +639,16 @@ class IsNull(Expression):
             is_null = operand.evaluate(values) is None
             return not is_null if negated else is_null
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            values = operand.evaluate_batch(columns, count)
+            if negated:
+                return [value is not None for value in values]
+            return [value is None for value in values]
+
         keyword = "IS NOT NULL" if negated else "IS NULL"
-        return BoundExpression(BOOLEAN, evaluate, f"({operand.display} {keyword})")
+        return BoundExpression(
+            BOOLEAN, evaluate, f"({operand.display} {keyword})", batch=batch
+        )
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.operand.references()
@@ -510,9 +687,22 @@ class Like(Expression):
             matched = regex.match(value) is not None
             return not matched if negated else matched
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            match = regex.match
+            values = operand.evaluate_batch(columns, count)
+            if negated:
+                return [
+                    None if value is None else match(value) is None
+                    for value in values
+                ]
+            return [
+                None if value is None else match(value) is not None
+                for value in values
+            ]
+
         keyword = "NOT LIKE" if negated else "LIKE"
         display = f"({operand.display} {keyword} {self.pattern!r})"
-        return BoundExpression(BOOLEAN, evaluate, display)
+        return BoundExpression(BOOLEAN, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         return self.operand.references()
@@ -563,12 +753,35 @@ class InList(Expression):
                 return None
             return True if negated else False
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            value_col = operand.evaluate_batch(columns, count)
+            option_cols = [
+                option.evaluate_batch(columns, count) for option in options
+            ]
+            out: list[Any] = []
+            append = out.append
+            for i, value in enumerate(value_col):
+                if value is None:
+                    append(None)
+                    continue
+                saw_null = False
+                for option_col in option_cols:
+                    candidate = option_col[i]
+                    if candidate is None:
+                        saw_null = True
+                    elif candidate == value:
+                        append(False if negated else True)
+                        break
+                else:
+                    append(None if saw_null else (True if negated else False))
+            return out
+
         keyword = "NOT IN" if negated else "IN"
         display = (
             f"({operand.display} {keyword} "
             f"({', '.join(option.display for option in options)}))"
         )
-        return BoundExpression(BOOLEAN, evaluate, display)
+        return BoundExpression(BOOLEAN, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         refs = self.operand.references()
@@ -617,9 +830,29 @@ class Between(Expression):
             inside = lo <= value <= hi
             return not inside if negated else inside
 
+        def batch(columns: Sequence[list], count: int) -> list:
+            triples = zip(
+                operand.evaluate_batch(columns, count),
+                low.evaluate_batch(columns, count),
+                high.evaluate_batch(columns, count),
+            )
+            if negated:
+                return [
+                    None
+                    if (value is None or lo is None or hi is None)
+                    else not (lo <= value <= hi)
+                    for value, lo, hi in triples
+                ]
+            return [
+                None
+                if (value is None or lo is None or hi is None)
+                else (lo <= value <= hi)
+                for value, lo, hi in triples
+            ]
+
         keyword = "NOT BETWEEN" if negated else "BETWEEN"
         display = f"({operand.display} {keyword} {low.display} AND {high.display})"
-        return BoundExpression(BOOLEAN, evaluate, display)
+        return BoundExpression(BOOLEAN, evaluate, display, batch=batch)
 
     def references(self) -> set[tuple[str | None, str]]:
         return (

@@ -58,13 +58,17 @@ class ResultSet:
     compiled circuits instead of re-walking the formula trees.
     """
 
-    __slots__ = ("schema", "rows", "_pool", "_circuits")
+    __slots__ = ("schema", "rows", "engine", "_pool", "_circuits", "_order")
 
     def __init__(self, schema: Schema, rows: list[AnnotatedTuple]) -> None:
         self.schema = schema
         self.rows = rows
+        #: Name of the execution engine that produced this result (set by
+        #: :func:`repro.sql.run_sql`; None for directly-executed plans).
+        self.engine: str | None = None
         self._pool: CircuitPool | None = None
         self._circuits: list[CompiledCircuit] | None = None
+        self._order: tuple[int, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -105,22 +109,28 @@ class ResultSet:
         return self._pool.stats()
 
     def confidences(self, source: "Database | Mapping[TupleId, float]") -> list[float]:
-        """Per-row confidence, from a database or an explicit probability map."""
+        """Per-row confidence, from a database or an explicit probability map.
+
+        Evaluated in batch: one forward sweep over the union of all rows'
+        circuit cones (with the merged topological order cached across
+        calls), bit-identical to evaluating each circuit separately —
+        shared subcircuits are just computed once per batch instead of
+        once per row.  This is the path policy enforcement takes.
+        """
         probabilities = self._probabilities(source)
-        return [
-            circuit.evaluate(probabilities)
-            for circuit in self.compiled_circuits()
-        ]
+        circuits = self.compiled_circuits()
+        if not circuits:
+            return []
+        assert self._pool is not None
+        if self._order is None:
+            self._order = self._pool.merged_order(circuits)
+        return self._pool.evaluate_many(circuits, probabilities, self._order)
 
     def with_confidences(
         self, source: "Database | Mapping[TupleId, float]"
     ) -> list[tuple[AnnotatedTuple, float]]:
-        """Rows paired with their confidence."""
-        probabilities = self._probabilities(source)
-        return [
-            (row, circuit.evaluate(probabilities))
-            for row, circuit in zip(self.rows, self.compiled_circuits())
-        ]
+        """Rows paired with their confidence (batch-evaluated)."""
+        return list(zip(self.rows, self.confidences(source)))
 
     def top_k_by_confidence(
         self, source: "Database | Mapping[TupleId, float]", k: int

@@ -34,6 +34,11 @@ Observability flags (before any command arguments):
 ``--deadline-ms 50``
     Give each strategy-finding attempt a wall-clock budget; a timed-out
     primary solver degrades to greedy (see ``docs/ROBUSTNESS.md``).
+``--engine auto|native|columnar``
+    Pick the query execution engine (default ``auto``: stats-driven per
+    plan); the ``engine`` shell command changes it mid-session and
+    ``explain``/``profile ask`` report the chosen engine (see
+    ``docs/ENGINES.md``).
 ``--data-dir state/``
     Persist the shell's database in *state/* through a write-ahead log
     and checksummed snapshots; reopening the directory recovers every
@@ -98,7 +103,16 @@ class CommandShell:
         deadline_ms: float | None = None,
         data_dir: str | None = None,
         audit_log: str | None = None,
+        engine: str = "auto",
     ) -> None:
+        from .engines import ENGINE_MODES
+
+        if engine not in ENGINE_MODES:
+            raise CommandError(
+                f"unknown engine {engine!r}; choose from "
+                f"{', '.join(ENGINE_MODES)}"
+            )
+        self.engine = engine
         self.data_dir = data_dir
         if data_dir is not None:
             self.db = Database.open(data_dir, "cli")
@@ -126,6 +140,7 @@ class CommandShell:
             "user": self._cmd_user,
             "policy": self._cmd_policy,
             "solver": self._cmd_solver,
+            "engine": self._cmd_engine,
             "circuit": self._cmd_circuit,
             "ask": self._cmd_ask,
             "demo": self._cmd_demo,
@@ -206,7 +221,7 @@ class CommandShell:
                 "usage: sql <SELECT | INSERT | UPDATE | DELETE | "
                 "CREATE TABLE | DROP TABLE ...>"
             )
-        result = execute_sql(self.db, rest)
+        result = execute_sql(self.db, rest, engine=self.engine)
         if isinstance(result, DmlResult):
             return str(result)
         lines = [" | ".join(result.schema.names) + " | confidence"]
@@ -219,7 +234,10 @@ class CommandShell:
     def _cmd_explain(self, rest: str) -> str:
         if not rest:
             raise CommandError("usage: explain <SELECT ...>")
-        return plan_sql(self.db, rest).explain()
+        from .sql import pick_engine
+
+        prepared = pick_engine(plan_sql(self.db, rest), self.engine)
+        return f"engine: {prepared.label}\n{prepared.plan.explain()}"
 
     def _cmd_circuit(self, rest: str) -> str:
         """Compile a query's lineage and report circuit sharing stats."""
@@ -269,6 +287,10 @@ class CommandShell:
     def _profile_ask(self, rest: str) -> str:
         reply, user, purpose, fraction = self._run_pipeline(rest, profile=True)
         lines = [f"status: {reply.status.value} (threshold {reply.threshold})"]
+        executed = (
+            reply.raw_result.engine if reply.raw_result is not None else None
+        )
+        lines.append(f"engine: {executed or self.engine}")
         # One audit summary line per applicable policy: the decision
         # counts under the ⟨role, purpose, β⟩ that governed this ask.
         policy = self.policies.select_policy(user, purpose)
@@ -366,6 +388,19 @@ class CommandShell:
         )
         return f"solver set to {parts[0]}{suffix}"
 
+    def _cmd_engine(self, rest: str) -> str:
+        from .engines import ENGINE_MODES
+
+        if not rest:
+            return f"engine: {self.engine}"
+        mode = rest.strip().lower()
+        if mode not in ENGINE_MODES:
+            raise CommandError(
+                f"usage: engine [{'|'.join(ENGINE_MODES)}]"
+            )
+        self.engine = mode
+        return f"engine set to {mode}"
+
     # -- the pipeline -----------------------------------------------------------
 
     def _run_pipeline(self, rest: str, profile: bool = False):
@@ -389,6 +424,7 @@ class CommandShell:
             fallback=fallback,
             deadline_ms=self.deadline_ms,
             audit=self.audit,
+            engine=self.engine,
         )
         reply = engine.execute(
             QueryRequest(sql, purpose, float(fraction_text), profile=profile),
@@ -532,8 +568,8 @@ class CommandShell:
     def _cmd_help(self, rest: str) -> str:
         return (
             "commands: create, load, tables, sql, explain, profile, "
-            "role, purpose, user, policy, solver, circuit, ask, demo, "
-            "recover, checkpoint, audit, metrics, help, quit"
+            "role, purpose, user, policy, solver, engine, circuit, ask, "
+            "demo, recover, checkpoint, audit, metrics, help, quit"
         )
 
 
@@ -545,12 +581,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     deadline_ms: float | None = None
     data_dir: str | None = None
     audit_log: str | None = None
+    engine = "auto"
     while argv and argv[0] in (
         "--trace-out",
         "--log-level",
         "--deadline-ms",
         "--data-dir",
         "--audit-log",
+        "--engine",
     ):
         flag = argv.pop(0)
         if not argv:
@@ -566,6 +604,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             data_dir = value
         elif flag == "--audit-log":
             audit_log = value
+        elif flag == "--engine":
+            from .engines import ENGINE_MODES
+
+            if value not in ENGINE_MODES:
+                print(
+                    f"error: --engine must be one of "
+                    f"{', '.join(ENGINE_MODES)}; got {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            engine = value
         elif flag == "--deadline-ms":
             try:
                 deadline_ms = float(value)
@@ -587,7 +636,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         shell = CommandShell(
-            deadline_ms=deadline_ms, data_dir=data_dir, audit_log=audit_log
+            deadline_ms=deadline_ms,
+            data_dir=data_dir,
+            audit_log=audit_log,
+            engine=engine,
         )
     except ReproError as error:  # e.g. corrupt WAL/snapshot in --data-dir
         print(f"error: {error}", file=sys.stderr)

@@ -232,6 +232,7 @@ class PCQEngine:
         fallback: "tuple[str | Solver, ...] | list[str | Solver]" = (),
         deadline_ms: float | None = None,
         audit: "AuditLog | None" = None,
+        engine: str = "auto",
     ) -> None:
         """*fallback* lists solvers tried, in order, when the primary one
         times out (``heuristic → greedy`` is the canonical chain); each
@@ -244,6 +245,10 @@ class PCQEngine:
         enforcement pass — policy triple, confidence, contributing
         lineage, verdict — plus increment write-backs and the final
         outcome (see ``docs/OBSERVABILITY.md``).
+
+        *engine* selects the execution engine for query evaluation
+        (``auto``/``native``/``columnar``, see ``docs/ENGINES.md``);
+        results are identical on every engine.
         """
         self.db = db
         self.policies = policies
@@ -257,6 +262,7 @@ class PCQEngine:
         self.delta = delta
         self.deadline_ms = deadline_ms
         self.audit = audit
+        self.engine = engine
         attempts = [self._attempt(solver)]
         attempts.extend(self._attempt(entry) for entry in fallback)
         self.chain = DegradationChain(attempts, deadline_ms=deadline_ms)
@@ -304,8 +310,10 @@ class PCQEngine:
             "pcqe.execute", user=user, purpose=request.purpose
         ) as root:
             with tracer.span("pcqe.query_evaluation") as span:
-                result = run_sql(self.db, request.sql)
+                result = run_sql(self.db, request.sql, engine=self.engine)
                 span.set_attribute("rows", len(result))
+                if result.engine is not None:
+                    span.set_attribute("engine", result.engine)
             threshold = self.policies.threshold_for(user, request.purpose)
             with tracer.span("pcqe.policy_enforcement", threshold=threshold):
                 outcome = self._evaluator.apply_threshold(
@@ -563,7 +571,7 @@ class PCQEngine:
         group_specs: list[tuple[list, int]] = []
         liftable_rows: list = []
         for request in requests:
-            result = run_sql(self.db, request.sql)
+            result = run_sql(self.db, request.sql, engine=self.engine)
             threshold = self.policies.threshold_for(user, request.purpose)
             outcome = self._evaluator.apply_threshold(result, self.db, threshold)
             evaluations.append((request, result, threshold, outcome))

@@ -1,0 +1,68 @@
+"""Pluggable execution engines over the logical relation tree.
+
+The logical plan (:mod:`repro.algebra.plan`) describes *what* to compute;
+an :class:`~repro.engines.base.Engine` decides *how*.  Two engines ship:
+
+* ``native`` — the row-at-a-time reference executor
+  (:mod:`repro.algebra.executor`), supporting every operator;
+* ``columnar`` — vectorized batch execution over per-column value lists
+  (:mod:`repro.engines.columnar`), covering the scan/filter/project/
+  join/semijoin/set-op/limit pipeline.
+
+Both produce identical rows, structurally identical lineage, and
+bit-identical confidences — engine choice is purely a performance
+decision, made per plan by :func:`~repro.engines.select.select_engine`
+(stats-driven ``auto``, or forced via ``--engine``).  Mixed trees use
+:class:`~repro.algebra.plan.Transfer` boundary nodes.  See
+``docs/ENGINES.md`` for the architecture and how to add a third engine.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from .base import Engine
+from .columnar import ColumnarEngine
+from .native import NativeEngine
+from .select import (
+    DEFAULT_AUTO_ROW_THRESHOLD,
+    ENGINE_MODES,
+    PreparedPlan,
+    select_engine,
+)
+
+__all__ = [
+    "Engine",
+    "NativeEngine",
+    "ColumnarEngine",
+    "PreparedPlan",
+    "select_engine",
+    "get_engine",
+    "engine_names",
+    "ENGINE_MODES",
+    "DEFAULT_AUTO_ROW_THRESHOLD",
+]
+
+_ENGINES: dict[str, Engine] = {}
+
+
+def _registry() -> dict[str, Engine]:
+    if not _ENGINES:
+        for engine in (NativeEngine(), ColumnarEngine()):
+            _ENGINES[engine.name] = engine
+    return _ENGINES
+
+
+def get_engine(name: str) -> Engine:
+    """The registered engine called *name* (``native``/``columnar``)."""
+    registry = _registry()
+    engine = registry.get(name)
+    if engine is None:
+        raise PlanError(
+            f"unknown engine {name!r} (registered: {sorted(registry)})"
+        )
+    return engine
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_registry()))

@@ -1,0 +1,55 @@
+"""The Engine interface: pluggable executors over one logical plan tree.
+
+An :class:`Engine` turns an immutable logical relation tree
+(:mod:`repro.algebra.plan`) into a lineage-annotated
+:class:`~repro.algebra.rows.ResultSet`.  Engines differ only in *how* rows
+are produced — the native engine walks row-at-a-time handlers, the
+columnar engine streams vectorized batches — never in *what* they produce:
+every engine must emit the same rows in the same order with structurally
+identical lineage formulas, so confidences and increment-strategy costs
+are bit-identical regardless of which engine ran the plan (enforced by
+the differential suite, see ``docs/ENGINES.md``).
+
+Mixed plans are supported through :class:`~repro.algebra.plan.Transfer`
+nodes (after lsst.daf.relation): a transfer marks the boundary where a
+subtree's rows are materialized out of one engine's representation and
+handed to another.
+"""
+
+from __future__ import annotations
+
+from ..algebra.plan import PlanNode
+from ..algebra.rows import ResultSet
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Base class for execution engines.
+
+    Subclasses set :attr:`name` (the identifier used by ``--engine``,
+    ``Transfer`` nodes, and per-engine metrics) and implement
+    :meth:`execute`.  :meth:`supports` reports per-node capability; engine
+    selection uses it to place transfer boundaries inside mixed plans.
+    """
+
+    #: Registry identifier; also the metric namespace ``executor.<name>.*``.
+    name: str = "abstract"
+
+    def execute(self, plan: PlanNode) -> ResultSet:
+        """Run *plan* and return its annotated result set."""
+        raise NotImplementedError
+
+    def supports(self, node: PlanNode) -> bool:
+        """Whether this engine can execute *node* itself (one node, not
+        its subtree)."""
+        return True
+
+    def supports_tree(self, plan: PlanNode) -> bool:
+        """Whether every node of *plan*'s tree is supported."""
+        if not self.supports(plan):
+            return False
+        return all(self.supports_tree(child) for child in plan.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,8 @@
+"""Columnar engine package: batches, kernels, and the engine driver."""
+
+from __future__ import annotations
+
+from .batch import ColumnBatch
+from .engine import COLUMNAR_NODES, ColumnarEngine
+
+__all__ = ["ColumnBatch", "ColumnarEngine", "COLUMNAR_NODES"]

@@ -1,0 +1,417 @@
+"""Vectorized operator kernels over :class:`ColumnBatch` inputs.
+
+Every kernel is a drop-in replacement for the corresponding native
+handler in :mod:`repro.algebra.executor` and must preserve its observable
+behaviour *exactly*: same output rows in the same order, lineage formulas
+built with the same connective structure in the same operand order (the
+smart constructors in :mod:`repro.lineage.formula` flatten and dedupe in
+first-seen order, so identical construction order ⇒ structurally equal
+formulas ⇒ identical circuits, confidences, and solver decisions), and
+the same errors for failing predicates.  The differential suite
+(`tests/property/test_engine_equivalence.py`) holds both engines to this
+contract.
+
+What the kernels buy over the native handlers:
+
+* predicates/projections run through the batch expression path — one
+  kernel call per column instead of one closure chain per row;
+* lineage stays deferred through scan → filter → limit chains, so ``Var``
+  objects are built only for surviving rows;
+* scans share the table's cached column view instead of materializing an
+  ``AnnotatedTuple`` per stored row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ...algebra.executor import _equi_join_columns
+from ...algebra.plan import (
+    Alias,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    SemiJoin,
+    SetOperation,
+)
+from ...errors import ExecutionError
+from ...lineage.formula import (
+    BOTTOM,
+    Lineage,
+    lineage_and,
+    lineage_not,
+    lineage_or,
+)
+from ...storage.types import REAL, DataType
+from .batch import ColumnBatch
+
+__all__ = [
+    "scan_batch",
+    "alias_batch",
+    "filter_batch",
+    "project_batch",
+    "join_batch",
+    "semi_join_batch",
+    "set_operation_batch",
+    "limit_batch",
+]
+
+_BATCH_ERRORS = (ExecutionError, TypeError, ValueError, ArithmeticError)
+
+
+# -- leaf / unary -----------------------------------------------------------
+
+
+def scan_batch(node: Scan) -> ColumnBatch:
+    """Wrap the table's cached column view; lineage stays deferred."""
+    columns, tids = node.table.column_data()
+    return ColumnBatch(node.schema, columns, tids=tids)
+
+
+def alias_batch(node: Alias, child: ColumnBatch) -> ColumnBatch:
+    return child.with_columns(node.schema, child.columns)
+
+
+def filter_batch(node: Filter, child: ColumnBatch) -> ColumnBatch:
+    predicate = node.bound_predicate
+    try:
+        flags = predicate.evaluate_batch(child.columns, child.length)
+    except _BATCH_ERRORS:
+        # Fall back to scalar evaluation so the raised error carries the
+        # exact native diagnostic (offending row values, first-row order).
+        return _filter_scalar(node, child)
+    keep = [i for i, flag in enumerate(flags) if flag is True]
+    if len(keep) == child.length:
+        return child
+    return child.gather(keep)
+
+
+def _filter_scalar(node: Filter, child: ColumnBatch) -> ColumnBatch:
+    predicate = node.bound_predicate
+    keep: list[int] = []
+    for i, values in enumerate(child.rows()):
+        try:
+            flag = predicate.evaluate(values)
+        except ExecutionError:
+            raise
+        except (TypeError, ValueError, ArithmeticError) as error:
+            raise ExecutionError(
+                f"predicate failed on row {values!r}: {error}"
+            ) from error
+        if flag is True:
+            keep.append(i)
+    return child.gather(keep)
+
+
+def project_batch(node: Project, child: ColumnBatch) -> ColumnBatch:
+    columns = [
+        item.evaluate_batch(child.columns, child.length)
+        for item in node.bound_items
+    ]
+    projected = child.with_columns(node.schema, columns)
+    if not node.distinct:
+        return projected
+    return _merge_duplicates_batch(
+        node.schema, projected.rows(), projected.lineage_column()
+    )
+
+
+def _merge_duplicates_batch(
+    schema, values: Sequence[tuple[Any, ...]], lineage: Sequence[Lineage]
+) -> ColumnBatch:
+    """Native ``_merge_duplicates``: first-seen order, OR of duplicates."""
+    groups: dict[tuple[Any, ...], list[Lineage]] = {}
+    for row_values, row_lineage in zip(values, lineage):
+        groups.setdefault(row_values, []).append(row_lineage)
+    return ColumnBatch.from_rows(
+        schema,
+        list(groups.keys()),
+        [lineage_or(*lineages) for lineages in groups.values()],
+    )
+
+
+def limit_batch(node: Limit, child: ColumnBatch) -> ColumnBatch:
+    # Limit passes the child schema through, so the slice is the result.
+    return child.slice(node.offset, node.offset + node.count)
+
+
+# -- join -------------------------------------------------------------------
+
+
+def join_batch(
+    node: Join, left: ColumnBatch, right: ColumnBatch
+) -> ColumnBatch:
+    left_rows = left.rows()
+    right_rows = right.rows()
+    if node.kind == "cross":
+        values: list[tuple[Any, ...]] = []
+        lineage: list[Lineage] = []
+        left_lin = left.lineage_column()
+        right_lin = right.lineage_column()
+        for i, left_values in enumerate(left_rows):
+            for j, right_values in enumerate(right_rows):
+                values.append(left_values + right_values)
+                lineage.append(lineage_and(left_lin[i], right_lin[j]))
+        return ColumnBatch.from_rows(node.schema, values, lineage)
+
+    condition = node.bound_condition
+    assert condition is not None
+    equi = _equi_join_columns(node)
+    values = []
+    lineage = []
+    null_padding = (None,) * len(right.schema)
+    left_lin = left.lineage_column()
+    right_lin = right.lineage_column()
+
+    if equi is not None:
+        left_index, right_index = equi
+        buckets: dict[Any, list[int]] = {}
+        for j, key in enumerate(right.columns[right_index]):
+            if key is not None:
+                buckets.setdefault(key, []).append(j)
+        for i, key in enumerate(left.columns[left_index]):
+            candidates = buckets.get(key, ()) if key is not None else ()
+            _emit_matches(
+                node,
+                left_rows[i],
+                left_lin[i],
+                candidates,
+                right_rows,
+                right_lin,
+                condition,
+                values,
+                lineage,
+                null_padding,
+                prefiltered=False,
+            )
+    else:
+        probe = _make_condition_prober(condition, right)
+        for i, left_values in enumerate(left_rows):
+            candidates = probe(left_values)
+            _emit_matches(
+                node,
+                left_values,
+                left_lin[i],
+                candidates,
+                right_rows,
+                right_lin,
+                condition,
+                values,
+                lineage,
+                null_padding,
+                prefiltered=True,
+            )
+    return ColumnBatch.from_rows(node.schema, values, lineage)
+
+
+def _make_condition_prober(
+    condition, right: ColumnBatch
+) -> Callable[[tuple[Any, ...]], list[int]]:
+    """Matching right-row indexes for one left row, via one batch eval.
+
+    The left row is broadcast as constant columns next to the right
+    batch's columns; falls back to scalar evaluation when the batch path
+    raises, so error behaviour matches the native nested loop exactly.
+    """
+    right_columns = right.columns
+    right_rows_cache: list[tuple[Any, ...]] | None = None
+    count = right.length
+
+    def probe(left_values: tuple[Any, ...]) -> list[int]:
+        nonlocal right_rows_cache
+        combined = [[value] * count for value in left_values]
+        combined.extend(right_columns)
+        try:
+            flags = condition.evaluate_batch(combined, count)
+        except _BATCH_ERRORS:
+            if right_rows_cache is None:
+                right_rows_cache = right.rows()
+            return [
+                j
+                for j, right_values in enumerate(right_rows_cache)
+                if condition.evaluate(left_values + right_values) is True
+            ]
+        return [j for j, flag in enumerate(flags) if flag is True]
+
+    return probe
+
+
+def _emit_matches(
+    node: Join,
+    left_values: tuple[Any, ...],
+    left_lineage: Lineage,
+    candidates: Sequence[int],
+    right_rows: list[tuple[Any, ...]],
+    right_lineage: list[Lineage],
+    condition,
+    values: list[tuple[Any, ...]],
+    lineage: list[Lineage],
+    null_padding: tuple[None, ...],
+    prefiltered: bool,
+) -> None:
+    """Native ``_emit_matches`` over indexes instead of AnnotatedTuples."""
+    matched: list[Lineage] = []
+    for j in candidates:
+        combined = left_values + right_rows[j]
+        if not prefiltered and condition.evaluate(combined) is not True:
+            continue
+        matched.append(right_lineage[j])
+        values.append(combined)
+        lineage.append(lineage_and(left_lineage, right_lineage[j]))
+    if node.kind == "left":
+        if not matched:
+            values.append(left_values + null_padding)
+            lineage.append(left_lineage)
+        else:
+            absent = lineage_and(
+                left_lineage, lineage_not(lineage_or(*matched))
+            )
+            if absent != BOTTOM:
+                values.append(left_values + null_padding)
+                lineage.append(absent)
+
+
+# -- semi-join --------------------------------------------------------------
+
+
+def semi_join_batch(
+    node: SemiJoin, left: ColumnBatch, right: ColumnBatch
+) -> ColumnBatch:
+    probe = node.bound_probe
+    right_lin = right.lineage_column()
+
+    matches: dict[Any, Lineage] = {}
+    subquery_has_null = False
+    for j, value in enumerate(right.columns[0]):
+        if value is None:
+            subquery_has_null = True
+            continue
+        existing = matches.get(value)
+        matches[value] = (
+            right_lin[j]
+            if existing is None
+            else lineage_or(existing, right_lin[j])
+        )
+
+    try:
+        probe_values = probe.evaluate_batch(left.columns, left.length)
+    except _BATCH_ERRORS:
+        # Scalar fallback surfaces the native error for the first row.
+        probe_values = [probe.evaluate(values) for values in left.rows()]
+
+    keep: list[int] = []
+    lineage: list[Lineage] = []
+    negated = node.negated
+    for i, value in enumerate(probe_values):
+        if value is None:
+            continue  # NULL probe: IN and NOT IN are both unknown
+        match = matches.get(value)
+        if not negated:
+            if match is None:
+                continue
+            keep.append(i)
+            lineage.append(lineage_and(left.lineage_at(i), match))
+        else:
+            if subquery_has_null:
+                continue  # NOT IN with NULLs present is never true
+            if match is None:
+                keep.append(i)
+                lineage.append(left.lineage_at(i))
+                continue
+            formula = lineage_and(left.lineage_at(i), lineage_not(match))
+            if formula != BOTTOM:
+                keep.append(i)
+                lineage.append(formula)
+    gathered = left.gather(keep)
+    return ColumnBatch(node.schema, gathered.columns, lineage=lineage)
+
+
+# -- set operations ---------------------------------------------------------
+
+
+def _widen_columns(
+    batch: ColumnBatch, types: tuple[DataType, ...]
+) -> Sequence[list]:
+    """Column-wise version of the native ``_widen`` (ints → float in REAL
+    columns; bools are untouched)."""
+    columns = []
+    for column, dtype in zip(batch.columns, types):
+        if dtype is REAL:
+            columns.append(
+                [
+                    float(value)
+                    if isinstance(value, int) and not isinstance(value, bool)
+                    else value
+                    for value in column
+                ]
+            )
+        else:
+            columns.append(column)
+    return columns
+
+
+def set_operation_batch(
+    node: SetOperation, left: ColumnBatch, right: ColumnBatch
+) -> ColumnBatch:
+    types = node.schema.types
+    left_wide = left.with_columns(node.schema, _widen_columns(left, types))
+    right_wide = right.with_columns(node.schema, _widen_columns(right, types))
+
+    if node.kind == "union_all":
+        columns = [
+            left_column + right_column
+            for left_column, right_column in zip(
+                left_wide.columns, right_wide.columns
+            )
+        ]
+        lineage = left_wide.lineage_column() + right_wide.lineage_column()
+        return ColumnBatch(node.schema, columns, lineage=lineage)
+
+    left_values = left_wide.rows()
+    right_values = right_wide.rows()
+    if node.kind == "union":
+        return _merge_duplicates_batch(
+            node.schema,
+            left_values + right_values,
+            left_wide.lineage_column() + right_wide.lineage_column(),
+        )
+
+    left_groups: dict[tuple[Any, ...], list[Lineage]] = {}
+    for row_values, row_lineage in zip(
+        left_values, left_wide.lineage_column()
+    ):
+        left_groups.setdefault(row_values, []).append(row_lineage)
+    right_groups: dict[tuple[Any, ...], list[Lineage]] = {}
+    for row_values, row_lineage in zip(
+        right_values, right_wide.lineage_column()
+    ):
+        right_groups.setdefault(row_values, []).append(row_lineage)
+
+    values: list[tuple[Any, ...]] = []
+    lineage: list[Lineage] = []
+    if node.kind == "intersect":
+        for group_values, lineages in left_groups.items():
+            if group_values in right_groups:
+                values.append(group_values)
+                lineage.append(
+                    lineage_and(
+                        lineage_or(*lineages),
+                        lineage_or(*right_groups[group_values]),
+                    )
+                )
+        return ColumnBatch.from_rows(node.schema, values, lineage)
+    # except
+    for group_values, lineages in left_groups.items():
+        present = lineage_or(*lineages)
+        if group_values in right_groups:
+            formula = lineage_and(
+                present, lineage_not(lineage_or(*right_groups[group_values]))
+            )
+        else:
+            formula = present
+        if formula != BOTTOM:
+            values.append(group_values)
+            lineage.append(formula)
+    return ColumnBatch.from_rows(node.schema, values, lineage)

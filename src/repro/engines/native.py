@@ -1,0 +1,28 @@
+"""The native engine: today's row-at-a-time executor behind the Engine API.
+
+A thin adapter — :meth:`NativeEngine.execute` *is*
+:func:`repro.algebra.executor.execute`, unchanged, so plans routed through
+the engine layer behave bit-identically to plans executed directly
+(including per-operator ``algebra.*`` spans and ``executor.*`` metrics).
+The native engine supports every plan node, which also makes it the
+driver for mixed plans: ``Transfer`` nodes inside the tree hand supported
+subtrees to other engines and materialize their rows back.
+"""
+
+from __future__ import annotations
+
+from ..algebra.executor import execute
+from ..algebra.plan import PlanNode
+from ..algebra.rows import ResultSet
+from .base import Engine
+
+__all__ = ["NativeEngine"]
+
+
+class NativeEngine(Engine):
+    """Row-at-a-time reference engine (supports all operators)."""
+
+    name = "native"
+
+    def execute(self, plan: PlanNode) -> ResultSet:
+        return execute(plan)

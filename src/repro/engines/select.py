@@ -1,0 +1,183 @@
+"""Cost/stats-driven engine selection with Transfer-boundary insertion.
+
+Given an optimized logical plan, :func:`select_engine` decides which
+engine drives it and where engine boundaries go:
+
+* ``native`` — the plan runs unchanged on the row-at-a-time engine.
+* ``columnar`` — fully supported trees run on the columnar engine
+  directly; trees containing native-only operators (Aggregate, Sort) are
+  driven natively with every *worthwhile* maximal columnar-supported
+  subtree wrapped in a :class:`~repro.algebra.plan.Transfer` node.
+* ``auto`` (default) — stats-driven: the columnar engine only pays off
+  when enough base rows flow through a subtree (batch setup and the final
+  materialization are fixed costs), so a subtree goes columnar when the
+  tables under it hold at least :data:`DEFAULT_AUTO_ROW_THRESHOLD` rows
+  (live ``len(table)``, consistent with
+  :mod:`repro.storage.statistics`).  Small plans — the paper's running
+  examples, unit-test fixtures — keep the native engine and its exact
+  operational profile.
+
+A subtree is *worthwhile* when it does real columnar work: at least one
+Filter/Project/Join/SemiJoin/SetOperation.  Wrapping a bare ``Scan`` (or
+``Scan``+``Alias``) in a transfer would only add a materialization
+round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.plan import (
+    Aggregate,
+    Alias,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    SemiJoin,
+    SetOperation,
+    Sort,
+    Transfer,
+)
+from ..errors import PlanError
+from .base import Engine
+
+__all__ = [
+    "ENGINE_MODES",
+    "DEFAULT_AUTO_ROW_THRESHOLD",
+    "PreparedPlan",
+    "select_engine",
+]
+
+#: Valid values for ``--engine`` / ``run_sql(engine=...)``.
+ENGINE_MODES = ("auto", "native", "columnar")
+
+#: Minimum base rows under a subtree before ``auto`` sends it columnar.
+DEFAULT_AUTO_ROW_THRESHOLD = 512
+
+#: Operators that make a columnar subtree worth a transfer round-trip.
+_WORTHWHILE_NODES = (Filter, Project, Join, SemiJoin, SetOperation)
+
+
+@dataclass(frozen=True)
+class PreparedPlan:
+    """An executable plan plus the engine decision that produced it."""
+
+    plan: PlanNode
+    engine: Engine
+    #: Human-readable decision: ``native``, ``columnar``, or
+    #: ``native+columnar`` for mixed trees (shown by ``explain`` and
+    #: ``profile ask``).
+    label: str
+    #: Number of Transfer boundaries inserted (0 for single-engine plans).
+    transfers: int
+
+    def execute(self):
+        """Run the prepared plan on its chosen engine."""
+        return self.engine.execute(self.plan)
+
+
+def base_row_count(plan: PlanNode) -> int:
+    """Total stored rows in the tables scanned under *plan* (live stats)."""
+    if isinstance(plan, Scan):
+        return len(plan.table)
+    return sum(base_row_count(child) for child in plan.children)
+
+
+def select_engine(
+    plan: PlanNode,
+    mode: str = "auto",
+    threshold: int = DEFAULT_AUTO_ROW_THRESHOLD,
+) -> PreparedPlan:
+    """Pick an engine for *plan* and insert Transfer boundaries as needed."""
+    if mode not in ENGINE_MODES:
+        raise PlanError(
+            f"unknown engine {mode!r} (expected one of {ENGINE_MODES})"
+        )
+    from . import get_engine
+
+    native = get_engine("native")
+    if mode == "native":
+        return PreparedPlan(plan, native, "native", 0)
+
+    columnar = get_engine("columnar")
+    # In explicit columnar mode every worthwhile subtree goes columnar
+    # regardless of size; auto applies the row threshold per subtree.
+    minimum_rows = 0 if mode == "columnar" else threshold
+
+    if columnar.supports_tree(plan) and _worthwhile(plan):
+        if base_row_count(plan) >= minimum_rows:
+            return PreparedPlan(plan, columnar, "columnar", 0)
+        return PreparedPlan(plan, native, "native", 0)
+
+    rewritten, transfers = _insert_transfers(plan, columnar, minimum_rows)
+    if transfers == 0:
+        return PreparedPlan(plan, native, "native", 0)
+    return PreparedPlan(rewritten, native, "native+columnar", transfers)
+
+
+def _worthwhile(plan: PlanNode) -> bool:
+    if isinstance(plan, _WORTHWHILE_NODES):
+        return True
+    return any(_worthwhile(child) for child in plan.children)
+
+
+def _insert_transfers(
+    node: PlanNode, columnar: Engine, minimum_rows: int
+) -> tuple[PlanNode, int]:
+    """Wrap maximal supported, worthwhile, large-enough subtrees.
+
+    Walks top-down: the first fully-supported subtree on each path gets a
+    single Transfer (maximality); unsupported nodes are rebuilt with their
+    processed children.
+    """
+    if (
+        columnar.supports_tree(node)
+        and _worthwhile(node)
+        and base_row_count(node) >= minimum_rows
+    ):
+        return Transfer(node, columnar.name), 1
+    transfers = 0
+    new_children: list[PlanNode] = []
+    changed = False
+    for child in node.children:
+        new_child, count = _insert_transfers(child, columnar, minimum_rows)
+        transfers += count
+        changed = changed or new_child is not child
+        new_children.append(new_child)
+    if not changed:
+        return node, transfers
+    return _rebuild(node, new_children), transfers
+
+
+def _rebuild(node: PlanNode, children: list[PlanNode]) -> PlanNode:
+    """Reconstruct *node* over new children (rebinds expressions against
+    the — unchanged — child schemas, like the optimizer's rebuilds)."""
+    if isinstance(node, Filter):
+        return Filter(children[0], node.predicate)
+    if isinstance(node, Project):
+        return Project(children[0], node.items, node.distinct)
+    if isinstance(node, Alias):
+        return Alias(children[0], node.name)
+    if isinstance(node, Join):
+        return Join(children[0], children[1], node.condition, node.kind)
+    if isinstance(node, SemiJoin):
+        return SemiJoin(children[0], children[1], node.probe, node.negated)
+    if isinstance(node, SetOperation):
+        return SetOperation(children[0], children[1], node.kind)
+    if isinstance(node, Aggregate):
+        return Aggregate(children[0], node.group_by, node.aggregates)
+    if isinstance(node, Sort):
+        return Sort(children[0], node.keys)
+    if isinstance(node, Limit):
+        return Limit(children[0], node.count, node.offset)
+    if isinstance(node, Transfer):
+        return Transfer(children[0], node.engine)
+    if children:  # pragma: no cover - future node types
+        raise PlanError(
+            f"cannot rebuild plan node {type(node).__name__} for engine "
+            f"selection"
+        )
+    return node

@@ -297,6 +297,50 @@ class CircuitPool:
                 adjoint[low] += seed * (1.0 - values[p_node])
         return gradient
 
+    # -- batch evaluation ----------------------------------------------------
+
+    def merged_order(
+        self, circuits: Sequence["CompiledCircuit"]
+    ) -> tuple[int, ...]:
+        """Topological order of the union of the circuits' cones.
+
+        Node indexes are created children-first, so ascending index order
+        is a valid topological order of any node subset; callers can cache
+        the result and hand it back to :meth:`evaluate_many` for repeated
+        batch sweeps over the same result set.
+        """
+        union: set[int] = set()
+        for circuit in circuits:
+            if circuit.pool is not self:
+                raise LineageError(
+                    "all circuits of one batch must share the pool"
+                )
+            union.update(circuit.order)
+        return tuple(sorted(union))
+
+    def evaluate_many(
+        self,
+        circuits: Sequence["CompiledCircuit"],
+        assignment: ProbabilityMap,
+        order: Sequence[int] | None = None,
+    ) -> list[float]:
+        """``P(F)`` for every circuit in one forward sweep.
+
+        The whole result batch is computed over the pool's contiguous node
+        arrays at once: shared subcircuits are evaluated a single time
+        instead of once per root, and the per-call buffer setup is paid
+        once per batch instead of once per tuple.  Each per-node operation
+        is identical to :meth:`CompiledCircuit.evaluate`, so the returned
+        confidences are bit-identical to the per-circuit path.
+        """
+        if not circuits:
+            return []
+        if order is None:
+            order = self.merged_order(circuits)
+        values = self._values_buffer()
+        self._forward(order, values, assignment)
+        return [_clamp(values[circuit.root]) for circuit in circuits]
+
     def stats(self) -> dict[str, float]:
         """Sharing statistics for observability spans and the CLI."""
         return {

@@ -12,7 +12,6 @@ High-level helpers:
 
 from __future__ import annotations
 
-from ..algebra.executor import execute
 from ..algebra.optimizer import optimize
 from ..algebra.plan import PlanNode
 from ..algebra.rows import ResultSet
@@ -32,7 +31,7 @@ from .ast import (
 from .dml import DmlResult, execute_dml
 from .lexer import Token, TokenType, tokenize
 from .parser import parse, parse_command
-from .planner import plan_statement
+from .planner import pick_engine, plan_statement
 
 __all__ = [
     "tokenize",
@@ -42,6 +41,7 @@ __all__ = [
     "parse_command",
     "parse_sql",
     "plan_statement",
+    "pick_engine",
     "plan_sql",
     "run_sql",
     "execute_sql",
@@ -71,13 +71,34 @@ def plan_sql(db: Database, sql: str, optimized: bool = True) -> PlanNode:
     return optimize(plan) if optimized else plan
 
 
-def run_sql(db: Database, sql: str, optimized: bool = True) -> ResultSet:
-    """Parse, plan, and execute SQL text against *db*."""
-    return execute(plan_sql(db, sql, optimized))
+def run_sql(
+    db: Database,
+    sql: str,
+    optimized: bool = True,
+    engine: str = "auto",
+) -> ResultSet:
+    """Parse, plan, and execute SQL text against *db*.
+
+    *engine* picks the execution engine: ``"native"``, ``"columnar"``, or
+    ``"auto"`` (stats-driven; small inputs stay native).  Results are
+    identical either way — the chosen engine is recorded on
+    ``result.engine``.
+    """
+    return _run_plan(plan_sql(db, sql, optimized), engine)
+
+
+def _run_plan(plan: PlanNode, engine: str) -> ResultSet:
+    from ..obs import get_metrics
+
+    prepared = pick_engine(plan, engine)
+    get_metrics().counter(f"engine.selected.{prepared.label}").inc()
+    result = prepared.execute()
+    result.engine = prepared.label
+    return result
 
 
 def execute_sql(
-    db: Database, sql: str, optimized: bool = True
+    db: Database, sql: str, optimized: bool = True, engine: str = "auto"
 ) -> "ResultSet | DmlResult":
     """Run any supported SQL command: queries return a
     :class:`~repro.algebra.ResultSet`, DML/DDL a :class:`DmlResult`."""
@@ -88,5 +109,5 @@ def execute_sql(
         plan = plan_statement(db, command)
         if optimized:
             plan = optimize(plan)
-        return execute(plan)
+        return _run_plan(plan, engine)
     return execute_dml(db, command)

@@ -47,6 +47,17 @@ class Table:
         self._indexes: dict[int, HashIndex] = {}
         #: Durability hook (``Callable[[dict], None]``); None = in-memory.
         self._journal = None
+        # Materialized read views, built lazily on first scan and reused
+        # until the next mutation: repeated scans (the increment loop, the
+        # columnar engine) stop re-sorting and re-copying storage.
+        self._scan_cache: list[StoredTuple] | None = None
+        self._column_cache: (
+            tuple[tuple[list[Any], ...], list[TupleId]] | None
+        ) = None
+        #: Monotonic mutation counter; bumps whenever cached views would
+        #: go stale, so engines can key derived caches off ``(table,
+        #: data_version)`` without holding row references.
+        self.data_version = 0
 
     # -- metadata --------------------------------------------------------
 
@@ -61,6 +72,19 @@ class Table:
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    # -- cache maintenance ----------------------------------------------
+
+    def _invalidate_caches(self) -> None:
+        """Drop materialized read views after any mutation.
+
+        Confidence-only updates do not change values or ordering, but they
+        still bump :attr:`data_version` so engine-side caches keyed on it
+        (e.g. per-table lineage columns) cannot serve stale annotations.
+        """
+        self._scan_cache = None
+        self._column_cache = None
+        self.data_version += 1
 
     # -- mutation --------------------------------------------------------
 
@@ -101,6 +125,7 @@ class Table:
         self._rows[tid.ordinal] = row
         for column_index, index in self._indexes.items():
             index.add(coerced[column_index], tid)
+        self._invalidate_caches()
         if self._journal is not None:
             self._journal(
                 {
@@ -132,6 +157,7 @@ class Table:
         del self._rows[tid.ordinal]
         for column_index, index in self._indexes.items():
             index.remove(row.values[column_index], tid)
+        self._invalidate_caches()
         if self._journal is not None:
             self._journal(
                 {"op": "delete", "table": self._name, "ordinal": tid.ordinal}
@@ -141,6 +167,7 @@ class Table:
         """Overwrite the stored confidence of tuple *tid*."""
         row = self._lookup(tid)
         row.set_confidence(confidence)
+        self._invalidate_caches()
         if self._journal is not None:
             self._journal(
                 {
@@ -176,6 +203,7 @@ class Table:
             index.remove(row.values[column_index], tid)
             index.add(coerced[column_index], tid)
         row.values = coerced
+        self._invalidate_caches()
         if self._journal is not None:
             self._journal(
                 {
@@ -197,15 +225,52 @@ class Table:
         return self._lookup(tid).confidence
 
     def scan(self) -> Iterator[StoredTuple]:
-        """Iterate all tuples in insertion order."""
-        return iter(sorted(self._rows.values(), key=lambda row: row.tid.ordinal))
+        """Iterate all tuples in insertion order.
+
+        The sorted view is cached until the next mutation, so repeated
+        scans (increment-loop re-execution, differential runs, engine
+        warm-up) cost one pointer-list iteration instead of a fresh sort
+        and copy of storage.
+        """
+        return iter(self._sorted_rows())
 
     def __iter__(self) -> Iterator[StoredTuple]:
         return self.scan()
 
     def rows(self) -> list[tuple[Any, ...]]:
         """All value tuples, in insertion order (convenience for tests)."""
-        return [row.values for row in self.scan()]
+        return [row.values for row in self._sorted_rows()]
+
+    def _sorted_rows(self) -> list[StoredTuple]:
+        cache = self._scan_cache
+        if cache is None:
+            cache = sorted(
+                self._rows.values(), key=lambda row: row.tid.ordinal
+            )
+            self._scan_cache = cache
+        return cache
+
+    def column_data(self) -> tuple[tuple[list[Any], ...], list[TupleId]]:
+        """Columnar view: one list per schema column, plus the tid column.
+
+        Built once per table version and shared with callers — the
+        returned lists are **read-only by contract**; engines must gather
+        into fresh lists before mutating.  This is the scan source for the
+        columnar engine (see ``docs/ENGINES.md``).
+        """
+        cache = self._column_cache
+        if cache is None:
+            stored = self._sorted_rows()
+            tids = [row.tid for row in stored]
+            if stored:
+                columns = tuple(
+                    list(column) for column in zip(*[row.values for row in stored])
+                )
+            else:
+                columns = tuple([] for _ in self._schema)
+            cache = (columns, tids)
+            self._column_cache = cache
+        return cache
 
     # -- indexing --------------------------------------------------------
 
@@ -271,6 +336,7 @@ class Table:
         self._next_ordinal = max(self._next_ordinal, copy.tid.ordinal + 1)
         for column_index, index in self._indexes.items():
             index.add(copy.values[column_index], copy.tid)
+        self._invalidate_caches()
 
     # -- bulk helpers ----------------------------------------------------
 
@@ -284,6 +350,7 @@ class Table:
         """
         for row in self._rows.values():
             row.set_confidence(assigner(row))
+        self._invalidate_caches()
         if self._journal is not None:
             self._journal(
                 {

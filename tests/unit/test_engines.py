@@ -1,0 +1,375 @@
+"""Engine registry, Transfer boundaries, selection policy, and columnar
+kernel edge cases — all differentially checked against the native engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import col, lit
+from repro.algebra.executor import execute
+from repro.algebra.expressions import Comparison
+from repro.algebra.plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    ProjectItem,
+    Scan,
+    SemiJoin,
+    SetOperation,
+    Sort,
+    SortKey,
+    Transfer,
+)
+from repro.engines import (
+    DEFAULT_AUTO_ROW_THRESHOLD,
+    ColumnarEngine,
+    NativeEngine,
+    engine_names,
+    get_engine,
+    select_engine,
+)
+from repro.errors import ExecutionError, PlanError
+from repro.lineage.circuit import CircuitPool
+from repro.lineage.formula import lineage_and, lineage_or, lineage_not, var
+from repro.sql import plan_sql, run_sql
+from repro.storage import Database, INTEGER, REAL, Schema, TEXT
+
+
+def assert_equivalent(db, sql):
+    """Both engines produce identical rows, lineage, and confidences."""
+    native = run_sql(db, sql, engine="native")
+    columnar = run_sql(db, sql, engine="columnar")
+    assert [row.values for row in native.rows] == [
+        row.values for row in columnar.rows
+    ]
+    assert [row.lineage for row in native.rows] == [
+        row.lineage for row in columnar.rows
+    ]
+    assert native.confidences(db) == columnar.confidences(db)
+    return native, columnar
+
+
+@pytest.fixture
+def db(proposal_db):
+    return proposal_db
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_engine_names():
+    assert engine_names() == ("columnar", "native")
+
+
+def test_get_engine_roundtrip():
+    assert isinstance(get_engine("native"), NativeEngine)
+    assert isinstance(get_engine("columnar"), ColumnarEngine)
+
+
+def test_get_engine_unknown():
+    with pytest.raises(PlanError, match="unknown engine 'turbo'"):
+        get_engine("turbo")
+
+
+# -- Transfer plan node -----------------------------------------------------
+
+
+def test_transfer_passes_schema_through(db):
+    scan = Scan(db.table("Proposal"))
+    transfer = Transfer(scan, "columnar")
+    assert transfer.schema is scan.schema
+    assert transfer.children == (scan,)
+    assert "Transfer[columnar]" in transfer.explain()
+
+
+def test_transfer_requires_engine_name(db):
+    with pytest.raises(PlanError):
+        Transfer(Scan(db.table("Proposal")), "")
+
+
+def test_native_executor_runs_transfer_nodes(db):
+    """The native executor delegates Transfer subtrees to the named engine."""
+    plan = Transfer(
+        Filter(
+            Scan(db.table("Proposal")),
+            Comparison("<", col("Funding"), lit(1.0)),
+        ),
+        "columnar",
+    )
+    result = execute(plan)
+    baseline = execute(plan.child)
+    assert [row.values for row in result.rows] == [
+        row.values for row in baseline.rows
+    ]
+    assert [row.lineage for row in result.rows] == [
+        row.lineage for row in baseline.rows
+    ]
+
+
+# -- engine selection -------------------------------------------------------
+
+
+def test_select_engine_rejects_unknown_mode(db):
+    with pytest.raises(PlanError, match="unknown engine 'vector'"):
+        select_engine(Scan(db.table("Proposal")), "vector")
+
+
+def test_native_mode_never_rewrites(db):
+    plan = plan_sql(db, "SELECT Company FROM Proposal WHERE Funding < 1.0")
+    prepared = select_engine(plan, "native")
+    assert prepared.label == "native"
+    assert prepared.plan is plan
+    assert prepared.transfers == 0
+
+
+def test_columnar_mode_takes_supported_tree_whole(db):
+    plan = plan_sql(db, "SELECT Company FROM Proposal WHERE Funding < 1.0")
+    prepared = select_engine(plan, "columnar")
+    assert prepared.label == "columnar"
+    assert prepared.plan is plan
+    assert prepared.transfers == 0
+
+
+def test_auto_keeps_small_inputs_native(db):
+    plan = plan_sql(db, "SELECT Company FROM Proposal WHERE Funding < 1.0")
+    prepared = select_engine(plan, "auto")
+    assert prepared.label == "native"
+
+
+def test_auto_goes_columnar_past_row_threshold():
+    db = Database("big")
+    table = db.create_table("big", Schema.of(("n", INTEGER)))
+    for n in range(DEFAULT_AUTO_ROW_THRESHOLD):
+        table.insert([n], confidence=0.5)
+    plan = plan_sql(db, "SELECT n FROM big WHERE n < 10")
+    prepared = select_engine(plan, "auto")
+    assert prepared.label == "columnar"
+
+
+def test_bare_scan_is_not_worthwhile(db):
+    prepared = select_engine(Scan(db.table("Proposal")), "columnar")
+    assert prepared.label == "native"
+    assert prepared.transfers == 0
+
+
+def test_mixed_tree_gets_transfer_boundaries(db):
+    plan = plan_sql(
+        db,
+        "SELECT Company FROM Proposal WHERE Funding < 1.0 ORDER BY Company",
+    )
+    assert isinstance(plan, Sort)
+    prepared = select_engine(plan, "columnar")
+    assert prepared.label == "native+columnar"
+    assert prepared.transfers == 1
+    assert isinstance(prepared.plan, Sort)
+    assert isinstance(prepared.plan.children[0], Transfer)
+
+
+def test_aggregate_over_bare_scan_stays_native(db):
+    plan = plan_sql(db, "SELECT COUNT(*) FROM Proposal")
+    prepared = select_engine(plan, "columnar")
+    assert prepared.label == "native"
+    assert prepared.plan is plan
+
+
+def test_columnar_engine_rejects_unsupported_nodes(db):
+    aggregate = plan_sql(db, "SELECT COUNT(*) FROM Proposal")
+    while not isinstance(aggregate, Aggregate):
+        aggregate = aggregate.children[0]
+    with pytest.raises(PlanError, match="does not support Aggregate"):
+        ColumnarEngine().execute(aggregate)
+
+
+def test_prepared_mixed_plan_is_equivalent(db):
+    sql = "SELECT Company FROM Proposal WHERE Funding < 1.0 ORDER BY Company"
+    native = run_sql(db, sql, engine="native")
+    mixed = run_sql(db, sql, engine="columnar")
+    assert native.engine == "native"
+    assert mixed.engine == "native+columnar"
+    assert [row.values for row in native.rows] == [
+        row.values for row in mixed.rows
+    ]
+    assert [row.lineage for row in native.rows] == [
+        row.lineage for row in mixed.rows
+    ]
+    assert native.confidences(db) == mixed.confidences(db)
+
+
+# -- kernel edge cases (differential vs native) -----------------------------
+
+
+def test_distinct_merges_duplicates_with_or_lineage(db):
+    native, columnar = assert_equivalent(
+        db, "SELECT DISTINCT Company FROM Proposal"
+    )
+    duplicated = [
+        row for row in columnar.rows if row.values == ("B",)
+    ]
+    assert len(duplicated) == 1
+    b_tids = [
+        stored.tid
+        for stored in db.table("Proposal").scan()
+        if stored.values[0] == "B"
+    ]
+    assert len(b_tids) == 2
+    assert duplicated[0].lineage == lineage_or(*(var(tid) for tid in b_tids))
+
+
+def test_inner_equi_join(db):
+    assert_equivalent(
+        db,
+        "SELECT p.Company, c.Income FROM Proposal AS p "
+        "JOIN CompanyInfo AS c ON p.Company = c.Company",
+    )
+
+
+def test_left_join_null_padding(db):
+    native, columnar = assert_equivalent(
+        db,
+        "SELECT p.Company, c.Income FROM Proposal AS p "
+        "LEFT JOIN CompanyInfo AS c ON p.Company = c.Company",
+    )
+    unmatched = [row for row in columnar.rows if row.values[1] is None]
+    assert unmatched, "expected at least one unmatched left row"
+
+
+def test_non_equi_join(db):
+    assert_equivalent(
+        db,
+        "SELECT p.Company, c.Company FROM Proposal AS p "
+        "JOIN CompanyInfo AS c ON p.Funding < c.Income",
+    )
+
+
+def test_semi_join_in_subquery(db):
+    assert_equivalent(
+        db,
+        "SELECT Company FROM Proposal WHERE Company IN "
+        "(SELECT Company FROM CompanyInfo)",
+    )
+
+
+def test_semi_join_not_in_subquery(db):
+    assert_equivalent(
+        db,
+        "SELECT Company FROM Proposal WHERE Company NOT IN "
+        "(SELECT Company FROM CompanyInfo)",
+    )
+
+
+def test_union_deduplicates(db):
+    assert_equivalent(
+        db,
+        "SELECT Company FROM Proposal UNION "
+        "SELECT Company FROM CompanyInfo",
+    )
+
+
+def test_union_all_keeps_duplicates(db):
+    assert_equivalent(
+        db,
+        "SELECT Company FROM Proposal UNION ALL "
+        "SELECT Company FROM CompanyInfo",
+    )
+
+
+def test_intersect(db):
+    assert_equivalent(
+        db,
+        "SELECT Company FROM Proposal INTERSECT "
+        "SELECT Company FROM CompanyInfo",
+    )
+
+
+def test_except(db):
+    assert_equivalent(
+        db,
+        "SELECT Company FROM Proposal EXCEPT "
+        "SELECT Company FROM CompanyInfo",
+    )
+
+
+def test_limit_and_offset(db):
+    assert_equivalent(db, "SELECT Company FROM Proposal LIMIT 2 OFFSET 1")
+
+
+def test_projection_expressions(db):
+    assert_equivalent(
+        db,
+        "SELECT Company, Funding * 2 + 1, Funding / 2 FROM Proposal",
+    )
+
+
+def test_filter_error_matches_native():
+    db = Database("err")
+    t = db.create_table("t", Schema.of(("x", INTEGER)))
+    for x in (2, 0, 5):
+        t.insert([x], confidence=0.5)
+    sql = "SELECT x FROM t WHERE 10 / x > 1"
+    with pytest.raises(ExecutionError) as native_error:
+        run_sql(db, sql, engine="native")
+    with pytest.raises(ExecutionError) as columnar_error:
+        run_sql(db, sql, engine="columnar")
+    assert str(native_error.value) == str(columnar_error.value)
+
+
+def test_guarded_filter_short_circuits_on_both_engines():
+    db = Database("guard")
+    t = db.create_table("t", Schema.of(("x", INTEGER)))
+    for x in (2, 0, 5):
+        t.insert([x], confidence=0.5)
+    sql = "SELECT x FROM t WHERE x <> 0 AND 10 / x > 1"
+    native = run_sql(db, sql, engine="native")
+    columnar = run_sql(db, sql, engine="columnar")
+    assert [row.values for row in native.rows] == [
+        row.values for row in columnar.rows
+    ] == [(2,), (5,)]
+
+
+# -- batch confidence evaluation --------------------------------------------
+
+
+def test_evaluate_many_matches_per_circuit_evaluation():
+    pool = CircuitPool()
+    formulas = [
+        var(("t", 1)),
+        lineage_and(var(("t", 1)), var(("t", 2))),
+        lineage_or(var(("t", 2)), lineage_not(var(("t", 3)))),
+        lineage_and(
+            lineage_or(var(("t", 1)), var(("t", 4))),
+            lineage_not(var(("t", 2))),
+        ),
+    ]
+    circuits = [pool.compile(formula) for formula in formulas]
+    assignment = {("t", 1): 0.2, ("t", 2): 0.5, ("t", 3): 0.7, ("t", 4): 0.9}
+    batch = pool.evaluate_many(circuits, assignment)
+    assert batch == [circuit.evaluate(assignment) for circuit in circuits]
+
+
+def test_evaluate_many_empty():
+    pool = CircuitPool()
+    assert pool.evaluate_many([], {}) == []
+
+
+def test_merged_order_rejects_foreign_circuits():
+    from repro.errors import LineageError
+
+    pool_a, pool_b = CircuitPool(), CircuitPool()
+    circuit_a = pool_a.compile(var(("t", 1)))
+    circuit_b = pool_b.compile(var(("t", 1)))
+    with pytest.raises(LineageError):
+        pool_a.merged_order([circuit_a, circuit_b])
+
+
+def test_result_set_confidences_use_batch_path(db):
+    result = run_sql(db, "SELECT Company FROM Proposal", engine="columnar")
+    assignment = {
+        stored.tid: stored.confidence
+        for stored in db.table("Proposal").scan()
+    }
+    assert result.confidences(db) == [
+        row.confidence(assignment) for row in result.rows
+    ]

@@ -1,0 +1,104 @@
+"""Table scan/row/column caches: reuse across reads, invalidation on writes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import Database, INTEGER, REAL, Schema, TEXT
+
+
+@pytest.fixture
+def table():
+    db = Database("cache-test")
+    t = db.create_table(
+        "t", Schema.of(("name", TEXT), ("score", INTEGER))
+    )
+    t.insert(["a", 1], confidence=0.5)
+    t.insert(["b", 2], confidence=0.6)
+    t.insert(["c", 3], confidence=0.7)
+    return t
+
+
+def test_rows_are_stable_across_calls(table):
+    assert table.rows() == [("a", 1), ("b", 2), ("c", 3)]
+    assert table.rows() == table.rows()
+
+
+def test_scan_reuses_cached_list(table):
+    first = list(table.scan())
+    second = list(table.scan())
+    # Same StoredTuple objects, same order: the sorted list is cached.
+    assert [id(row) for row in first] == [id(row) for row in second]
+
+
+def test_column_data_is_cached(table):
+    columns_a, tids_a = table.column_data()
+    columns_b, tids_b = table.column_data()
+    assert columns_a is columns_b
+    assert tids_a is tids_b
+    assert list(columns_a[0]) == ["a", "b", "c"]
+    assert list(columns_a[1]) == [1, 2, 3]
+    assert len(tids_a) == 3
+
+
+def test_column_data_empty_table():
+    db = Database("cache-test")
+    t = db.create_table("empty", Schema.of(("x", REAL)))
+    columns, tids = t.column_data()
+    assert columns == ([],)
+    assert tids == []
+
+
+def test_insert_invalidates_caches(table):
+    before = table.column_data()
+    version = table.data_version
+    table.insert(["d", 4], confidence=0.8)
+    assert table.data_version > version
+    after = table.column_data()
+    assert after is not before and after[0] is not before[0]
+    assert list(after[0][0]) == ["a", "b", "c", "d"]
+    assert table.rows()[-1] == ("d", 4)
+
+
+def test_delete_invalidates_caches(table):
+    tid = next(iter(table.scan())).tid
+    version = table.data_version
+    table.column_data()
+    table.delete(tid)
+    assert table.data_version > version
+    assert table.rows() == [("b", 2), ("c", 3)]
+    assert list(table.column_data()[0][0]) == ["b", "c"]
+
+
+def test_update_invalidates_caches(table):
+    tid = next(iter(table.scan())).tid
+    table.rows()
+    version = table.data_version
+    table.update(tid, ["a2", 10])
+    assert table.data_version > version
+    assert table.rows()[0] == ("a2", 10)
+
+
+def test_set_confidence_invalidates_caches(table):
+    tid = next(iter(table.scan())).tid
+    table.column_data()
+    version = table.data_version
+    table.set_confidence(tid, 0.95)
+    assert table.data_version > version
+    refreshed = {row.tid: row.confidence for row in table.scan()}
+    assert refreshed[tid] == 0.95
+
+
+def test_cached_columns_are_not_mutated_by_queries():
+    """Engines must treat shared column lists as read-only."""
+    from repro.sql import run_sql
+
+    db = Database("cache-test")
+    t = db.create_table("t", Schema.of(("name", TEXT), ("score", INTEGER)))
+    for name, score in [("a", 1), ("b", 2), ("c", 3)]:
+        t.insert([name, score], confidence=0.5)
+    columns, _tids = t.column_data()
+    snapshot = [list(column) for column in columns]
+    run_sql(db, "SELECT name FROM t WHERE score > 1", engine="columnar")
+    assert [list(column) for column in t.column_data()[0]] == snapshot
+    assert t.column_data()[0] is columns
