@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Serving smoke: concurrent sessions, snapshot isolation, ask latency.
+
+CI's ``serve-smoke`` job runs this end-to-end check of the PR's session
+server — the MVCC + session + socket stack in ``repro.server``:
+
+1. **Differential isolation** — at least ``--sessions`` (default 8)
+   concurrent wire clients each pin a snapshot, then issue ``ask``s
+   *while* a writer connection commits DML and an improvement ask
+   commits confidence write-backs.  Afterwards every client re-runs the
+   identical ask serially on its still-pinned session; the released
+   rows, confidence floats, and pinned ``seq`` must be bit-identical to
+   what it computed mid-storm.  A single torn read or leaked write-back
+   fails the run.
+2. **Visibility** — after ``refresh`` every client must see the writer's
+   committed rows, and the improvement write-back must be visible at the
+   new seq.
+3. **Latency** — ``--asks`` asks spread across the same concurrent
+   sessions; reports client-side p50/p99 and throughput, plus the
+   server-side ``server.request.latency_seconds`` histogram and the
+   admission/queue counters from the metrics op.
+
+Exit code 0 only if every check passes.  ``--json`` writes a harness-
+compatible results file (panel ``serve``) for ``trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_common import SCHEMA_VERSION, environment_info, record, SERIES
+
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.server import PCQEServer, ServerClient
+from repro.workload import venture_capital_database
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _connect(server: PCQEServer, user: str = "bob") -> ServerClient:
+    return ServerClient(
+        server.host, server.port, user=user, purpose="investment"
+    )
+
+
+def check_differential_isolation(
+    server: PCQEServer, query: str, sessions: int
+) -> tuple[int, int]:
+    """Concurrent asks vs serial replay on the same pinned snapshots."""
+    clients = [_connect(server) for _ in range(sessions)]
+    concurrent: dict[int, dict] = {}
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def storm_writer() -> None:
+        with _connect(server, user="alice") as writer:
+            i = 0
+            while not stop.is_set():
+                writer.sql(
+                    f"INSERT INTO Proposal VALUES "
+                    f"('Storm{i}', 'P{i}', 0.{(i % 9) + 1})"
+                )
+                i += 1
+
+    def ask(index: int, client: ServerClient) -> None:
+        try:
+            # fraction 0.0 keeps the ask a pure read: the pin cannot move.
+            concurrent[index] = client.ask(query, fraction=0.0)
+        except BaseException as error:  # pragma: no cover - reporting
+            errors.append(error)
+
+    writer_thread = threading.Thread(target=storm_writer)
+    writer_thread.start()
+    try:
+        askers = [
+            threading.Thread(target=ask, args=(i, c))
+            for i, c in enumerate(clients)
+        ]
+        for thread in askers:
+            thread.start()
+        for thread in askers:
+            thread.join()
+    finally:
+        stop.set()
+        writer_thread.join()
+    if errors:
+        raise SystemExit(f"FAIL: concurrent ask raised: {errors[0]!r}")
+    if len(concurrent) != sessions:
+        raise SystemExit(
+            f"FAIL: {len(concurrent)}/{sessions} concurrent asks completed"
+        )
+
+    # One improvement ask commits confidence write-backs mid-experiment:
+    # pinned snapshots must not see them either.
+    with _connect(server) as improver:
+        improved = improver.ask(query, fraction=1.0)
+        if improved["status"] not in ("improved", "satisfied"):
+            raise SystemExit(
+                f"FAIL: improvement ask came back {improved['status']!r}"
+            )
+
+    mismatches = 0
+    for index, client in enumerate(clients):
+        before = concurrent[index]
+        replay = client.ask(query, fraction=0.0)
+        for key in ("rows", "confidences", "seq", "released", "threshold"):
+            if replay[key] != before[key]:
+                mismatches += 1
+                print(
+                    f"FAIL: session {index} {key} drifted: "
+                    f"{before[key]!r} -> {replay[key]!r}",
+                    file=sys.stderr,
+                )
+                break
+
+    # Visibility: refresh must surface the storm rows and the write-back.
+    stale = 0
+    for index, client in enumerate(clients):
+        pinned = client.seq
+        if client.refresh() <= pinned:
+            stale += 1
+        after = client.sql("SELECT * FROM Proposal")
+        if after["count"] <= 6:  # the scenario seeds 6 proposals
+            stale += 1
+    for client in clients:
+        client.close()
+    if mismatches:
+        raise SystemExit(
+            f"FAIL: {mismatches}/{sessions} sessions were not bit-identical"
+        )
+    if stale:
+        raise SystemExit(f"FAIL: {stale} refresh(es) saw no new data")
+    return sessions, len(concurrent[0]["rows"])
+
+
+def measure_latency(
+    server: PCQEServer, query: str, sessions: int, asks: int
+) -> dict:
+    """Client-side latency over *asks* asks spread across *sessions*."""
+    clients = [_connect(server) for _ in range(sessions)]
+    per_client = max(1, asks // sessions)
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def drive(client: ServerClient) -> None:
+        try:
+            samples = []
+            for _ in range(per_client):
+                started = time.perf_counter()
+                client.ask(query, fraction=0.0, deadline_ms=60_000)
+                samples.append(time.perf_counter() - started)
+            with latency_lock:
+                latencies.extend(samples)
+        except BaseException as error:  # pragma: no cover - reporting
+            errors.append(error)
+
+    started = time.perf_counter()
+    drivers = [threading.Thread(target=drive, args=(c,)) for c in clients]
+    for thread in drivers:
+        thread.start()
+    for thread in drivers:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    for client in clients:
+        client.close()
+    if errors:
+        raise SystemExit(f"FAIL: latency drive raised: {errors[0]!r}")
+    total = len(latencies)
+    if total < sessions * per_client:
+        raise SystemExit(
+            f"FAIL: only {total}/{sessions * per_client} asks completed"
+        )
+    return {
+        "asks": total,
+        "throughput_per_s": total / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": 1e3 * _percentile(latencies, 0.50),
+        "p99_ms": 1e3 * _percentile(latencies, 0.99),
+        "max_ms": 1e3 * max(latencies),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="concurrent client sessions (default: 8)",
+    )
+    parser.add_argument(
+        "--asks",
+        type=int,
+        default=64,
+        help="total asks in the latency phase (default: 64)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write trajectory-compatible results"
+    )
+    args = parser.parse_args(argv)
+    if args.sessions < 8:
+        raise SystemExit("FAIL: the isolation check needs >= 8 sessions")
+
+    started = time.perf_counter()
+    scenario = venture_capital_database()
+    # Isolated registry so the report sees exactly this run's metrics.
+    previous = get_metrics()
+    set_metrics(MetricsRegistry())
+    server = PCQEServer(scenario.db, scenario.policies, port=0).start()
+    try:
+        sessions, released = check_differential_isolation(
+            server, scenario.QUERY, args.sessions
+        )
+        print(
+            f"isolation: {sessions} concurrent sessions bit-identical to "
+            f"serial replay ({released} released rows each)"
+        )
+
+        stats = measure_latency(
+            server, scenario.QUERY, args.sessions, args.asks
+        )
+        print(
+            f"latency: {stats['asks']} asks across {args.sessions} sessions, "
+            f"p50={stats['p50_ms']:.1f}ms p99={stats['p99_ms']:.1f}ms, "
+            f"{stats['throughput_per_s']:.0f} asks/s"
+        )
+
+        snapshot = get_metrics().snapshot()
+        requests = snapshot.get("server.requests", 0)
+        rejected = snapshot.get("server.rejected", 0)
+        if requests < args.asks:
+            raise SystemExit(
+                f"FAIL: server counted {requests} requests, expected "
+                f">= {args.asks}"
+            )
+        print(
+            f"metrics: server.requests={requests} "
+            f"server.rejected={rejected}"
+        )
+
+        record(
+            "serve (session server smoke)",
+            sessions=sessions,
+            released_rows=released,
+            asks=stats["asks"],
+            throughput_per_s=stats["throughput_per_s"],
+            p50_ms=stats["p50_ms"],
+            p99_ms=stats["p99_ms"],
+            server_requests=requests,
+            server_rejected=rejected,
+        )
+        if args.json:
+            payload = {
+                "schema_version": SCHEMA_VERSION,
+                "environment": environment_info(),
+                "panel_seconds": {"serve": time.perf_counter() - started},
+                "series": dict(SERIES),
+                "metrics": snapshot,
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+    finally:
+        server.stop()
+        set_metrics(previous)
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

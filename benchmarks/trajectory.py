@@ -102,6 +102,7 @@ _PANEL_FIGURES: dict[str, tuple[str, ...]] = {
     "ablations": ("ablation",),
     "obs": ("obs",),
     "exec": ("exec",),
+    "serve": ("serve",),
 }
 
 

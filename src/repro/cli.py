@@ -148,8 +148,11 @@ class CommandShell:
             "checkpoint": self._cmd_checkpoint,
             "audit": self._cmd_audit,
             "metrics": self._cmd_metrics,
+            "serve": self._cmd_serve,
+            "connect": self._cmd_connect,
             "help": self._cmd_help,
         }
+        self.pcqe_server = None
 
     def close(self) -> None:
         """Flush and detach the durable database, audit log, and server."""
@@ -159,6 +162,9 @@ class CommandShell:
         if self.metrics_server is not None:
             self.metrics_server.stop()
             self.metrics_server = None
+        if self.pcqe_server is not None:
+            self.pcqe_server.stop()
+            self.pcqe_server = None
 
     # -- dispatch -----------------------------------------------------------
 
@@ -565,11 +571,96 @@ class CommandShell:
             return f"stopped metrics server at {url}"
         raise CommandError(usage)
 
+    # -- serving ---------------------------------------------------------------
+
+    def _cmd_serve(self, rest: str) -> str:
+        """``serve [port]`` / ``serve stop`` — the multi-session PCQE server.
+
+        Serves this shell's database and policy store over the socket
+        protocol (see ``docs/SERVING.md``).  Once serving, route writes
+        through connected sessions — direct shell DML would bypass the
+        server's MVCC commit lock.
+        """
+        usage = "usage: serve [port] | serve stop"
+        parts = shlex.split(rest)
+        if parts and parts[0] == "stop":
+            if self.pcqe_server is None:
+                raise CommandError("no PCQE server running")
+            address = self.pcqe_server.address
+            self.pcqe_server.stop()
+            self.pcqe_server = None
+            return f"stopped PCQE server at {address}"
+        if self.pcqe_server is not None:
+            raise CommandError(
+                f"PCQE server already running at {self.pcqe_server.address}"
+            )
+        try:
+            port = int(parts[0]) if parts else 0
+        except ValueError:
+            raise CommandError(usage) from None
+        from .server import PCQEServer
+
+        self.pcqe_server = PCQEServer(
+            self.db,
+            self.policies,
+            port=port,
+            solver=self.solver,
+            engine=self.engine,
+        ).start()
+        return (
+            f"serving PCQE sessions at {self.pcqe_server.address} "
+            f"(try: connect {self.pcqe_server.address} <user> <purpose> "
+            f"<fraction> <SELECT ...>)"
+        )
+
+    def _cmd_connect(self, rest: str) -> str:
+        """``connect <host:port> <user> <purpose> <fraction> <SELECT ...>``.
+
+        One-shot client session: handshake, one ``ask``, print the
+        released rows, disconnect.
+        """
+        usage = (
+            "usage: connect <host:port> <user> <purpose> "
+            "<required-fraction> <SELECT ...>"
+        )
+        parts = rest.split(maxsplit=4)
+        if len(parts) != 5:
+            raise CommandError(usage)
+        address, user, purpose, fraction_text, sql = parts
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise CommandError(usage)
+        try:
+            fraction = float(fraction_text)
+        except ValueError:
+            raise CommandError(usage) from None
+        from .server import ServerClient
+
+        with ServerClient(
+            host, int(port_text), user=user, purpose=purpose
+        ) as client:
+            reply = client.ask(sql, fraction)
+        lines = [
+            f"session {client.session_id} @seq={client.seq} "
+            f"role={client.role}",
+            f"status: {reply['status']} (threshold {reply['threshold']})",
+        ]
+        for values, confidence in zip(reply["rows"], reply["confidences"]):
+            cells = " | ".join(
+                "NULL" if value is None else str(value) for value in values
+            )
+            lines.append(f"{cells} | {confidence:.3f}")
+        lines.append(
+            f"({reply['released']} released, {reply['withheld']} withheld)"
+        )
+        return "\n".join(lines)
+
     def _cmd_help(self, rest: str) -> str:
         return (
             "commands: create, load, tables, sql, explain, profile, "
             "role, purpose, user, policy, solver, engine, circuit, ask, "
-            "demo, recover, checkpoint, audit, metrics, help, quit"
+            "demo, recover, checkpoint, audit, metrics, serve, connect, "
+            "help, quit"
         )
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "ENGINE_MODES",
     "DEFAULT_AUTO_ROW_THRESHOLD",
     "PreparedPlan",
+    "pin_scan_statistics",
     "select_engine",
 ]
 
@@ -79,19 +80,60 @@ class PreparedPlan:
         return self.engine.execute(self.plan)
 
 
-def base_row_count(plan: PlanNode) -> int:
-    """Total stored rows in the tables scanned under *plan* (live stats)."""
+def pin_scan_statistics(plan: PlanNode) -> dict[int, int]:
+    """Read every scanned table's row count exactly once, up front.
+
+    Engine selection consults these *pinned* statistics instead of live
+    ``len(table)``: under concurrent DML a live read per subtree could
+    observe different table states for the decision and the execution
+    (or even within one decision), making ``auto`` mode nondeterministic.
+    One read per distinct table object — taken against the session's
+    snapshot when the plan scans snapshot tables — keeps the whole
+    selection (and its explain output) a function of a single observed
+    state.
+    """
+    counts: dict[int, int] = {}
+    _collect_scan_counts(plan, counts)
+    return counts
+
+
+def _collect_scan_counts(plan: PlanNode, counts: dict[int, int]) -> None:
     if isinstance(plan, Scan):
+        key = id(plan.table)
+        if key not in counts:
+            counts[key] = len(plan.table)
+        return
+    for child in plan.children:
+        _collect_scan_counts(child, counts)
+
+
+def base_row_count(
+    plan: PlanNode, statistics: "dict[int, int] | None" = None
+) -> int:
+    """Total stored rows in the tables scanned under *plan*.
+
+    With *statistics* (a :func:`pin_scan_statistics` map) the counts come
+    from the pinned snapshot; without it, live ``len(table)`` (kept for
+    standalone callers)."""
+    if isinstance(plan, Scan):
+        if statistics is not None:
+            return statistics[id(plan.table)]
         return len(plan.table)
-    return sum(base_row_count(child) for child in plan.children)
+    return sum(base_row_count(child, statistics) for child in plan.children)
 
 
 def select_engine(
     plan: PlanNode,
     mode: str = "auto",
     threshold: int = DEFAULT_AUTO_ROW_THRESHOLD,
+    statistics: "dict[int, int] | None" = None,
 ) -> PreparedPlan:
-    """Pick an engine for *plan* and insert Transfer boundaries as needed."""
+    """Pick an engine for *plan* and insert Transfer boundaries as needed.
+
+    *statistics* optionally pins the per-table row counts the decision
+    uses (see :func:`pin_scan_statistics`); omitted, they are pinned here
+    — either way every size check in one selection observes one state.
+    """
     if mode not in ENGINE_MODES:
         raise PlanError(
             f"unknown engine {mode!r} (expected one of {ENGINE_MODES})"
@@ -106,13 +148,17 @@ def select_engine(
     # In explicit columnar mode every worthwhile subtree goes columnar
     # regardless of size; auto applies the row threshold per subtree.
     minimum_rows = 0 if mode == "columnar" else threshold
+    if statistics is None:
+        statistics = pin_scan_statistics(plan)
 
     if columnar.supports_tree(plan) and _worthwhile(plan):
-        if base_row_count(plan) >= minimum_rows:
+        if base_row_count(plan, statistics) >= minimum_rows:
             return PreparedPlan(plan, columnar, "columnar", 0)
         return PreparedPlan(plan, native, "native", 0)
 
-    rewritten, transfers = _insert_transfers(plan, columnar, minimum_rows)
+    rewritten, transfers = _insert_transfers(
+        plan, columnar, minimum_rows, statistics
+    )
     if transfers == 0:
         return PreparedPlan(plan, native, "native", 0)
     return PreparedPlan(rewritten, native, "native+columnar", transfers)
@@ -125,7 +171,10 @@ def _worthwhile(plan: PlanNode) -> bool:
 
 
 def _insert_transfers(
-    node: PlanNode, columnar: Engine, minimum_rows: int
+    node: PlanNode,
+    columnar: Engine,
+    minimum_rows: int,
+    statistics: dict[int, int],
 ) -> tuple[PlanNode, int]:
     """Wrap maximal supported, worthwhile, large-enough subtrees.
 
@@ -136,14 +185,16 @@ def _insert_transfers(
     if (
         columnar.supports_tree(node)
         and _worthwhile(node)
-        and base_row_count(node) >= minimum_rows
+        and base_row_count(node, statistics) >= minimum_rows
     ):
         return Transfer(node, columnar.name), 1
     transfers = 0
     new_children: list[PlanNode] = []
     changed = False
     for child in node.children:
-        new_child, count = _insert_transfers(child, columnar, minimum_rows)
+        new_child, count = _insert_transfers(
+            child, columnar, minimum_rows, statistics
+        )
         transfers += count
         changed = changed or new_child is not child
         new_children.append(new_child)

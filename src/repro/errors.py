@@ -41,6 +41,11 @@ __all__ = [
     "TimeBudgetExceeded",
     "ImprovementRejectedError",
     "WorkloadError",
+    "ServerError",
+    "ProtocolError",
+    "SessionClosedError",
+    "AdmissionError",
+    "SnapshotWriteError",
 ]
 
 
@@ -239,3 +244,57 @@ class ImprovementRejectedError(IncrementError):
 
 class WorkloadError(ReproError):
     """A synthetic-workload specification is invalid."""
+
+
+# --------------------------------------------------------------------------
+# Serving
+# --------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for the multi-session serving layer."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame was malformed (bad length, bad JSON, unknown op)."""
+
+
+class SessionClosedError(ServerError):
+    """An operation was attempted on a closed session."""
+
+
+class SnapshotWriteError(ServerError):
+    """A mutation was attempted directly on an immutable snapshot view.
+
+    Writes go through :meth:`repro.server.MVCCDatabase.commit`; snapshot
+    views only ever change by re-pinning a newer generation.
+    """
+
+
+class AdmissionError(ServerError):
+    """A request was rejected at admission: the queue's projected wait
+    already exceeds the request's deadline, so running it could only
+    produce a late answer.  Carries the numbers behind the decision so
+    clients can back off intelligently.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_ms: float,
+        projected_wait_ms: float,
+        queue_depth: int,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.projected_wait_ms = projected_wait_ms
+        self.queue_depth = queue_depth
+
+    def details(self) -> dict:
+        """The structured payload sent over the wire."""
+        return {
+            "deadline_ms": self.deadline_ms,
+            "projected_wait_ms": self.projected_wait_ms,
+            "queue_depth": self.queue_depth,
+        }

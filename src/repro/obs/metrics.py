@@ -248,19 +248,22 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Iterable[float] | None = None
     ) -> Histogram:
-        if name in self._instruments:
-            return self._get_or_create(name, Histogram)
+        # Buckets go through the locked get-or-create unconditionally (a
+        # ``None`` reaches Histogram as DEFAULT_BUCKETS): a pre-check here
+        # would be check-then-act, and a first-touch racing it could win
+        # creation with the wrong bucket bounds.  First creator's buckets
+        # stick; later callers' bucket argument is ignored.
         return self._get_or_create(name, Histogram, buckets)
 
     def names(self) -> list[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def snapshot(self) -> dict[str, Any]:
         """Every instrument's current value, keyed by name."""
-        return {
-            name: instrument.snapshot()
-            for name, instrument in sorted(self._instruments.items())
-        }
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in instruments}
 
     def reset(self) -> None:
         """Drop every registered instrument (tests / run isolation)."""
@@ -299,6 +302,7 @@ def metrics_diff(
 
 
 _GLOBAL_METRICS = MetricsRegistry()
+_GLOBAL_METRICS_LOCK = threading.Lock()
 
 
 def get_metrics() -> MetricsRegistry:
@@ -307,8 +311,15 @@ def get_metrics() -> MetricsRegistry:
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
-    """Replace the process-wide registry (returns the previous one)."""
+    """Replace the process-wide registry (returns the previous one).
+
+    The swap is atomic: concurrent ``set_metrics`` calls (e.g. a test
+    installing an isolated registry while server workers run) serialize,
+    so the returned "previous" registry is always the one this call
+    actually displaced and restore-previous stacks unwind correctly.
+    """
     global _GLOBAL_METRICS
-    previous = _GLOBAL_METRICS
-    _GLOBAL_METRICS = registry
-    return previous
+    with _GLOBAL_METRICS_LOCK:
+        previous = _GLOBAL_METRICS
+        _GLOBAL_METRICS = registry
+        return previous

@@ -1,0 +1,39 @@
+"""Concurrent multi-session serving for the PCQE (ROADMAP item 1).
+
+Layers, bottom up:
+
+* :mod:`~repro.server.mvcc` — copy-on-write table generations keyed by
+  the WAL ``seq``; snapshot isolation with pin-count GC.
+* :mod:`~repro.server.session` — per-connection sessions: a pinned
+  snapshot, a ⟨user, role, purpose⟩ policy context, read-your-own-writes.
+* :mod:`~repro.server.protocol` — length-prefixed JSON frames.
+* :mod:`~repro.server.server` — the asyncio socket server with
+  deadline-based admission control and obs instrumentation.
+* :mod:`~repro.server.client` — the blocking client (CLI / tests /
+  benchmarks).
+
+See ``docs/SERVING.md`` for the protocol and semantics.
+"""
+
+from .client import ServerClient, ServerReplyError
+from .mvcc import MVCCDatabase, Snapshot, SnapshotDatabase, SnapshotTable
+from .protocol import MAX_FRAME_BYTES, encode_frame, recv_frame, send_frame
+from .server import PCQEServer
+from .session import Session, SessionContext, SessionDatabase
+
+__all__ = [
+    "MVCCDatabase",
+    "Snapshot",
+    "SnapshotDatabase",
+    "SnapshotTable",
+    "Session",
+    "SessionContext",
+    "SessionDatabase",
+    "PCQEServer",
+    "ServerClient",
+    "ServerReplyError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,149 @@
+"""A blocking socket client for the PCQE server.
+
+Used by the ``connect`` CLI command, the integration tests, and
+``benchmarks/serve_bench.py``.  One :class:`ServerClient` is one session:
+the constructor performs the ``hello`` handshake, every call maps to one
+request frame, and :meth:`close` says ``bye`` and closes the socket.
+
+>>> with ServerClient("127.0.0.1", 7433, user="bob",
+...                   purpose="investment") as client:
+...     reply = client.ask("SELECT Company FROM Proposal", fraction=1.0)
+...     reply["status"], reply["rows"]
+
+Replies are the server's JSON objects verbatim.  A transport failure
+raises :class:`~repro.errors.ProtocolError`; an application error reply
+(``ok: false``) raises :class:`ServerReplyError` carrying the structured
+error payload, so callers can branch on ``error["type"]`` (e.g.
+``"AdmissionError"``) without string matching.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from ..errors import ServerError
+from .protocol import recv_frame, send_frame
+
+__all__ = ["ServerClient", "ServerReplyError"]
+
+
+class ServerReplyError(ServerError):
+    """The server answered ``ok: false``; :attr:`error` has the payload."""
+
+    def __init__(self, error: dict[str, Any]) -> None:
+        super().__init__(
+            f"{error.get('type', 'ServerError')}: "
+            f"{error.get('message', '(no message)')}"
+        )
+        self.error = error
+
+    @property
+    def type(self) -> str:
+        return str(self.error.get("type", "ServerError"))
+
+
+class ServerClient:
+    """One connection = one session with a pinned snapshot."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        user: str,
+        purpose: str,
+        timeout: float | None = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        hello = self.request(
+            {"op": "hello", "user": user, "purpose": purpose}
+        )
+        self.session_id: int = hello["session"]
+        self.seq: int = hello["seq"]
+        self.role: str = hello.get("role", "")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame, wait for the reply, raise on ``ok: false``."""
+        if self._closed:
+            raise ServerError("client is closed")
+        send_frame(self._sock, message)
+        reply = recv_frame(self._sock)
+        if not reply.get("ok", False):
+            raise ServerReplyError(reply.get("error", {}))
+        if "seq" in reply:
+            self.seq = reply["seq"]
+        return reply
+
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            send_frame(self._sock, {"op": "bye"})
+            recv_frame(self._sock)
+        except OSError:
+            pass
+        except ServerError:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations --------------------------------------------------------
+
+    def ask(
+        self,
+        sql: str,
+        fraction: float = 1.0,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """Run the PCQE pipeline; returns the status/rows/confidences reply."""
+        message: dict[str, Any] = {
+            "op": "ask",
+            "sql": sql,
+            "fraction": fraction,
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return self.request(message)
+
+    def profile(
+        self,
+        sql: str,
+        fraction: float = 1.0,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """``ask`` with a stage-by-stage profile report attached."""
+        message: dict[str, Any] = {
+            "op": "profile",
+            "sql": sql,
+            "fraction": fraction,
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return self.request(message)
+
+    def sql(self, sql: str) -> dict[str, Any]:
+        """Run one SQL statement (SELECT reads the snapshot; DML commits)."""
+        return self.request({"op": "sql", "sql": sql})
+
+    def refresh(self) -> int:
+        """Re-pin the latest generation; returns the new ``seq``."""
+        return self.request({"op": "refresh"})["seq"]
+
+    def metrics(self) -> str:
+        """The server's OpenMetrics exposition text."""
+        return self.request({"op": "metrics"})["openmetrics"]

@@ -1,0 +1,478 @@
+"""MVCC over the storage engine: copy-on-write table generations.
+
+The WAL already assigns every committed mutation a monotonically
+increasing ``seq``; this module turns that sequence into a version
+authority for snapshot isolation:
+
+* a **generation** is an immutable copy of the database state, keyed by
+  the WAL ``seq`` it is current *as of* (in-memory databases use an
+  internal commit counter instead);
+* :meth:`MVCCDatabase.snapshot` pins the current generation and returns
+  a :class:`Snapshot` — a read-only :class:`SnapshotDatabase` view whose
+  tables never change, no matter what writers commit afterwards;
+* writers serialize through :meth:`MVCCDatabase.commit`: the mutation
+  runs against the live :class:`~repro.storage.database.Database` inside
+  one durability batch, and a fresh generation is published on success.
+  Publication is copy-on-write per table — tables whose
+  :attr:`~repro.storage.table.Table.data_version` did not move are
+  shared with the previous generation, so a commit touching one table
+  copies one table;
+* readers never block writers (they hold no storage locks at all — a
+  pinned generation is plain immutable data) and writers never block
+  readers; generations are garbage-collected as soon as no snapshot pins
+  them and a newer one is current.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, Mapping, TypeVar
+
+from ..errors import (
+    SessionClosedError,
+    SnapshotWriteError,
+    UnknownTableError,
+    UnknownTupleError,
+)
+from ..obs import get_metrics
+from ..storage.database import Database
+from ..storage.schema import Schema
+from ..storage.table import Table
+from ..storage.tuples import StoredTuple, TupleId
+
+__all__ = ["MVCCDatabase", "Snapshot", "SnapshotDatabase", "SnapshotTable"]
+
+T = TypeVar("T")
+
+
+class SnapshotTable:
+    """An immutable copy of one table at one generation.
+
+    Mirrors the read surface of :class:`~repro.storage.table.Table`
+    (``scan``/``column_data``/``lookup``/``get``/``len``/``schema``) so
+    the SQL planner and both engines run against it unchanged.  Rows are
+    *copies* of the live :class:`StoredTuple` objects — confidence
+    write-backs on the live table cannot leak into a pinned snapshot.
+    Mutating methods raise :class:`~repro.errors.SnapshotWriteError`.
+    """
+
+    def __init__(self, source: Table) -> None:
+        self._name = source.name
+        self._schema = source.schema
+        # One locked read of the live table: _sorted_rows() holds the
+        # table lock during any rebuild, so the row list is a consistent
+        # cut even while writers run.
+        self._rows_sorted = [
+            StoredTuple(
+                tid=row.tid,
+                values=row.values,
+                confidence=row.confidence,
+                cost_model=row.cost_model,
+            )
+            for row in source.scan()
+        ]
+        self._rows = {row.tid.ordinal: row for row in self._rows_sorted}
+        self.data_version = source.data_version
+        self._column_cache: (
+            tuple[tuple[list[Any], ...], list[TupleId]] | None
+        ) = None
+        self._column_lock = threading.Lock()
+
+    # -- metadata (Table surface) ----------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows_sorted)
+
+    # -- reading ----------------------------------------------------------
+
+    def scan(self) -> Iterator[StoredTuple]:
+        return iter(self._rows_sorted)
+
+    def __iter__(self) -> Iterator[StoredTuple]:
+        return self.scan()
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        return [row.values for row in self._rows_sorted]
+
+    def get(self, tid: TupleId) -> StoredTuple:
+        if tid.table != self._name or tid.ordinal not in self._rows:
+            raise UnknownTupleError(
+                f"no tuple {tid} in snapshot of table {self._name!r}"
+            )
+        return self._rows[tid.ordinal]
+
+    def confidence_of(self, tid: TupleId) -> float:
+        return self.get(tid).confidence
+
+    def column_data(self) -> tuple[tuple[list[Any], ...], list[TupleId]]:
+        cache = self._column_cache
+        if cache is None:
+            with self._column_lock:
+                cache = self._column_cache
+                if cache is None:
+                    tids = [row.tid for row in self._rows_sorted]
+                    if self._rows_sorted:
+                        columns = tuple(
+                            list(column)
+                            for column in zip(
+                                *[row.values for row in self._rows_sorted]
+                            )
+                        )
+                    else:
+                        columns = tuple([] for _ in self._schema)
+                    cache = (columns, tids)
+                    self._column_cache = cache
+        return cache
+
+    def index_on(self, column: str):
+        """Snapshots carry no hash indexes; engines fall back to scans."""
+        return None
+
+    def lookup(self, column: str, value: Any) -> list[StoredTuple]:
+        column_index = self._schema.index_of(column)
+        return [
+            row
+            for row in self._rows_sorted
+            if row.values[column_index] == value
+        ]
+
+    # -- mutation is forbidden --------------------------------------------
+
+    def _readonly(self, operation: str):
+        raise SnapshotWriteError(
+            f"cannot {operation} on snapshot of table {self._name!r}: "
+            f"snapshots are immutable; commit through MVCCDatabase.commit"
+        )
+
+    def insert(self, *args, **kwargs):
+        self._readonly("insert")
+
+    def insert_many(self, *args, **kwargs):
+        self._readonly("insert_many")
+
+    def delete(self, *args, **kwargs):
+        self._readonly("delete")
+
+    def update(self, *args, **kwargs):
+        self._readonly("update")
+
+    def set_confidence(self, *args, **kwargs):
+        self._readonly("set_confidence")
+
+    def assign_confidences(self, *args, **kwargs):
+        self._readonly("assign_confidences")
+
+    def create_index(self, *args, **kwargs):
+        self._readonly("create_index")
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"SnapshotTable({self._name!r}, {len(self)} rows)"
+
+
+class _Generation:
+    """One immutable database state: {table name: SnapshotTable} + views."""
+
+    __slots__ = ("seq", "tables", "views", "table_versions")
+
+    def __init__(
+        self,
+        seq: int,
+        tables: dict[str, SnapshotTable],
+        views: dict[str, str],
+    ) -> None:
+        self.seq = seq
+        self.tables = tables
+        self.views = views
+        self.table_versions = {
+            name: table.data_version for name, table in tables.items()
+        }
+
+
+class SnapshotDatabase:
+    """Read-only :class:`Database` view over one pinned generation.
+
+    Duck-types the read surface the SQL layer, the lineage engine, and
+    policy enforcement use (``table``/``resolve``/``confidences``/
+    ``view_definition``...).  DDL/DML raise
+    :class:`~repro.errors.SnapshotWriteError`.
+    """
+
+    def __init__(self, generation: _Generation, name: str, durable: bool) -> None:
+        self._generation = generation
+        self.name = name
+        self._durable = durable
+
+    @property
+    def seq(self) -> int:
+        """The WAL/commit sequence this view is current as of."""
+        return self._generation.seq
+
+    @property
+    def is_durable(self) -> bool:
+        return self._durable
+
+    # -- catalog ----------------------------------------------------------
+
+    def table(self, name: str) -> SnapshotTable:
+        try:
+            return self._generation.tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(
+                f"no table {name!r} in snapshot @seq={self.seq}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._generation.tables
+
+    def tables(self) -> Iterator[SnapshotTable]:
+        return iter(self._generation.tables.values())
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self._generation.tables.values()]
+
+    def view_definition(self, name: str) -> str | None:
+        return self._generation.views.get(name.lower())
+
+    def view_names(self) -> list[str]:
+        return list(self._generation.views)
+
+    # -- tuple-id resolution ----------------------------------------------
+
+    def resolve(self, tid: TupleId) -> StoredTuple:
+        return self.table(tid.table).get(tid)
+
+    def confidence_of(self, tid: TupleId) -> float:
+        return self.resolve(tid).confidence
+
+    def confidences(self, tids: Iterable[TupleId]) -> dict[TupleId, float]:
+        return {tid: self.confidence_of(tid) for tid in tids}
+
+    # -- mutation is forbidden --------------------------------------------
+
+    def _readonly(self, operation: str):
+        raise SnapshotWriteError(
+            f"cannot {operation} on snapshot @seq={self.seq}: snapshots "
+            f"are immutable; commit through MVCCDatabase.commit"
+        )
+
+    def create_table(self, *args, **kwargs):
+        self._readonly("create_table")
+
+    def drop_table(self, *args, **kwargs):
+        self._readonly("drop_table")
+
+    def create_view(self, *args, **kwargs):
+        self._readonly("create_view")
+
+    def drop_view(self, *args, **kwargs):
+        self._readonly("drop_view")
+
+    def set_confidence(self, *args, **kwargs):
+        self._readonly("set_confidence")
+
+    def apply_confidences(self, *args, **kwargs):
+        self._readonly("apply_confidences")
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"SnapshotDatabase({self.name!r}, seq={self.seq}, "
+            f"tables={self.table_names()})"
+        )
+
+
+class Snapshot:
+    """A pinned generation: hold it and the view cannot change.
+
+    Obtained from :meth:`MVCCDatabase.snapshot`; release with
+    :meth:`release` (or use as a context manager) so the generation can
+    be garbage-collected.  Releasing twice is a no-op.
+    """
+
+    def __init__(self, owner: "MVCCDatabase", db: SnapshotDatabase) -> None:
+        self._owner = owner
+        self.db = db
+        self._released = False
+
+    @property
+    def seq(self) -> int:
+        return self.db.seq
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._owner._unpin(self.db.seq)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class MVCCDatabase:
+    """Snapshot isolation over a live :class:`Database`.
+
+    One writer at a time commits through :meth:`commit`; any number of
+    readers hold :class:`Snapshot` pins concurrently.  The live database
+    object must not be mutated behind this wrapper's back — route every
+    write through :meth:`commit` (the constructor does not seize the
+    storage objects, so nothing enforces this; the server layer does).
+    """
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._commit_lock = threading.RLock()
+        # Guards generation bookkeeping (pins + map); never held while
+        # running user mutations, so readers snapshot/release in O(1)
+        # regardless of writer activity.
+        self._state_lock = threading.Lock()
+        self._generations: dict[int, _Generation] = {}
+        self._pins: dict[int, int] = {}
+        self._commit_counter = 0
+        self._current_seq = self._next_seq()
+        self._generations[self._current_seq] = self._build_generation(
+            self._current_seq, previous=None
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current generation and return a read-only view."""
+        with self._state_lock:
+            seq = self._current_seq
+            self._pins[seq] = self._pins.get(seq, 0) + 1
+            generation = self._generations[seq]
+        view = SnapshotDatabase(generation, self._db.name, self._db.is_durable)
+        self._gauge()
+        return Snapshot(self, view)
+
+    @property
+    def current_seq(self) -> int:
+        return self._current_seq
+
+    def generation_seqs(self) -> list[int]:
+        """Retained generation keys, oldest first (GC observability)."""
+        with self._state_lock:
+            return sorted(self._generations)
+
+    # -- writing -----------------------------------------------------------
+
+    def commit(self, mutate: Callable[[Database], T]) -> T:
+        """Run *mutate* on the live database and publish a new generation.
+
+        The mutation executes under the commit lock inside one durability
+        batch, so concurrent commits serialize and a durable database
+        recovers the whole commit or none of it.  If *mutate* raises, no
+        generation is published (the live tables may have partially
+        changed — the caller's exception reports that — but no snapshot
+        ever observes the partial state, and the next successful commit
+        re-publishes everything whose version moved).
+        """
+        with self._commit_lock:
+            with self._db.durability_batch():
+                result = mutate(self._db)
+            self._publish()
+        return result
+
+    def refresh(self, snapshot: Snapshot) -> Snapshot:
+        """Exchange *snapshot* for a pin on the current generation."""
+        fresh = self.snapshot()
+        snapshot.release()
+        return fresh
+
+    # -- internals ---------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        """The key for the generation published now.
+
+        A durable database uses the WAL sequence — the generation is the
+        state as of that record.  In-memory databases (and the edge case
+        of a commit that journaled nothing) fall back to a monotonic
+        commit counter so keys never collide.
+        """
+        durability = self._db._durability
+        self._commit_counter += 1
+        if durability is not None:
+            last = durability.last_seq
+            if last > self._commit_counter:
+                self._commit_counter = last
+        return self._commit_counter
+
+    def _build_generation(
+        self, seq: int, previous: _Generation | None
+    ) -> _Generation:
+        tables: dict[str, SnapshotTable] = {}
+        for table in self._db.tables():
+            key = table.name.lower()
+            if previous is not None:
+                existing = previous.tables.get(key)
+                if (
+                    existing is not None
+                    and existing.data_version == table.data_version
+                ):
+                    tables[key] = existing  # copy-on-write: share unchanged
+                    continue
+            tables[key] = SnapshotTable(table)
+        views = {
+            name.lower(): self._db.view_definition(name)
+            for name in self._db.view_names()
+        }
+        return _Generation(seq, tables, views)
+
+    def _publish(self) -> None:
+        with self._state_lock:
+            previous = self._generations[self._current_seq]
+        seq = self._next_seq()
+        if seq <= self._current_seq:  # pragma: no cover - defensive
+            seq = self._current_seq + 1
+            self._commit_counter = seq
+        generation = self._build_generation(seq, previous)
+        with self._state_lock:
+            self._generations[seq] = generation
+            self._current_seq = seq
+            self._collect_locked()
+        self._gauge()
+
+    def _unpin(self, seq: int) -> None:
+        with self._state_lock:
+            count = self._pins.get(seq)
+            if count is None:  # pragma: no cover - double release guard
+                raise SessionClosedError(
+                    f"generation {seq} is not pinned"
+                )
+            if count <= 1:
+                del self._pins[seq]
+            else:
+                self._pins[seq] = count - 1
+            self._collect_locked()
+        self._gauge()
+
+    def _collect_locked(self) -> None:
+        """Drop every generation that is neither current nor pinned."""
+        for seq in [
+            seq
+            for seq in self._generations
+            if seq != self._current_seq and seq not in self._pins
+        ]:
+            del self._generations[seq]
+
+    def _gauge(self) -> None:
+        get_metrics().gauge("mvcc.generations").set(len(self._generations))
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"MVCCDatabase({self._db.name!r}, seq={self._current_seq}, "
+            f"generations={len(self._generations)})"
+        )

@@ -1,0 +1,460 @@
+"""The PCQE socket server: many sessions, one MVCC database.
+
+:class:`PCQEServer` accepts connections on an asyncio event loop (run on
+a daemon thread, so tests and the CLI can start/stop it synchronously),
+speaks the length-prefixed JSON protocol of
+:mod:`~repro.server.protocol`, and runs the actual query work on a
+thread pool — the event loop only ever parses frames and schedules.
+
+Each connection starts with a ``hello`` naming ⟨user, purpose⟩ and gets
+a :class:`~repro.server.session.Session` with a pinned snapshot.
+Requests on one connection run in arrival order; sessions run in
+parallel up to the pool size, with everything beyond that queueing.
+
+Admission control: a request carrying ``deadline_ms`` is given a PR-3
+:class:`~repro.increment.Budget` at arrival.  Before queueing, the
+server projects the queue wait from the current in-flight count and an
+EWMA of recent service times; if the projection already exceeds the
+budget's remaining time, the request is rejected immediately with a
+structured :class:`~repro.errors.AdmissionError` — a fast "no" instead
+of a guaranteed-late answer.
+
+Observability: every request runs inside a ``server.request`` span;
+``server.active_sessions`` / ``server.queue_depth`` gauges and the
+``server.request.latency_seconds`` histogram (p50/p95/p99 via the obs
+stack's interpolation) feed the OpenMetrics exposition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..errors import (
+    AdmissionError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+)
+from ..increment import Budget
+from ..obs import TIMING_BUCKETS, get_metrics, get_tracer
+from ..policy import PolicyStore
+from ..storage.database import Database
+from .mvcc import MVCCDatabase
+from .protocol import read_frame, write_frame
+from .session import Session
+
+__all__ = ["PCQEServer"]
+
+#: Weight of the newest observation in the service-time EWMA.
+_EWMA_ALPHA = 0.2
+
+
+class PCQEServer:
+    """Serve PCQE queries over a socket with snapshot-isolated sessions.
+
+    ``port=0`` binds an ephemeral port (tests/benchmarks); :attr:`port`
+    reports the bound one.  *workers* sizes the query thread pool.
+    *service_time_hint* seeds the admission controller's service-time
+    estimate (seconds) before any request has completed.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        policies: PolicyStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 8,
+        solver: str = "greedy",
+        engine: str = "auto",
+        service_time_hint: float = 0.0,
+    ) -> None:
+        self.mvcc = MVCCDatabase(db)
+        self.policies = policies
+        self.solver = solver
+        self.engine = engine
+        self.workers = workers
+        self._host = host
+        self._port = port
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="pcqe-worker"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+        self._bound: tuple[str, int] | None = None
+        self._sessions: set[Session] = set()
+        self._sessions_lock = threading.Lock()
+        # Admission state: in-flight request count + service-time EWMA.
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
+        self._service_ewma = service_time_hint
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        if self._bound is None:
+            raise ServerError("server is not running")
+        return self._bound[0]
+
+    @property
+    def port(self) -> int:
+        if self._bound is None:
+            raise ServerError("server is not running")
+        return self._bound[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "PCQEServer":
+        """Bind and serve on a daemon thread; returns once listening."""
+        if self._thread is not None:
+            raise ServerError("server already started")
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(ready,), name="pcqe-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self._startup_error = None
+            raise ServerError(f"server failed to start: {error}") from error
+        return self
+
+    def _run(self, ready: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self._host, self._port)
+            )
+            self._bound = self._server.sockets[0].getsockname()[:2]
+        except BaseException as error:
+            self._startup_error = error
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop accepting, drain workers, release every session pin."""
+        if self._thread is None:
+            return
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._executor.shutdown(wait=True)
+        with self._sessions_lock:
+            sessions, self._sessions = list(self._sessions), set()
+        for session in sessions:
+            session.close()
+        self._bound = None
+
+    def __enter__(self) -> "PCQEServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = get_metrics()
+        session: Session | None = None
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as error:
+                    await write_frame(writer, _error_reply(error))
+                    return
+                if request is None:
+                    return  # clean disconnect
+                op = request.get("op")
+                if session is None:
+                    if op != "hello":
+                        await write_frame(
+                            writer,
+                            _error_reply(
+                                ProtocolError(
+                                    f"first frame must be 'hello', got {op!r}"
+                                )
+                            ),
+                        )
+                        return
+                    try:
+                        session = self._open_session(request)
+                    except ReproError as error:
+                        await write_frame(writer, _error_reply(error))
+                        return
+                    metrics.gauge("server.active_sessions").inc()
+                    await write_frame(
+                        writer,
+                        {
+                            "ok": True,
+                            "session": session.id,
+                            "seq": session.seq,
+                            "user": session.context.user,
+                            "role": session.context.role,
+                            "purpose": session.context.purpose,
+                        },
+                    )
+                    continue
+                if op == "bye":
+                    await write_frame(writer, {"ok": True, "closed": True})
+                    return
+                reply = await self._dispatch(session, op, request)
+                await write_frame(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the finally block cleans up
+        finally:
+            if session is not None:
+                session.close()
+                with self._sessions_lock:
+                    self._sessions.discard(session)
+                metrics.gauge("server.active_sessions").dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _open_session(self, request: dict[str, Any]) -> Session:
+        user = request.get("user")
+        purpose = request.get("purpose")
+        if not isinstance(user, str) or not isinstance(purpose, str):
+            raise ProtocolError("hello needs string 'user' and 'purpose'")
+        session = Session(
+            self.mvcc,
+            self.policies,
+            user,
+            purpose,
+            solver=self.solver,
+            engine=self.engine,
+        )
+        with self._sessions_lock:
+            self._sessions.add(session)
+        return session
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _dispatch(
+        self, session: Session, op: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        handlers: dict[str, Callable[[Session, dict[str, Any]], dict[str, Any]]] = {
+            "ask": self._op_ask,
+            "profile": self._op_profile,
+            "sql": self._op_sql,
+            "refresh": self._op_refresh,
+            "metrics": self._op_metrics,
+        }
+        handler = handlers.get(op) if isinstance(op, str) else None
+        if handler is None:
+            return _error_reply(
+                ProtocolError(
+                    f"unknown op {op!r} (expected one of "
+                    f"{sorted(handlers)} or 'bye')"
+                )
+            )
+        deadline_ms = request.get("deadline_ms")
+        try:
+            budget = self._admit(op, deadline_ms)
+        except ReproError as error:
+            get_metrics().counter("server.rejected").inc()
+            return _error_reply(error)
+
+        def run() -> dict[str, Any]:
+            started = time.perf_counter()
+            tracer = get_tracer()
+            try:
+                with tracer.span(
+                    "server.request",
+                    op=op,
+                    session=session.id,
+                    user=session.context.user,
+                    purpose=session.context.purpose,
+                    seq=session.seq,
+                ):
+                    try:
+                        return handler(session, request)
+                    except ReproError as error:
+                        return _error_reply(error)
+            finally:
+                self._finish(time.perf_counter() - started)
+
+        del budget  # consumed by admission; queries budget via deadline_ms
+        assert self._loop is not None
+        reply = await self._loop.run_in_executor(self._executor, run)
+        return reply
+
+    def _admit(self, op: str, deadline_ms: Any) -> Budget | None:
+        """Gate one request; returns its deadline budget (None = no SLO).
+
+        Projection model: the pool drains in-flight requests at roughly
+        one EWMA service time per *workers* slots, so a request arriving
+        with ``q`` requests in flight waits about ``q / workers * ewma``
+        seconds before it runs.  Reject when that projection alone blows
+        the deadline.
+        """
+        metrics = get_metrics()
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            raise ProtocolError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        with self._admission_lock:
+            queue_depth = self._inflight
+            ewma = self._service_ewma
+            budget = None
+            if deadline_ms is not None:
+                budget = Budget.from_deadline_ms(float(deadline_ms))
+                projected = queue_depth * ewma / max(1, self.workers)
+                remaining = budget.deadline - time.perf_counter()
+                if projected > remaining:
+                    raise AdmissionError(
+                        f"{op} rejected at admission: projected queue wait "
+                        f"{projected * 1000.0:.1f} ms exceeds the "
+                        f"{float(deadline_ms):g} ms deadline "
+                        f"({queue_depth} request(s) in flight)",
+                        deadline_ms=float(deadline_ms),
+                        projected_wait_ms=projected * 1000.0,
+                        queue_depth=queue_depth,
+                    )
+            self._inflight += 1
+            metrics.gauge("server.queue_depth").set(self._inflight)
+        metrics.counter("server.requests").inc()
+        return budget
+
+    def _finish(self, elapsed_seconds: float) -> None:
+        metrics = get_metrics()
+        with self._admission_lock:
+            self._inflight -= 1
+            metrics.gauge("server.queue_depth").set(self._inflight)
+            if self._service_ewma <= 0.0:
+                self._service_ewma = elapsed_seconds
+            else:
+                self._service_ewma += _EWMA_ALPHA * (
+                    elapsed_seconds - self._service_ewma
+                )
+        metrics.histogram(
+            "server.request.latency_seconds", TIMING_BUCKETS
+        ).observe(elapsed_seconds)
+
+    # -- ops (run on worker threads) ---------------------------------------
+
+    def _op_ask(
+        self, session: Session, request: dict[str, Any], profile: bool = False
+    ) -> dict[str, Any]:
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("ask needs a non-empty 'sql' string")
+        fraction = request.get("fraction", 1.0)
+        if not isinstance(fraction, (int, float)):
+            raise ProtocolError(f"fraction must be a number, got {fraction!r}")
+        deadline_ms = request.get("deadline_ms")
+        result = session.ask(
+            sql,
+            float(fraction),
+            profile=profile,
+            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+        )
+        reply: dict[str, Any] = {
+            "ok": True,
+            "status": result.status.value,
+            "threshold": result.threshold,
+            "seq": session.seq,
+            "rows": [list(row.values) for row, _conf in result.released],
+            "confidences": [conf for _row, conf in result.released],
+            "released": len(result.released),
+            "withheld": result.withheld_count,
+        }
+        if result.quote is not None:
+            reply["quote"] = {
+                "cost": result.quote.cost,
+                "shortfall": result.quote.shortfall,
+            }
+        if result.receipt is not None:
+            reply["improved"] = result.receipt.tuples_improved
+            reply["improvement_cost"] = result.receipt.total_cost
+        if result.profile is not None:
+            reply["profile"] = result.profile.format()
+        return reply
+
+    def _op_profile(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        return self._op_ask(session, request, profile=True)
+
+    def _op_sql(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        from ..sql import DmlResult
+
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("sql needs a non-empty 'sql' string")
+        result = session.run_sql(sql)
+        if isinstance(result, DmlResult):
+            return {"ok": True, "result": str(result), "seq": session.seq}
+        return {
+            "ok": True,
+            "columns": list(result.schema.names),
+            "rows": [list(row.values) for row in result.rows],
+            "confidences": [
+                conf for _row, conf in result.with_confidences(session.db)
+            ],
+            "count": len(result),
+            "seq": session.seq,
+        }
+
+    def _op_refresh(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        return {"ok": True, "seq": session.refresh()}
+
+    def _op_metrics(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        from ..obs import render_openmetrics
+
+        return {"ok": True, "openmetrics": render_openmetrics()}
+
+
+def _error_reply(error: BaseException) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, AdmissionError):
+        payload.update(error.details())
+    return {"ok": False, "error": payload}

@@ -1,0 +1,254 @@
+"""Per-connection sessions: a pinned snapshot plus a policy context.
+
+A :class:`Session` is what one client connection holds between frames:
+
+* a :class:`~repro.server.mvcc.Snapshot` pin, so every query the session
+  runs observes one immutable database state until the session refreshes
+  (or commits a write of its own — writes are read-your-own-writes);
+* a ⟨user, role, purpose⟩ **policy context** resolved against the policy
+  store once at session start, carried through spans and audit fields;
+* the PCQE configuration (solver, engine mode) its ``ask``s run with.
+
+The :class:`SessionDatabase` facade is what actually gets handed to
+:class:`~repro.core.PCQEngine`: reads delegate to the session's *current*
+pinned generation, while confidence write-backs (the improvement step of
+an approved increment plan) commit through the MVCC layer and re-pin —
+so a session that pays for improvement immediately sees it, and nobody
+else's pinned snapshot moves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+
+from ..core import PCQEngine, PCQEResult, QueryRequest
+from ..errors import SessionClosedError, UnknownUserError
+from ..policy import PolicyStore
+from ..storage.tuples import StoredTuple, TupleId
+from .mvcc import MVCCDatabase, Snapshot, SnapshotTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sql import DmlResult
+
+__all__ = ["Session", "SessionContext", "SessionDatabase"]
+
+_session_ids = itertools.count(1)
+
+
+class SessionContext:
+    """The ⟨user, role, purpose⟩ triple a session's requests run under."""
+
+    __slots__ = ("user", "roles", "purpose")
+
+    def __init__(self, user: str, roles: tuple[str, ...], purpose: str) -> None:
+        self.user = user
+        self.roles = roles
+        self.purpose = purpose
+
+    @property
+    def role(self) -> str:
+        """Display form of the role set (sessions may hold several)."""
+        return ",".join(self.roles) if self.roles else "(none)"
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"SessionContext(user={self.user!r}, roles={self.roles!r}, "
+            f"purpose={self.purpose!r})"
+        )
+
+
+class SessionDatabase:
+    """Database facade bound to a session's current snapshot.
+
+    Reads always go to the generation the session has pinned *now*;
+    :meth:`apply_confidences` commits through MVCC and re-pins, giving
+    the session read-your-own-writes without disturbing other pins.
+    """
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+
+    @property
+    def _db(self):
+        return self._session._snapshot().db
+
+    @property
+    def name(self) -> str:
+        return self._db.name
+
+    @property
+    def seq(self) -> int:
+        return self._db.seq
+
+    @property
+    def is_durable(self) -> bool:
+        return self._db.is_durable
+
+    # -- reads (delegate to the pinned generation) -------------------------
+
+    def table(self, name: str) -> SnapshotTable:
+        return self._db.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self._db.has_table(name)
+
+    def tables(self) -> Iterator[SnapshotTable]:
+        return self._db.tables()
+
+    def table_names(self) -> list[str]:
+        return self._db.table_names()
+
+    def view_definition(self, name: str) -> str | None:
+        return self._db.view_definition(name)
+
+    def view_names(self) -> list[str]:
+        return self._db.view_names()
+
+    def resolve(self, tid: TupleId) -> StoredTuple:
+        return self._db.resolve(tid)
+
+    def confidence_of(self, tid: TupleId) -> float:
+        return self._db.confidence_of(tid)
+
+    def confidences(self, tids: Iterable[TupleId]) -> dict[TupleId, float]:
+        return self._db.confidences(tids)
+
+    # -- the one sanctioned write ------------------------------------------
+
+    def apply_confidences(self, updates: Mapping[TupleId, float]) -> None:
+        """Commit a confidence write-back and advance this session's pin.
+
+        This is the improvement step of an approved increment plan: it
+        must actually land in the shared database (and the WAL), and the
+        paying session must see it on re-evaluation — so the commit goes
+        through MVCC and the session re-pins the resulting generation.
+        Other sessions' pinned snapshots are unaffected until they
+        refresh.
+        """
+        self._session.commit(lambda db: db.apply_confidences(updates))
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"SessionDatabase({self._session!r})"
+
+
+class Session:
+    """One client's pinned view of the database plus its policy context.
+
+    Thread-compatible: the server runs at most one request per session at
+    a time (requests on one connection are processed in arrival order),
+    but different sessions run fully in parallel on the worker pool.
+    """
+
+    def __init__(
+        self,
+        mvcc: MVCCDatabase,
+        policies: PolicyStore,
+        user: str,
+        purpose: str,
+        *,
+        solver: str = "greedy",
+        engine: str = "auto",
+    ) -> None:
+        try:
+            roles = tuple(sorted(policies.user(user).roles))
+        except UnknownUserError:
+            raise
+        self.id = next(_session_ids)
+        self.context = SessionContext(user, roles, purpose)
+        self.policies = policies
+        self.solver = solver
+        self.engine = engine
+        self._mvcc = mvcc
+        self._lock = threading.Lock()
+        self._handle: Snapshot | None = mvcc.snapshot()
+        self.db = SessionDatabase(self)
+
+    # -- snapshot management -----------------------------------------------
+
+    def _snapshot(self) -> Snapshot:
+        handle = self._handle
+        if handle is None:
+            raise SessionClosedError(f"session {self.id} is closed")
+        return handle
+
+    @property
+    def seq(self) -> int:
+        """The generation this session currently observes."""
+        return self._snapshot().seq
+
+    def refresh(self) -> int:
+        """Re-pin the latest generation; returns the new ``seq``."""
+        with self._lock:
+            self._handle = self._mvcc.refresh(self._snapshot())
+            return self._handle.seq
+
+    def commit(self, mutate) -> Any:
+        """Run a mutation through MVCC, then advance this session's pin."""
+        self._snapshot()  # closed-session check before touching storage
+        result = self._mvcc.commit(mutate)
+        self.refresh()
+        return result
+
+    def close(self) -> None:
+        """Release the snapshot pin (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.release()
+                self._handle = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries -------------------------------------------------------------
+
+    def ask(
+        self,
+        sql: str,
+        required_fraction: float = 1.0,
+        *,
+        profile: bool = False,
+        deadline_ms: float | None = None,
+    ) -> PCQEResult:
+        """Run the full PCQE pipeline against this session's snapshot."""
+        engine = PCQEngine(
+            self.db,
+            self.policies,
+            solver=self.solver,
+            deadline_ms=deadline_ms,
+            engine=self.engine,
+        )
+        request = QueryRequest(
+            sql,
+            self.context.purpose,
+            required_fraction,
+            profile=profile,
+            deadline_ms=deadline_ms,
+        )
+        return engine.execute(request, user=self.context.user)
+
+    def run_sql(self, sql: str):
+        """Run one SQL statement.
+
+        SELECTs read the pinned snapshot; DML/DDL commits through MVCC
+        (one WAL batch) and advances this session's pin so the statement
+        is immediately visible to its own connection.
+        """
+        from ..sql import SelectStatement, SetStatement, execute_sql, parse_command
+
+        command = parse_command(sql)
+        if isinstance(command, (SelectStatement, SetStatement)):
+            return execute_sql(self.db, sql, engine=self.engine)
+        return self.commit(lambda db: execute_sql(db, sql, engine=self.engine))
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        handle = self._handle
+        seq = handle.seq if handle is not None else "closed"
+        return (
+            f"Session(id={self.id}, user={self.context.user!r}, "
+            f"purpose={self.context.purpose!r}, seq={seq})"
+        )

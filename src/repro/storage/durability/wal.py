@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from dataclasses import dataclass
 
 from ...errors import CorruptLogError, DurabilityError
@@ -147,6 +148,13 @@ class WriteAheadLog:
     durable.  Transient ``OSError`` s are retried under *retry* after
     rewinding to the record boundary, so a half-written first attempt
     cannot linger in front of its retry.
+
+    Appends are single-writer: an internal lock serializes concurrent
+    appenders (the partial-write rewind state in ``_dirty``/``_size`` is
+    per-log, so interleaved frames from two threads would corrupt the
+    file), and a re-entrant append from the same thread — e.g. a fault
+    hook or retry callback journaling — raises
+    :class:`~repro.errors.DurabilityError` instead of deadlocking.
     """
 
     def __init__(
@@ -175,6 +183,8 @@ class WriteAheadLog:
             existing = len(WAL_MAGIC)
         self._size = existing
         self._dirty = False
+        self._lock = threading.Lock()
+        self._writer: int | None = None  # thread id holding the lock
 
     @property
     def size_bytes(self) -> int:
@@ -188,6 +198,20 @@ class WriteAheadLog:
     def append(self, payload: bytes) -> int:
         """Durably append one record; returns the bytes written."""
         record = _frame(payload, self._checksum)
+        if self._writer == threading.get_ident():
+            raise DurabilityError(
+                f"re-entrant WriteAheadLog.append on {self.path}: append "
+                f"was called from inside an append on the same thread "
+                f"(journal hooks must not journal)"
+            )
+        with self._lock:
+            self._writer = threading.get_ident()
+            try:
+                return self._append_locked(record)
+            finally:
+                self._writer = None
+
+    def _append_locked(self, record: bytes) -> int:
         start = self._size
         if self._dirty:
             # A previous append failed after possibly writing part of its
@@ -236,22 +260,29 @@ class WriteAheadLog:
         and ``os.replace``'d over it; a crash at any point leaves either
         the full old log or the fresh empty one.
         """
-        self._file.close()
-        temp = f"{self.path}.rotate"
-        fresh = self._opener(temp, "wb")
-        try:
-            fresh.write(WAL_MAGIC)
-            fresh.fsync()
-        finally:
-            fresh.close()
-        os.replace(temp, self.path)
-        from .fileio import fsync_dir
+        if self._writer == threading.get_ident():
+            raise DurabilityError(
+                f"re-entrant WriteAheadLog.rotate on {self.path} from "
+                f"inside an append on the same thread"
+            )
+        with self._lock:
+            self._file.close()
+            temp = f"{self.path}.rotate"
+            fresh = self._opener(temp, "wb")
+            try:
+                fresh.write(WAL_MAGIC)
+                fresh.fsync()
+            finally:
+                fresh.close()
+            os.replace(temp, self.path)
+            from .fileio import fsync_dir
 
-        fsync_dir(os.path.dirname(os.path.abspath(self.path)))
-        self._hit("checkpoint.after_wal_rotate")
-        self._file = self._opener(self.path, "ab")
-        self._size = len(WAL_MAGIC)
-        self._dirty = False
+            fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+            self._hit("checkpoint.after_wal_rotate")
+            self._file = self._opener(self.path, "ab")
+            self._size = len(WAL_MAGIC)
+            self._dirty = False
 
     def close(self) -> None:
-        self._file.close()
+        with self._lock:
+            self._file.close()

@@ -10,6 +10,7 @@ scans and joins.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..cost import CostModel, FreeCost
@@ -25,8 +26,12 @@ __all__ = ["Table"]
 class Table:
     """A named heap of annotated tuples.
 
-    Not thread-safe; the engine is single-threaded by design (the paper's
-    algorithms are CPU-bound search procedures, not concurrent workloads).
+    Mutations and materialized-view builds serialize through a per-table
+    lock, so concurrent readers (the server's session threads) always see
+    an internally consistent scan/columnar view: a cache is only
+    published after re-checking that :attr:`data_version` did not move
+    while it was being built.  Readers of already-built caches stay
+    lock-free.
 
     When the owning database is durable, ``_journal`` holds the
     :meth:`~repro.storage.durability.manager.DurabilityManager.log_op`
@@ -58,6 +63,11 @@ class Table:
         #: go stale, so engines can key derived caches off ``(table,
         #: data_version)`` without holding row references.
         self.data_version = 0
+        # Serializes mutations against cache builds: without it, a writer
+        # slipping between a cache build and its publication could leave a
+        # stale columnar view installed *after* the data_version bump —
+        # silently serving the pre-mutation rows to the columnar engine.
+        self._lock = threading.RLock()
 
     # -- metadata --------------------------------------------------------
 
@@ -114,29 +124,30 @@ class Table:
                 raise SchemaError(
                     f"column {column.qualified_name} is NOT NULL"
                 )
-        tid = TupleId(self._name, self._next_ordinal)
-        self._next_ordinal += 1
-        row = StoredTuple(
-            tid=tid,
-            values=coerced,
-            confidence=confidence,
-            cost_model=cost_model if cost_model is not None else FreeCost(),
-        )
-        self._rows[tid.ordinal] = row
-        for column_index, index in self._indexes.items():
-            index.add(coerced[column_index], tid)
-        self._invalidate_caches()
-        if self._journal is not None:
-            self._journal(
-                {
-                    "op": "insert",
-                    "table": self._name,
-                    "ordinal": tid.ordinal,
-                    "values": row.values,
-                    "confidence": row.confidence,
-                    "cost_model": row.cost_model,
-                }
+        with self._lock:
+            tid = TupleId(self._name, self._next_ordinal)
+            self._next_ordinal += 1
+            row = StoredTuple(
+                tid=tid,
+                values=coerced,
+                confidence=confidence,
+                cost_model=cost_model if cost_model is not None else FreeCost(),
             )
+            self._rows[tid.ordinal] = row
+            for column_index, index in self._indexes.items():
+                index.add(coerced[column_index], tid)
+            self._invalidate_caches()
+            if self._journal is not None:
+                self._journal(
+                    {
+                        "op": "insert",
+                        "table": self._name,
+                        "ordinal": tid.ordinal,
+                        "values": row.values,
+                        "confidence": row.confidence,
+                        "cost_model": row.cost_model,
+                    }
+                )
         return tid
 
     def insert_many(
@@ -153,30 +164,32 @@ class Table:
 
         Raises :class:`~repro.errors.UnknownTupleError` if absent.
         """
-        row = self._lookup(tid)
-        del self._rows[tid.ordinal]
-        for column_index, index in self._indexes.items():
-            index.remove(row.values[column_index], tid)
-        self._invalidate_caches()
-        if self._journal is not None:
-            self._journal(
-                {"op": "delete", "table": self._name, "ordinal": tid.ordinal}
-            )
+        with self._lock:
+            row = self._lookup(tid)
+            del self._rows[tid.ordinal]
+            for column_index, index in self._indexes.items():
+                index.remove(row.values[column_index], tid)
+            self._invalidate_caches()
+            if self._journal is not None:
+                self._journal(
+                    {"op": "delete", "table": self._name, "ordinal": tid.ordinal}
+                )
 
     def set_confidence(self, tid: TupleId, confidence: float) -> None:
         """Overwrite the stored confidence of tuple *tid*."""
-        row = self._lookup(tid)
-        row.set_confidence(confidence)
-        self._invalidate_caches()
-        if self._journal is not None:
-            self._journal(
-                {
-                    "op": "set_confidence",
-                    "table": self._name,
-                    "ordinal": tid.ordinal,
-                    "confidence": row.confidence,
-                }
-            )
+        with self._lock:
+            row = self._lookup(tid)
+            row.set_confidence(confidence)
+            self._invalidate_caches()
+            if self._journal is not None:
+                self._journal(
+                    {
+                        "op": "set_confidence",
+                        "table": self._name,
+                        "ordinal": tid.ordinal,
+                        "confidence": row.confidence,
+                    }
+                )
 
     def update(self, tid: TupleId, values: Sequence[Any]) -> None:
         """Replace tuple *tid*'s values (validated against the schema).
@@ -199,20 +212,21 @@ class Table:
         for value, column in zip(coerced, self._schema):
             if value is None and not column.nullable:
                 raise SchemaError(f"column {column.qualified_name} is NOT NULL")
-        for column_index, index in self._indexes.items():
-            index.remove(row.values[column_index], tid)
-            index.add(coerced[column_index], tid)
-        row.values = coerced
-        self._invalidate_caches()
-        if self._journal is not None:
-            self._journal(
-                {
-                    "op": "update",
-                    "table": self._name,
-                    "ordinal": tid.ordinal,
-                    "values": coerced,
-                }
-            )
+        with self._lock:
+            for column_index, index in self._indexes.items():
+                index.remove(row.values[column_index], tid)
+                index.add(coerced[column_index], tid)
+            row.values = coerced
+            self._invalidate_caches()
+            if self._journal is not None:
+                self._journal(
+                    {
+                        "op": "update",
+                        "table": self._name,
+                        "ordinal": tid.ordinal,
+                        "values": coerced,
+                    }
+                )
 
     # -- reading ---------------------------------------------------------
 
@@ -244,10 +258,18 @@ class Table:
     def _sorted_rows(self) -> list[StoredTuple]:
         cache = self._scan_cache
         if cache is None:
-            cache = sorted(
-                self._rows.values(), key=lambda row: row.tid.ordinal
-            )
-            self._scan_cache = cache
+            # Build under the table lock: mutators hold it for the whole
+            # mutation + invalidation, so the rows cannot shift between
+            # the build and its publication.  The data_version re-check
+            # guards the publish even if a future caller builds outside
+            # the lock — a stale view must never be installed.
+            with self._lock:
+                version = self.data_version
+                cache = sorted(
+                    self._rows.values(), key=lambda row: row.tid.ordinal
+                )
+                if self.data_version == version:
+                    self._scan_cache = cache
         return cache
 
     def column_data(self) -> tuple[tuple[list[Any], ...], list[TupleId]]:
@@ -256,20 +278,27 @@ class Table:
         Built once per table version and shared with callers — the
         returned lists are **read-only by contract**; engines must gather
         into fresh lists before mutating.  This is the scan source for the
-        columnar engine (see ``docs/ENGINES.md``).
+        columnar engine (see ``docs/ENGINES.md``).  Rebuilds happen under
+        the table lock with a :attr:`data_version` re-check before
+        publication, so a concurrent mutation can never leave a stale
+        columnar view installed for later readers.
         """
         cache = self._column_cache
         if cache is None:
-            stored = self._sorted_rows()
-            tids = [row.tid for row in stored]
-            if stored:
-                columns = tuple(
-                    list(column) for column in zip(*[row.values for row in stored])
-                )
-            else:
-                columns = tuple([] for _ in self._schema)
-            cache = (columns, tids)
-            self._column_cache = cache
+            with self._lock:
+                version = self.data_version
+                stored = self._sorted_rows()
+                tids = [row.tid for row in stored]
+                if stored:
+                    columns = tuple(
+                        list(column)
+                        for column in zip(*[row.values for row in stored])
+                    )
+                else:
+                    columns = tuple([] for _ in self._schema)
+                cache = (columns, tids)
+                if self.data_version == version:
+                    self._column_cache = cache
         return cache
 
     # -- indexing --------------------------------------------------------
@@ -277,12 +306,13 @@ class Table:
     def create_index(self, column: str) -> None:
         """Create (or no-op if present) a hash index on *column*."""
         column_index = self._schema.index_of(column)
-        if column_index in self._indexes:
-            return
-        index = HashIndex()
-        for row in self._rows.values():
-            index.add(row.values[column_index], row.tid)
-        self._indexes[column_index] = index
+        with self._lock:
+            if column_index in self._indexes:
+                return
+            index = HashIndex()
+            for row in self._rows.values():
+                index.add(row.values[column_index], row.tid)
+            self._indexes[column_index] = index
         if self._journal is not None:
             self._journal(
                 {
@@ -332,11 +362,12 @@ class Table:
             confidence=row.confidence,
             cost_model=row.cost_model,
         )
-        self._rows[copy.tid.ordinal] = copy
-        self._next_ordinal = max(self._next_ordinal, copy.tid.ordinal + 1)
-        for column_index, index in self._indexes.items():
-            index.add(copy.values[column_index], copy.tid)
-        self._invalidate_caches()
+        with self._lock:
+            self._rows[copy.tid.ordinal] = copy
+            self._next_ordinal = max(self._next_ordinal, copy.tid.ordinal + 1)
+            for column_index, index in self._indexes.items():
+                index.add(copy.values[column_index], copy.tid)
+            self._invalidate_caches()
 
     # -- bulk helpers ----------------------------------------------------
 
@@ -348,19 +379,20 @@ class Table:
 
         Used by :mod:`repro.trust` to seed confidences from provenance.
         """
-        for row in self._rows.values():
-            row.set_confidence(assigner(row))
-        self._invalidate_caches()
-        if self._journal is not None:
-            self._journal(
-                {
-                    "op": "confidences",
-                    "updates": [
-                        [self._name, row.tid.ordinal, row.confidence]
-                        for row in self._rows.values()
-                    ],
-                }
-            )
+        with self._lock:
+            for row in self._rows.values():
+                row.set_confidence(assigner(row))
+            self._invalidate_caches()
+            if self._journal is not None:
+                self._journal(
+                    {
+                        "op": "confidences",
+                        "updates": [
+                            [self._name, row.tid.ordinal, row.confidence]
+                            for row in self._rows.values()
+                        ],
+                    }
+                )
 
     def _lookup(self, tid: TupleId) -> StoredTuple:
         if tid.table != self._name or tid.ordinal not in self._rows:

@@ -1,0 +1,260 @@
+"""Concurrent sessions under live writers: the ISSUE-8 isolation contract.
+
+Three layers of assurance:
+
+* **torn-read invariants** — reader sessions scanning while a writer
+  commits DML + confidence write-backs must always see internally
+  consistent rows (value/derived-value/ordinal alignment) and stable
+  row counts per pinned snapshot;
+* **differential verification** — every `ask` a session ran *during* the
+  storm is re-run serially afterwards on the same still-pinned session
+  and must come back bit-identical (values and confidence floats);
+* **hypothesis properties** — arbitrary snapshot/release/commit
+  interleavings keep exactly {current} ∪ {pinned} generations retained,
+  and every pinned view stays frozen at its own state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server import MVCCDatabase, PCQEServer, ServerClient, Session
+from repro.storage import Database, INTEGER, Schema
+from repro.workload import venture_capital_database
+
+READERS = 8
+STORM_SECONDS = 0.6
+
+
+def _counted_db() -> Database:
+    """A table whose rows satisfy v == k * 2 — torn reads break it."""
+    db = Database("storm")
+    table = db.create_table("t", Schema.of(("k", INTEGER), ("v", INTEGER)))
+    for i in range(64):
+        table.insert([i, i * 2], confidence=0.5)
+    return db
+
+
+class TestTornReadInvariants:
+    def test_pinned_scans_stay_consistent_under_dml_storm(self):
+        mvcc = MVCCDatabase(_counted_db())
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            i = 64
+            while not stop.is_set():
+                k = i
+                mvcc.commit(lambda db: db.table("t").insert([k, k * 2]))
+                if i % 5 == 0:
+                    mvcc.commit(
+                        lambda db: db.apply_confidences(
+                            {
+                                row.tid: min(1.0, row.confidence + 0.001)
+                                for row in list(db.table("t").scan())[:8]
+                            }
+                        )
+                    )
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                snap = mvcc.snapshot()
+                try:
+                    rows = snap.db.table("t").rows()
+                    count = len(snap.db.table("t"))
+                    for k, v in rows:
+                        if v != k * 2:
+                            failures.append(f"torn row ({k}, {v})")
+                            return
+                    if len(rows) != count:
+                        failures.append(
+                            f"scan/len disagree: {len(rows)} vs {count}"
+                        )
+                        return
+                    columns, tids = snap.db.table("t").column_data()
+                    if list(columns[0]) != [r[0] for r in rows]:
+                        failures.append("columnar view out of sync with scan")
+                        return
+                finally:
+                    snap.release()
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(STORM_SECONDS, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join()
+        stop_timer.cancel()
+        assert failures == []
+        assert mvcc.generation_seqs() == [mvcc.current_seq]  # GC drained
+
+
+class TestDifferentialAskVerification:
+    def test_concurrent_asks_replay_bit_identical_serially(self):
+        scenario = venture_capital_database()
+        mvcc = MVCCDatabase(scenario.db)
+        stop = threading.Event()
+        sessions = [
+            Session(mvcc, scenario.policies, "bob", "investment")
+            for _ in range(READERS)
+        ]
+        concurrent: dict[int, tuple] = {}
+        errors: list[BaseException] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                name = f"Storm{i}"
+                mvcc.commit(
+                    lambda db: db.table("Proposal").insert(
+                        [name, f"P{i}", 0.5 + (i % 5) / 10.0], confidence=0.4
+                    )
+                )
+                i += 1
+
+        def ask_concurrently(index: int, session: Session) -> None:
+            try:
+                # fraction 0.0 keeps the ask a pure read: no improvement
+                # commit, so the session's pin must not move.
+                result = session.ask(scenario.QUERY, required_fraction=0.0)
+                concurrent[index] = (
+                    session.seq,
+                    [tuple(r.values) for r, _c in result.released],
+                    [c for _r, c in result.released],
+                )
+            except BaseException as error:  # pragma: no cover - reporting
+                errors.append(error)
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        try:
+            askers = [
+                threading.Thread(target=ask_concurrently, args=(i, s))
+                for i, s in enumerate(sessions)
+            ]
+            for thread in askers:
+                thread.start()
+            for thread in askers:
+                thread.join()
+        finally:
+            stop.set()
+            writer_thread.join()
+        assert errors == []
+        assert len(concurrent) == READERS
+
+        # Serial re-run on the same still-pinned sessions, one at a time,
+        # with the writer silent: must be bit-identical to what each
+        # session computed mid-storm.
+        for index, session in enumerate(sessions):
+            seq, rows, confidences = concurrent[index]
+            assert session.seq == seq, "a pure-read ask moved the pin"
+            replay = session.ask(scenario.QUERY, required_fraction=0.0)
+            assert [tuple(r.values) for r, _c in replay.released] == rows
+            assert [c for _r, c in replay.released] == confidences  # exact
+        for session in sessions:
+            session.close()
+
+    def test_wire_level_sessions_are_isolated_and_differential(self):
+        scenario = venture_capital_database()
+        server = PCQEServer(scenario.db, scenario.policies, port=0).start()
+        try:
+            clients = [
+                ServerClient(
+                    server.host,
+                    server.port,
+                    user="bob",
+                    purpose="investment",
+                )
+                for _ in range(READERS)
+            ]
+            baseline = [c.ask(scenario.QUERY, fraction=0.0) for c in clients]
+            with ServerClient(
+                server.host, server.port, user="alice", purpose="investment"
+            ) as writer:
+                for i in range(10):
+                    writer.sql(
+                        f"INSERT INTO Proposal VALUES ('W{i}', 'P{i}', 0.{i}1)"
+                    )
+            for client, before in zip(clients, baseline):
+                after = client.ask(scenario.QUERY, fraction=0.0)
+                assert after["rows"] == before["rows"]
+                assert after["confidences"] == before["confidences"]
+                assert after["seq"] == before["seq"]
+                refreshed_seq = client.refresh()
+                assert refreshed_seq > before["seq"]
+            for client in clients:
+                client.close()
+        finally:
+            server.stop()
+
+
+# -- hypothesis: generation GC --------------------------------------------
+
+
+@st.composite
+def _op_sequences(draw):
+    return draw(
+        st.lists(
+            st.sampled_from(["commit", "snapshot", "release", "refresh"]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+
+
+class TestGenerationGCProperties:
+    @given(ops=_op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_retained_generations_are_current_plus_pinned(self, ops):
+        mvcc = MVCCDatabase(_counted_db())
+        pins = []
+        counter = 1000
+        for op in ops:
+            if op == "commit":
+                value = counter
+                counter += 1
+                mvcc.commit(lambda db: db.table("t").insert([value, value * 2]))
+            elif op == "snapshot":
+                pins.append(mvcc.snapshot())
+            elif op == "release" and pins:
+                pins.pop(0).release()
+            elif op == "refresh" and pins:
+                pins[0] = mvcc.refresh(pins[0])
+            expected = {mvcc.current_seq} | {pin.seq for pin in pins}
+            assert set(mvcc.generation_seqs()) == expected
+        for pin in pins:
+            pin.release()
+        assert mvcc.generation_seqs() == [mvcc.current_seq]
+
+    @given(ops=_op_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_every_pinned_view_stays_frozen(self, ops):
+        mvcc = MVCCDatabase(_counted_db())
+        pins: list[tuple] = []  # (snapshot, expected row count)
+        counter = 5000
+        for op in ops:
+            if op == "commit":
+                value = counter
+                counter += 1
+                mvcc.commit(lambda db: db.table("t").insert([value, value * 2]))
+            elif op == "snapshot":
+                snap = mvcc.snapshot()
+                pins.append((snap, len(snap.db.table("t"))))
+            elif op == "release" and pins:
+                snap, _count = pins.pop()
+                snap.release()
+            elif op == "refresh" and pins:
+                snap, _count = pins.pop()
+                snap = mvcc.refresh(snap)
+                pins.append((snap, len(snap.db.table("t"))))
+            for snap, count in pins:
+                assert len(snap.db.table("t")) == count
+        for snap, _count in pins:
+            snap.release()

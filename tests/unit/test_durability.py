@@ -482,3 +482,76 @@ def test_clone_of_durable_database_is_not_journaled(tmp_path):
     db.close()
     db2, _report = recover(data_dir)
     assert db2.table("t").rows() == [(1,)]
+
+
+# -- WAL concurrency -------------------------------------------------------
+
+
+def test_concurrent_appends_do_not_interleave_frames(tmp_path):
+    import threading
+
+    path = str(tmp_path / "wal.log")
+    log = WriteAheadLog(path, sync=False)
+    threads, per_thread = 8, 50
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def appender(worker: int) -> None:
+        barrier.wait()
+        try:
+            for i in range(per_thread):
+                log.append(f"w{worker}:{i}".encode() * 20)
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=appender, args=(w,)) for w in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    log.close()
+    assert not errors
+    scan = scan_wal(path)  # raises CorruptLogError on interleaved frames
+    assert scan.torn_bytes == 0
+    expected = {
+        f"w{w}:{i}".encode() * 20 for w in range(threads) for i in range(per_thread)
+    }
+    assert set(scan.payloads) == expected
+    assert len(scan.payloads) == threads * per_thread
+
+
+def test_reentrant_append_raises_instead_of_deadlocking(tmp_path):
+    path = str(tmp_path / "wal.log")
+    log = WriteAheadLog(path, sync=False)
+    log.append(b"warmup")
+    failures: list[DurabilityError] = []
+
+    class _JournalingFile:
+        """Wraps the WAL's file; its write() journals — the forbidden cycle."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.armed = False
+
+        def write(self, data):
+            if self.armed:
+                self.armed = False
+                with pytest.raises(DurabilityError) as info:
+                    log.append(b"from-inside-a-write")
+                failures.append(info.value)
+            return self._inner.write(data)
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    hooked = _JournalingFile(log._file)
+    log._file = hooked
+    hooked.armed = True
+    log.append(b"outer")
+    assert len(failures) == 1
+    assert "re-entrant" in str(failures[0])
+    log.close()
+    scan = scan_wal(path)
+    assert scan.payloads == [b"warmup", b"outer"]

@@ -373,3 +373,84 @@ def test_result_set_confidences_use_batch_path(db):
     assert result.confidences(db) == [
         row.confidence(assignment) for row in result.rows
     ]
+
+
+class TestPinnedSelectionStatistics:
+    """Regression: engine selection must read each scanned table's size
+    exactly once, so the decision cannot straddle concurrent DML."""
+
+    class _FlickeringTable:
+        """A table whose reported size changes between ``len`` reads —
+        modelling a writer committing between the selection's size checks."""
+
+        def __init__(self, table, sizes):
+            self._table = table
+            self._sizes = list(sizes)
+            self.len_calls = 0
+
+        def __len__(self):
+            self.len_calls += 1
+            if len(self._sizes) > 1:
+                return self._sizes.pop(0)
+            return self._sizes[0]
+
+        def __getattr__(self, name):
+            return getattr(self._table, name)
+
+    def _flickering_scan(self, sizes):
+        db = Database("flicker")
+        table = db.create_table(
+            "t", Schema.of(("k", INTEGER), ("v", INTEGER))
+        )
+        for i in range(4):
+            table.insert([i, i], confidence=0.5)
+        return self._FlickeringTable(table, sizes)
+
+    def test_selection_reads_each_table_once(self):
+        flicker = self._flickering_scan([100, 10_000])
+        plan = Sort(
+            Project(
+                Filter(Scan(flicker), Comparison(">", col("t.v"), lit(0))),
+                [ProjectItem(col("t.k"))],
+            ),
+            [SortKey(col("t.k"))],
+        )
+        prepared = select_engine(plan, "auto")
+        # One pinned read: the first observed size (below the threshold)
+        # governs every subtree decision, so the whole plan stays native.
+        assert flicker.len_calls == 1
+        assert prepared.label == "native"
+        assert prepared.transfers == 0
+
+    def test_selection_is_deterministic_per_pinned_statistics(self):
+        flicker = self._flickering_scan([10_000, 100])
+        plan = Sort(
+            Project(
+                Filter(Scan(flicker), Comparison(">", col("t.v"), lit(0))),
+                [ProjectItem(col("t.k"))],
+            ),
+            [SortKey(col("t.k"))],
+        )
+        prepared = select_engine(plan, "auto")
+        # The pinned (first) size is large, so the supported subtree gets
+        # its transfer even though a live re-read would now say "small".
+        assert flicker.len_calls == 1
+        assert prepared.label == "native+columnar"
+        assert prepared.transfers == 1
+
+    def test_explicit_statistics_pin_the_decision(self):
+        from repro.engines.select import pin_scan_statistics
+
+        db = Database("pin")
+        table = db.create_table("t", Schema.of(("k", INTEGER), ("v", INTEGER)))
+        for i in range(4):
+            table.insert([i, i], confidence=0.5)
+        plan = Filter(Scan(table), Comparison(">", col("t.v"), lit(0)))
+        pinned = pin_scan_statistics(plan)
+        # Mutations after pinning do not change the decision.
+        for i in range(4, 1024):
+            table.insert([i, i], confidence=0.5)
+        prepared = select_engine(plan, "auto", statistics=pinned)
+        assert prepared.label == "native"
+        fresh = select_engine(plan, "auto")
+        assert fresh.label == "columnar"

@@ -360,3 +360,100 @@ class TestMetricLockContentionUnderPool:
         assert snap["pool.counter"] == 8 * rounds
         assert snap["pool.gauge"] == 0.0
         assert snap["pool.histogram"]["count"] == 8 * rounds
+
+
+class TestRegistryAtomicity:
+    """Regressions for the check-then-act registry races (ISSUE 8)."""
+
+    def test_snapshot_survives_a_first_touch_storm(self):
+        # Pre-fix, snapshot()/names() iterated _instruments without the
+        # lock; concurrent first-touch creation made the dict grow mid-
+        # iteration and raised RuntimeError.
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    registry.snapshot()
+                    registry.names()
+                except BaseException as exc:  # pragma: no cover - reporting
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers:
+            thread.start()
+
+        def creator(worker: int) -> None:
+            for i in range(500):
+                registry.counter(f"storm.{worker}.{i}")
+
+        _run_in_threads_indexed(creator)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        assert len(registry.names()) == THREADS * 500
+
+    def test_histogram_buckets_always_pass_through_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=[1.0, 2.0])
+        again = registry.histogram("h", buckets=[9.0])
+        assert again is first
+        assert first.buckets == (1.0, 2.0)
+
+    def test_histogram_creation_is_atomic_against_reset(self):
+        # Pre-fix, histogram() pre-checked membership outside the lock and
+        # dropped the caller's buckets on the "exists" arm — a reset()
+        # landing between the check and the create silently registered a
+        # DEFAULT_BUCKETS histogram.  Reproduce that interleaving
+        # deterministically: a dict whose membership check triggers the
+        # concurrent reset.  Post-fix the pre-check is gone (buckets flow
+        # through the locked get-or-create), so the hook never fires.
+        registry = MetricsRegistry()
+
+        class _ResetOnContains(dict):
+            def __contains__(self, key):  # the pre-fix check-then-act window
+                result = super().__contains__(key)
+                self.clear()
+                return result
+
+        registry.histogram("h", buckets=[1.0, 2.0])
+        registry._instruments = _ResetOnContains(registry._instruments)
+        survivor = registry.histogram("h", buckets=[1.0, 2.0])
+        assert survivor.buckets == (1.0, 2.0)
+
+    def test_set_metrics_swap_chain_is_linear(self):
+        # Every concurrent set_metrics must displace a *distinct* registry:
+        # the previous-values plus the final global are a permutation of
+        # {original} ∪ {installed}.  A non-atomic read-then-write lets two
+        # threads observe the same previous and lose an install.
+        original = MetricsRegistry()
+        previous_seen: list[MetricsRegistry] = []
+        installed = [MetricsRegistry() for _ in range(THREADS)]
+        old = set_metrics(original)
+        try:
+            barrier = threading.Barrier(THREADS)
+
+            def swap(worker: int) -> None:
+                barrier.wait()
+                previous_seen.append(set_metrics(installed[worker]))
+
+            _run_in_threads_indexed(swap)
+            final = set_metrics(original)
+        finally:
+            set_metrics(old)
+        chain = {id(registry) for registry in previous_seen} | {id(final)}
+        assert chain == {id(original)} | {id(r) for r in installed}
+
+
+def _run_in_threads_indexed(target, count=THREADS):
+    threads = [
+        threading.Thread(target=target, args=(index,)) for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()

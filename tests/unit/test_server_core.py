@@ -1,0 +1,197 @@
+"""The socket server: handshake, dispatch, errors, admission control."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ProtocolError
+from repro.obs import get_metrics
+from repro.server import PCQEServer, ServerClient, ServerReplyError
+from repro.server.protocol import recv_frame, send_frame
+from repro.workload import venture_capital_database
+
+import socket
+
+
+@pytest.fixture()
+def served():
+    scenario = venture_capital_database()
+    server = PCQEServer(scenario.db, scenario.policies, port=0).start()
+    yield server, scenario
+    server.stop()
+
+
+def _client(server, **kwargs) -> ServerClient:
+    kwargs.setdefault("user", "bob")
+    kwargs.setdefault("purpose", "investment")
+    return ServerClient(server.host, server.port, **kwargs)
+
+
+class TestHandshake:
+    def test_hello_reports_session_seq_and_role(self, served):
+        server, _ = served
+        with _client(server) as client:
+            assert client.session_id >= 1
+            assert client.seq >= 1
+            assert client.role == "Manager"
+
+    def test_first_frame_must_be_hello(self, served):
+        server, _ = served
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            send_frame(sock, {"op": "ask", "sql": "SELECT 1"})
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == "ProtocolError"
+            assert "hello" in reply["error"]["message"]
+        finally:
+            sock.close()
+
+    def test_unknown_user_is_a_structured_error(self, served):
+        server, _ = served
+        with pytest.raises(ServerReplyError) as info:
+            _client(server, user="mallory")
+        assert info.value.type == "UnknownUserError"
+
+    def test_sessions_get_distinct_ids(self, served):
+        server, _ = served
+        with _client(server) as a, _client(server) as b:
+            assert a.session_id != b.session_id
+
+
+class TestDispatch:
+    def test_ask_releases_rows_with_confidences(self, served):
+        server, scenario = served
+        with _client(server) as client:
+            reply = client.ask(scenario.QUERY, fraction=0.0)
+            assert reply["status"] == "satisfied"
+            assert len(reply["rows"]) == reply["released"]
+            assert len(reply["confidences"]) == reply["released"]
+
+    def test_unknown_op_is_rejected(self, served):
+        server, _ = served
+        with _client(server) as client:
+            with pytest.raises(ServerReplyError) as info:
+                client.request({"op": "explode"})
+            assert info.value.type == "ProtocolError"
+
+    def test_sql_errors_come_back_structured(self, served):
+        server, _ = served
+        with _client(server) as client:
+            with pytest.raises(ServerReplyError) as info:
+                client.sql("SELECT nonsense FROM nowhere")
+            assert "nowhere" in str(info.value)
+            # The connection survives an application error.
+            assert client.sql("SELECT * FROM Proposal")["count"] == 6
+
+    def test_profile_attaches_a_stage_report(self, served):
+        server, scenario = served
+        with _client(server) as client:
+            reply = client.profile(scenario.QUERY, fraction=0.0)
+            assert "pcqe.execute" in reply["profile"]
+
+    def test_metrics_exposition_includes_server_series(self, served):
+        server, _ = served
+        with _client(server) as client:
+            client.sql("SELECT * FROM Proposal")
+            text = client.metrics()
+        assert "server_requests" in text
+        assert "server_request_latency_seconds" in text
+
+    def test_dml_and_refresh_move_the_session_seq(self, served):
+        server, _ = served
+        with _client(server) as writer, _client(server) as reader:
+            pinned = reader.seq
+            writer.sql("INSERT INTO Proposal VALUES ('NewCo', 'P9', 5.0)")
+            assert reader.sql("SELECT * FROM Proposal")["count"] == 6
+            assert reader.seq == pinned
+            assert reader.refresh() > pinned
+            assert reader.sql("SELECT * FROM Proposal")["count"] == 7
+
+
+class TestAdmissionControl:
+    def test_admit_rejects_when_projection_exceeds_deadline(self, served):
+        server, _ = served
+        server._service_ewma = 10.0  # seconds per request
+        server._inflight = server.workers  # a full pool ahead of us
+        try:
+            with pytest.raises(AdmissionError) as info:
+                server._admit("ask", 50.0)
+        finally:
+            server._inflight = 0
+        error = info.value
+        assert error.deadline_ms == 50.0
+        assert error.projected_wait_ms >= 10_000.0 * (1 - 1e-9)
+        assert error.queue_depth == server.workers
+        assert set(error.details()) == {
+            "deadline_ms",
+            "projected_wait_ms",
+            "queue_depth",
+        }
+
+    def test_admit_accepts_with_headroom_and_counts_inflight(self, served):
+        server, _ = served
+        budget = server._admit("ask", 60_000.0)
+        assert budget is not None and budget.deadline is not None
+        assert server._inflight == 1
+        server._finish(0.01)
+        assert server._inflight == 0
+        assert server._service_ewma > 0.0
+
+    def test_no_deadline_means_no_rejection(self, served):
+        server, _ = served
+        server._service_ewma = 100.0
+        server._inflight = 64
+        try:
+            assert server._admit("ask", None) is None
+        finally:
+            server._inflight = 0
+
+    def test_bad_deadline_is_a_protocol_error(self, served):
+        server, _ = served
+        with pytest.raises(ProtocolError):
+            server._admit("ask", -5)
+        with pytest.raises(ProtocolError):
+            server._admit("ask", "soon")
+
+    def test_rejection_travels_the_wire_with_details(self, served):
+        server, _ = served
+        with _client(server) as client:
+            server._service_ewma = 10.0
+            server._inflight = server.workers
+            try:
+                with pytest.raises(ServerReplyError) as info:
+                    client.ask("SELECT * FROM Proposal", deadline_ms=1.0)
+            finally:
+                server._inflight = 0
+            assert info.value.type == "AdmissionError"
+            assert info.value.error["queue_depth"] == server.workers
+            assert info.value.error["projected_wait_ms"] > 1.0
+            assert get_metrics().counter("server.rejected").value >= 1
+
+
+class TestLifecycle:
+    def test_stop_releases_session_pins(self):
+        scenario = venture_capital_database()
+        server = PCQEServer(scenario.db, scenario.policies, port=0).start()
+        client = _client(server)
+        pinned = client.seq
+        server.stop()
+        # After stop, no generation but the current survives (pins freed).
+        assert server.mvcc.generation_seqs() == [server.mvcc.current_seq]
+        assert pinned <= server.mvcc.current_seq
+
+    def test_double_start_is_an_error(self, served):
+        server, _ = served
+        from repro.errors import ServerError
+
+        with pytest.raises(ServerError):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        scenario = venture_capital_database()
+        server = PCQEServer(scenario.db, scenario.policies, port=0).start()
+        server.stop()
+        server.stop()
