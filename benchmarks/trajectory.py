@@ -103,6 +103,7 @@ _PANEL_FIGURES: dict[str, tuple[str, ...]] = {
     "obs": ("obs",),
     "exec": ("exec",),
     "serve": ("serve",),
+    "chaos": ("chaos",),
 }
 
 

@@ -153,6 +153,7 @@ class CommandShell:
             "help": self._cmd_help,
         }
         self.pcqe_server = None
+        self.serve_drain_timeout: float | None = None
 
     def close(self) -> None:
         """Flush and detach the durable database, audit log, and server."""
@@ -574,19 +575,47 @@ class CommandShell:
     # -- serving ---------------------------------------------------------------
 
     def _cmd_serve(self, rest: str) -> str:
-        """``serve [port]`` / ``serve stop`` — the multi-session PCQE server.
+        """``serve [port] [--drain-timeout S] [--request-timeout S]`` /
+        ``serve drain [S]`` / ``serve stop``.
 
         Serves this shell's database and policy store over the socket
         protocol (see ``docs/SERVING.md``).  Once serving, route writes
         through connected sessions — direct shell DML would bypass the
         server's MVCC commit lock.
+
+        ``serve drain`` (and ``serve stop`` after ``--drain-timeout``)
+        shuts down gracefully: in-flight requests finish, new ones get a
+        retryable ``ServerDrainingError``, a durable database is
+        checkpointed, then the server stops (``docs/ROBUSTNESS.md``).
         """
-        usage = "usage: serve [port] | serve stop"
+        usage = (
+            "usage: serve [port] [--drain-timeout S] [--request-timeout S]"
+            " | serve drain [S] | serve stop"
+        )
         parts = shlex.split(rest)
-        if parts and parts[0] == "stop":
+        if parts and parts[0] in ("stop", "drain"):
             if self.pcqe_server is None:
                 raise CommandError("no PCQE server running")
             address = self.pcqe_server.address
+            drain_timeout = self.serve_drain_timeout
+            if parts[0] == "drain":
+                try:
+                    drain_timeout = float(parts[1]) if len(parts) > 1 else (
+                        drain_timeout if drain_timeout is not None else 5.0
+                    )
+                except ValueError:
+                    raise CommandError(usage) from None
+            if drain_timeout is not None:
+                report = self.pcqe_server.drain(drain_timeout)
+                self.pcqe_server = None
+                state = "drained" if report["drained"] else (
+                    f"abandoned {report['inflight']} in-flight request(s)"
+                )
+                return (
+                    f"stopped PCQE server at {address}: {state} in "
+                    f"{report['waited_s'] * 1000.0:.0f} ms "
+                    f"(checkpoint: {report['checkpoint_bytes']} byte(s))"
+                )
             self.pcqe_server.stop()
             self.pcqe_server = None
             return f"stopped PCQE server at {address}"
@@ -594,18 +623,34 @@ class CommandShell:
             raise CommandError(
                 f"PCQE server already running at {self.pcqe_server.address}"
             )
+        port = 0
+        drain_timeout: float | None = None
+        request_timeout: float | None = None
+        index = 0
         try:
-            port = int(parts[0]) if parts else 0
-        except ValueError:
+            while index < len(parts):
+                token = parts[index]
+                if token == "--drain-timeout":
+                    drain_timeout = float(parts[index + 1])
+                    index += 2
+                elif token == "--request-timeout":
+                    request_timeout = float(parts[index + 1])
+                    index += 2
+                else:
+                    port = int(token)
+                    index += 1
+        except (ValueError, IndexError):
             raise CommandError(usage) from None
         from .server import PCQEServer
 
+        self.serve_drain_timeout = drain_timeout
         self.pcqe_server = PCQEServer(
             self.db,
             self.policies,
             port=port,
             solver=self.solver,
             engine=self.engine,
+            request_timeout=request_timeout,
         ).start()
         return (
             f"serving PCQE sessions at {self.pcqe_server.address} "

@@ -206,6 +206,13 @@ class PCQEResult:
     raw_result: ResultSet | None = field(default=None, repr=False)
     #: Stage breakdown, present when the request asked for ``profile=True``.
     profile: ProfileReport | None = field(default=None, repr=False)
+    #: True when the increment plan came from a degradation path — a
+    #: fallback solver hop or an anytime incumbent on an exhausted
+    #: budget — rather than the primary solver running to completion.
+    #: The result is still policy-compliant; only plan *quality* (cost)
+    #: may be worse.  Surfaces as ``degraded: true`` on the wire and in
+    #: the audit outcome record.
+    degraded: bool = False
 
     @property
     def rows(self) -> list[tuple]:
@@ -357,6 +364,7 @@ class PCQEngine:
                 )
 
             shortfall = outcome.shortfall(request.required_fraction)
+            degraded = False
             try:
                 with tracer.span(
                     "pcqe.strategy_finding", shortfall=shortfall
@@ -369,6 +377,11 @@ class PCQEngine:
                         span=span,
                     )
                     span.set_attribute("cost", plan.total_cost)
+                # The degradation chain stamps the plan when it came from
+                # a fallback hop or an exhausted-budget incumbent.
+                degraded = plan.degraded
+                if degraded:
+                    root.set_attribute("degraded", True)
             except InfeasibleIncrementError as error:
                 logger.warning(
                     "infeasible increment for user=%s purpose=%s: %s",
@@ -412,6 +425,7 @@ class PCQEngine:
                         released=len(outcome.released),
                         withheld=len(outcome.withheld),
                         shortfall=shortfall,
+                        degraded=degraded,
                     )
                 return PCQEResult(
                     status=QueryStatus.QUOTED,
@@ -421,6 +435,7 @@ class PCQEngine:
                     outcome=outcome,
                     quote=quote,
                     raw_result=result,
+                    degraded=degraded,
                 )
 
             with tracer.span("pcqe.improvement") as span:
@@ -479,6 +494,7 @@ class PCQEngine:
                     released=len(improved_outcome.released),
                     withheld=len(improved_outcome.withheld),
                     shortfall=shortfall,
+                    degraded=degraded,
                 )
             return PCQEResult(
                 status=QueryStatus.IMPROVED,
@@ -489,6 +505,7 @@ class PCQEngine:
                 quote=quote,
                 receipt=receipt,
                 raw_result=result,
+                degraded=degraded,
             )
 
     def _audit_enforcement(

@@ -46,6 +46,10 @@ __all__ = [
     "SessionClosedError",
     "AdmissionError",
     "SnapshotWriteError",
+    "OverloadError",
+    "RequestTimeoutError",
+    "CircuitOpenError",
+    "ServerDrainingError",
 ]
 
 
@@ -252,7 +256,22 @@ class WorkloadError(ReproError):
 
 
 class ServerError(ReproError):
-    """Base class for the multi-session serving layer."""
+    """Base class for the multi-session serving layer.
+
+    ``retryable`` classifies the error for clients: ``True`` means the
+    request itself was fine and a later retry may succeed (admission,
+    overload, drain, breaker); ``False`` means retrying the identical
+    request will fail the identical way (bad frame, bad SQL, unknown
+    user).  The flag travels over the wire in every error reply so
+    clients never have to keep a hard-coded type list.  ``details()``
+    contributes extra structured fields to the wire payload.
+    """
+
+    retryable: bool = False
+
+    def details(self) -> dict:
+        """Structured fields merged into the wire error payload."""
+        return {}
 
 
 class ProtocolError(ServerError):
@@ -278,6 +297,8 @@ class AdmissionError(ServerError):
     clients can back off intelligently.
     """
 
+    retryable = True
+
     def __init__(
         self,
         message: str,
@@ -298,3 +319,86 @@ class AdmissionError(ServerError):
             "projected_wait_ms": self.projected_wait_ms,
             "queue_depth": self.queue_depth,
         }
+
+
+class OverloadError(ServerError):
+    """A request was shed by the load shedder: the server is over its
+    capacity for the request's priority class even before any deadline
+    math.  Lower-priority classes (``ask``) shed first; higher ones
+    (``metrics``) keep working so operators can still see what is
+    happening.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str,
+        priority: int,
+        queue_depth: int,
+        limit: int,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.priority = priority
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+    def details(self) -> dict:
+        return {
+            "op": self.op,
+            "priority": self.priority,
+            "queue_depth": self.queue_depth,
+            "limit": self.limit,
+        }
+
+
+class RequestTimeoutError(ServerError):
+    """The server-side per-request timeout expired before the handler
+    finished.  For mutating requests the outcome is ambiguous — the
+    handler may still complete after this reply — which is exactly what
+    client idempotency keys exist to absorb.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, op: str, timeout_ms: float) -> None:
+        super().__init__(message)
+        self.op = op
+        self.timeout_ms = timeout_ms
+
+    def details(self) -> dict:
+        return {"op": self.op, "timeout_ms": self.timeout_ms}
+
+
+class CircuitOpenError(ServerError):
+    """The connection's circuit breaker is open after repeated handler
+    failures; requests are rejected fast (no queueing, no worker) until
+    the cooldown elapses and a half-open probe succeeds.
+    """
+
+    retryable = True
+
+    def __init__(
+        self, message: str, *, failures: int, retry_after_ms: float
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures
+        self.retry_after_ms = retry_after_ms
+
+    def details(self) -> dict:
+        return {
+            "failures": self.failures,
+            "retry_after_ms": self.retry_after_ms,
+        }
+
+
+class ServerDrainingError(ServerError):
+    """The server is draining for shutdown: in-flight requests finish,
+    new ones are rejected.  Retryable in the sense that another replica
+    (or the restarted server) can serve the request.
+    """
+
+    retryable = True

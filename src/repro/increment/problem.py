@@ -446,6 +446,11 @@ class IncrementPlan:
     satisfied_results: tuple[int, ...]
     algorithm: str
     stats: SolverStats = field(default_factory=SolverStats)
+    #: Stamped by the degradation chain when this plan came from a
+    #: fallback hop or an exhausted-budget incumbent rather than the
+    #: primary solver running to completion.  First-class (not a span
+    #: attribute) so the serving layer sees it with tracing disabled.
+    degraded: bool = False
 
     @property
     def changed(self) -> dict[TupleId, float]:

@@ -358,12 +358,23 @@ class DegradationChain:
                 exhausted = budget.exhausted if budget is not None else False
                 attempt_span.set_attribute("budget.exhausted", exhausted)
                 attempt_span.set_attribute("cost", plan.total_cost)
+                # A plan is *degraded* when it is not what the primary
+                # solver would have produced at leisure: either a
+                # fallback hop ran, or the winning attempt returned its
+                # best-so-far incumbent on an exhausted budget.  Callers
+                # (the serving layer) surface this as `degraded: true`.
+                degraded = bool(hop) or exhausted
+                plan.degraded = degraded
                 if span is not None:
                     span.set_attribute("solver", attempt.name)
                     span.set_attribute("fallback_hops", hop)
                     if effective is not None:
                         span.set_attribute("budget.deadline_ms", effective)
                     span.set_attribute("budget.exhausted", exhausted)
+                    if degraded:
+                        span.set_attribute("degraded", True)
+                if degraded:
+                    metrics.counter("pcqe.degraded_plans").inc()
                 if hop:
                     metrics.counter("pcqe.fallback_successes").inc()
                 return plan

@@ -372,18 +372,27 @@ class AuditLog:
         released: int,
         withheld: int,
         shortfall: int = 0,
+        degraded: bool = False,
     ) -> None:
-        """Close a query trail with its final outcome and flush its batch."""
-        self._append(
-            {
-                "kind": "outcome",
-                "query_id": query_id,
-                "released": released,
-                "shortfall": shortfall,
-                "status": status,
-                "withheld": withheld,
-            }
-        )
+        """Close a query trail with its final outcome and flush its batch.
+
+        ``degraded`` records that the increment plan came from a
+        degradation path (fallback hop or exhausted-budget incumbent);
+        the key is only written when set, and "degraded" sorts before
+        every existing key, so records from non-degraded queries stay
+        byte-identical to earlier journal versions.
+        """
+        record: dict = {
+            "kind": "outcome",
+            "query_id": query_id,
+            "released": released,
+            "shortfall": shortfall,
+            "status": status,
+            "withheld": withheld,
+        }
+        if degraded:
+            record = {"degraded": True, **record}
+        self._append(record)
         self._flush(query_id)
 
     # -- lifecycle ---------------------------------------------------------

@@ -10,15 +10,31 @@ Layers, bottom up:
 * :mod:`~repro.server.server` — the asyncio socket server with
   deadline-based admission control and obs instrumentation.
 * :mod:`~repro.server.client` — the blocking client (CLI / tests /
-  benchmarks).
+  benchmarks) and the retrying idempotent :class:`RetryingClient`.
+* :mod:`~repro.server.faults` — deterministic, seeded network fault
+  injection for chaos testing the layers above.
 
-See ``docs/SERVING.md`` for the protocol and semantics.
+See ``docs/SERVING.md`` for the protocol and semantics, and
+``docs/ROBUSTNESS.md`` ("Serving under failure") for the failure model.
 """
 
-from .client import ServerClient, ServerReplyError
+from .client import (
+    RetriesExhaustedError,
+    RetryingClient,
+    ServerClient,
+    ServerReplyError,
+)
+from .faults import (
+    NETWORK_FAULT_POINTS,
+    FaultAction,
+    FaultySocket,
+    NetworkFaultInjector,
+    NetworkFaultSpec,
+    iter_network_fault_specs,
+)
 from .mvcc import MVCCDatabase, Snapshot, SnapshotDatabase, SnapshotTable
 from .protocol import MAX_FRAME_BYTES, encode_frame, recv_frame, send_frame
-from .server import PCQEServer
+from .server import PRIORITY_CLASSES, PCQEServer
 from .session import Session, SessionContext, SessionDatabase
 
 __all__ = [
@@ -30,8 +46,17 @@ __all__ = [
     "SessionContext",
     "SessionDatabase",
     "PCQEServer",
+    "PRIORITY_CLASSES",
     "ServerClient",
     "ServerReplyError",
+    "RetryingClient",
+    "RetriesExhaustedError",
+    "NetworkFaultInjector",
+    "NetworkFaultSpec",
+    "FaultAction",
+    "FaultySocket",
+    "NETWORK_FAULT_POINTS",
+    "iter_network_fault_specs",
     "MAX_FRAME_BYTES",
     "encode_frame",
     "recv_frame",

@@ -19,13 +19,25 @@ error payload, so callers can branch on ``error["type"]`` (e.g.
 
 from __future__ import annotations
 
+import itertools
+import os
 import socket
-from typing import Any
+import threading
+import time
+from typing import Any, Callable
 
-from ..errors import ServerError
+from ..errors import ProtocolError, ServerError
+from ..obs import get_metrics
+from ..storage.durability.retry import RetryPolicy
+from .faults import FaultySocket, NetworkFaultInjector
 from .protocol import recv_frame, send_frame
 
-__all__ = ["ServerClient", "ServerReplyError"]
+__all__ = [
+    "ServerClient",
+    "ServerReplyError",
+    "RetryingClient",
+    "RetriesExhaustedError",
+]
 
 
 class ServerReplyError(ServerError):
@@ -139,6 +151,299 @@ class ServerClient:
     def sql(self, sql: str) -> dict[str, Any]:
         """Run one SQL statement (SELECT reads the snapshot; DML commits)."""
         return self.request({"op": "sql", "sql": sql})
+
+    def refresh(self) -> int:
+        """Re-pin the latest generation; returns the new ``seq``."""
+        return self.request({"op": "refresh"})["seq"]
+
+    def metrics(self) -> str:
+        """The server's OpenMetrics exposition text."""
+        return self.request({"op": "metrics"})["openmetrics"]
+
+
+# ---------------------------------------------------------------------------
+# Retrying client
+# ---------------------------------------------------------------------------
+
+
+class RetriesExhaustedError(ServerError):
+    """Every retry attempt failed; ``last_error`` is the final failure."""
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"request failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class _RetryableFailure(ServerError):
+    """Internal: wraps a failure the retry loop is allowed to absorb."""
+
+    def __init__(self, cause: BaseException, *, reconnect: bool) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+        #: Transport-level failures poison the socket; server-side
+        #: rejections (admission, overload, breaker) leave it healthy.
+        self.reconnect = reconnect
+
+
+_client_ids = itertools.count(1)
+
+
+class RetryingClient:
+    """A :class:`ServerClient` hardened for lossy networks and overload.
+
+    * **Retry with backoff + jitter** — transport failures and retryable
+      server rejections (``error["retryable"]`` on the wire:
+      ``AdmissionError``, ``OverloadError``, ``CircuitOpenError``,
+      ``RequestTimeoutError``, ``ServerDrainingError``) are retried up to
+      *attempts* times with capped exponential backoff, reusing the
+      durability layer's :class:`~repro.storage.durability.retry.RetryPolicy`
+      semantics.  Terminal errors (bad SQL, unknown user, policy
+      violations) raise :class:`ServerReplyError` immediately.
+    * **Idempotency keys** — mutating requests (``sql``, ``ask``,
+      ``profile``) carry a per-request ``idempotency_key`` minted once
+      and reused across retries, and the ``hello`` carries a stable
+      ``client_id``, so a retry after an *ambiguous* failure (the
+      request may or may not have executed) is deduplicated server-side:
+      the completed reply is replayed instead of the work re-running.
+    * **Request ids** — every frame carries a monotonically increasing
+      ``rid`` which the server echoes; replies with a stale ``rid``
+      (e.g. an injected duplicate) are discarded, keeping the stream in
+      sync.
+    * **Reconnect** — a dead socket is replaced (fresh ``hello`` with
+      the same ``client_id``) transparently before the next attempt.
+
+    Deterministic under test: *sleep*, *seed*, and *faults* (a
+    :class:`~repro.server.faults.NetworkFaultInjector` applied to the
+    client side of the socket) are injectable.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        user: str,
+        purpose: str,
+        timeout: float | None = 30.0,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.1,
+        seed: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        client_id: str | None = None,
+        faults: NetworkFaultInjector | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._user = user
+        self._purpose = purpose
+        self._timeout = timeout
+        self._faults = faults
+        self.client_id = client_id or (
+            f"rc-{os.getpid()}-{next(_client_ids)}"
+        )
+        self._retry = RetryPolicy(
+            attempts=attempts,
+            base_delay=base_delay,
+            max_delay=max_delay,
+            jitter=jitter,
+            retryable=(_RetryableFailure,),
+            sleep=sleep,
+            seed=seed,
+        )
+        self._lock = threading.Lock()
+        self._rids = itertools.count(1)
+        self._keys = itertools.count(1)
+        self._sock: Any = None
+        self._closed = False
+        self.reconnects = 0
+        self.session_id: int = 0
+        self.seq: int = 0
+        self.role: str = ""
+        self._connect()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> None:
+        raw = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        raw.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock: Any = raw
+        if self._faults is not None:
+            sock = FaultySocket(raw, self._faults)
+        self._sock = sock
+        rid = next(self._rids)
+        try:
+            send_frame(sock, {
+                "op": "hello",
+                "user": self._user,
+                "purpose": self._purpose,
+                "client_id": self.client_id,
+                "rid": rid,
+            })
+            hello = self._read_matching(rid)
+        except BaseException:
+            self._drop_socket()
+            raise
+        if not hello.get("ok", False):
+            self._drop_socket()
+            raise ServerReplyError(hello.get("error", {}))
+        self.session_id = hello["session"]
+        self.seq = hello["seq"]
+        self.role = hello.get("role", "")
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+            self._sock = None
+
+    def _read_matching(self, rid: int) -> dict[str, Any]:
+        """Read until a reply for *rid* arrives, discarding stale frames
+        (injected duplicates, leftovers from an abandoned request)."""
+        while True:
+            reply = recv_frame(self._sock)
+            got = reply.get("rid")
+            if got is None or got == rid:
+                return reply
+            get_metrics().counter("client.stale_replies").inc()
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one logical request, retrying as classified; the reply.
+
+        Raises :class:`ServerReplyError` on a terminal error reply and
+        :class:`RetriesExhaustedError` when every attempt failed
+        retryably.
+        """
+        if self._closed:
+            raise ServerError("client is closed")
+        with self._lock:
+            rid = next(self._rids)
+            frame = {**message, "rid": rid}
+
+            def attempt() -> dict[str, Any]:
+                try:
+                    if self._sock is None:
+                        self.reconnects += 1
+                        get_metrics().counter("client.reconnects").inc()
+                        self._connect()
+                    send_frame(self._sock, frame)
+                    reply = self._read_matching(rid)
+                except _RetryableFailure:
+                    raise
+                except ServerReplyError as error:
+                    # A rejected hello during reconnect (e.g. the server
+                    # is draining): retryable if the server says so.
+                    self._drop_socket()
+                    if error.error.get("retryable", False):
+                        raise _RetryableFailure(
+                            error, reconnect=True
+                        ) from error
+                    raise
+                except (OSError, ProtocolError) as error:
+                    # Transport death: ambiguous (the server may have
+                    # executed the request) — safe to retry because
+                    # mutating frames carry an idempotency key.
+                    self._drop_socket()
+                    raise _RetryableFailure(error, reconnect=True) from error
+                if not reply.get("ok", False):
+                    error_payload = reply.get("error", {})
+                    cause = ServerReplyError(error_payload)
+                    if error_payload.get("retryable", False):
+                        raise _RetryableFailure(cause, reconnect=False)
+                    raise cause
+                if "seq" in reply:
+                    self.seq = reply["seq"]
+                return reply
+
+            def on_retry(attempt_number: int, error: BaseException) -> None:
+                get_metrics().counter("server.retries").inc()
+
+            try:
+                return self._retry.call(attempt, on_retry=on_retry)
+            except _RetryableFailure as failure:
+                raise RetriesExhaustedError(
+                    self._retry.attempts, failure.cause
+                ) from failure.cause
+
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sock is None:
+            return
+        try:
+            send_frame(self._sock, {"op": "bye"})
+            recv_frame(self._sock)
+        except (OSError, ServerError):
+            pass
+        finally:
+            self._drop_socket()
+
+    def __enter__(self) -> "RetryingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations --------------------------------------------------------
+
+    def _idempotency_key(self) -> str:
+        return f"{self.client_id}:{next(self._keys)}"
+
+    def ask(
+        self,
+        sql: str,
+        fraction: float = 1.0,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """Run the PCQE pipeline; retried with an idempotency key (an
+        approved increment plan commits a write-back)."""
+        message: dict[str, Any] = {
+            "op": "ask",
+            "sql": sql,
+            "fraction": fraction,
+            "idempotency_key": self._idempotency_key(),
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return self.request(message)
+
+    def profile(
+        self,
+        sql: str,
+        fraction: float = 1.0,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """``ask`` with a stage-by-stage profile report attached."""
+        message: dict[str, Any] = {
+            "op": "profile",
+            "sql": sql,
+            "fraction": fraction,
+            "idempotency_key": self._idempotency_key(),
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return self.request(message)
+
+    def sql(self, sql: str) -> dict[str, Any]:
+        """Run one SQL statement; DML retries are deduplicated by key."""
+        return self.request({
+            "op": "sql",
+            "sql": sql,
+            "idempotency_key": self._idempotency_key(),
+        })
 
     def refresh(self) -> int:
         """Re-pin the latest generation; returns the new ``seq``."""

@@ -1,0 +1,217 @@
+"""Deterministic network fault injection for the serving layer.
+
+The storage layer proves crash safety with a seeded fault matrix
+(:mod:`repro.storage.durability.faults`); this module is the same idea
+for the wire.  A :class:`NetworkFaultInjector` is armed with one
+:class:`NetworkFaultSpec` — a (point, mode, occurrence) cell — and
+consulted at named fault points on both ends of a connection:
+
+* ``server.write`` — just before the server writes a reply frame.
+  Modes: ``torn_frame`` (a seeded prefix of the frame is written, then
+  the transport is aborted), ``disconnect`` (close without writing),
+  ``reset`` (abort → RST), ``delay`` (the reply is held back), ``dup``
+  (the frame is written twice), ``slow_write`` (the frame dribbles out
+  in small chunks — a server-side slow-loris).
+* ``server.read`` — before the server reads the next request.  Mode
+  ``disconnect`` drops the connection mid-conversation.
+* ``client.send`` — inside the client socket's ``sendall``.  Modes:
+  ``torn_frame`` (a prefix of the request leaves, then the socket dies)
+  and ``disconnect`` (the socket dies before any byte leaves).
+* ``client.recv`` — inside the client socket's ``recv``, i.e. after the
+  request was sent but before the reply arrives.  Mode ``disconnect``
+  manufactures the *ambiguous failure*: the server may well have
+  executed the request, the client will never know — the case
+  idempotency keys exist for.
+
+The injector is pure decision logic: it never touches sockets itself
+(the server applies directives with asyncio primitives, the client's
+:class:`FaultySocket` with blocking calls), so one implementation serves
+both ends and stays trivially testable.  All randomness (torn prefix
+lengths) comes from ``random.Random(spec.seed)``; ``tripped`` records
+whether the armed fault actually fired — a matrix cell whose point is
+never reached is a harness bug, not a pass.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "FaultAction",
+    "NetworkFaultSpec",
+    "NetworkFaultInjector",
+    "FaultySocket",
+    "NETWORK_FAULT_POINTS",
+    "iter_network_fault_specs",
+]
+
+
+#: Fault points and the modes meaningful at each.
+NETWORK_FAULT_POINTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    (
+        "server.write",
+        ("torn_frame", "disconnect", "reset", "delay", "dup", "slow_write"),
+    ),
+    ("server.read", ("disconnect",)),
+    ("client.send", ("torn_frame", "disconnect")),
+    ("client.recv", ("disconnect",)),
+)
+
+_ALL_MODES = frozenset(
+    mode for _point, modes in NETWORK_FAULT_POINTS for mode in modes
+)
+
+
+@dataclass(frozen=True)
+class NetworkFaultSpec:
+    """One cell of the network fault matrix.
+
+    The fault fires on the ``occurrence``-th hit of ``point`` (hits are
+    counted across the injector's whole lifetime, so a spec can target
+    e.g. "the second reply after the hello").  ``delay_s`` sizes the
+    ``delay`` and ``slow_write`` modes; keep it small — the matrix runs
+    in CI.
+    """
+
+    point: str
+    mode: str
+    occurrence: int = 1
+    seed: int = 0
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        valid = dict(NETWORK_FAULT_POINTS)
+        if self.point not in valid:
+            raise ValueError(f"unknown fault point {self.point!r}")
+        if self.mode not in _ALL_MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.mode not in valid[self.point]:
+            raise ValueError(
+                f"mode {self.mode!r} is not meaningful at {self.point!r}"
+            )
+        if self.occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What the transport layer should do, decided by the injector.
+
+    ``cut`` is the byte offset for ``torn_frame`` (how much of the frame
+    reaches the peer before the connection dies); ``chunk`` is the write
+    granularity for ``slow_write``.
+    """
+
+    mode: str
+    cut: int = 0
+    delay_s: float = 0.0
+    chunk: int = 1
+
+
+def iter_network_fault_specs(
+    seed: int = 0, occurrence: int = 2
+) -> Iterator[NetworkFaultSpec]:
+    """Every (point, mode) cell as a spec, for matrix-style harnesses.
+
+    The default ``occurrence=2`` skips the hello handshake (the first
+    write/read on a connection) so faults land mid-conversation, where
+    a session pin is held and state can actually leak.
+    """
+    for point, modes in NETWORK_FAULT_POINTS:
+        for mode in modes:
+            yield NetworkFaultSpec(point, mode, occurrence=occurrence, seed=seed)
+
+
+class NetworkFaultInjector:
+    """Counts fault-point hits and emits the armed :class:`FaultAction`.
+
+    One injector drives one scripted chaos cell: hand it to
+    ``PCQEServer(..., faults=injector)`` for server-side points or wrap
+    the client socket in a :class:`FaultySocket` for client-side ones.
+    Thread-safe by construction for our use (server points fire on the
+    event loop, client points on the client thread; one spec only ever
+    targets one side).
+    """
+
+    def __init__(self, spec: NetworkFaultSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.hits: dict[str, int] = {}
+        self.tripped = False
+
+    def decide(self, point: str, nbytes: int = 0) -> FaultAction | None:
+        """Consult the injector at *point*; ``None`` means proceed clean."""
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        if point != self.spec.point or count != self.spec.occurrence:
+            return None
+        self.tripped = True
+        mode = self.spec.mode
+        if mode == "torn_frame":
+            # Always tear inside the frame: at least one byte leaves (the
+            # peer sees a started frame, not a clean close) and at least
+            # one byte is missing.
+            cut = self.rng.randrange(1, max(2, nbytes))
+            return FaultAction(mode, cut=cut)
+        if mode == "slow_write":
+            chunk = max(1, nbytes // 8)
+            return FaultAction(mode, delay_s=self.spec.delay_s / 8.0, chunk=chunk)
+        if mode == "delay":
+            return FaultAction(mode, delay_s=self.spec.delay_s)
+        return FaultAction(mode)
+
+
+class FaultySocket:
+    """A blocking socket wrapper applying ``client.*`` fault points.
+
+    Only the surface :func:`~repro.server.protocol.send_frame` /
+    :func:`~repro.server.protocol.recv_frame` use is wrapped (``sendall``
+    / ``recv`` / ``close`` / ``settimeout``); everything else delegates.
+    Injected deaths close the real socket and raise
+    ``ConnectionResetError`` so they are indistinguishable from a peer
+    reset to the retry machinery above.
+    """
+
+    def __init__(
+        self, sock: socket.socket, injector: NetworkFaultInjector
+    ) -> None:
+        self._sock = sock
+        self._injector = injector
+
+    def sendall(self, data: bytes) -> None:
+        action = self._injector.decide("client.send", len(data))
+        if action is None:
+            self._sock.sendall(data)
+            return
+        if action.mode == "torn_frame":
+            self._sock.sendall(data[: action.cut])
+        self._sock.close()
+        raise ConnectionResetError(
+            f"injected {action.mode} during send ({len(data)} byte frame)"
+        )
+
+    def recv(self, nbytes: int) -> bytes:
+        action = self._injector.decide("client.recv", nbytes)
+        if action is not None:
+            self._sock.close()
+            raise ConnectionResetError(
+                f"injected {action.mode} before recv"
+            )
+        return self._sock.recv(nbytes)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def settimeout(self, value: float | None) -> None:
+        self._sock.settimeout(value)
+
+    def setsockopt(self, *args) -> None:
+        self._sock.setsockopt(*args)
+
+    def __getattr__(self, name: str):  # pragma: no cover - passthrough
+        return getattr(self._sock, name)

@@ -19,8 +19,32 @@ budget's remaining time, the request is rejected immediately with a
 structured :class:`~repro.errors.AdmissionError` — a fast "no" instead
 of a guaranteed-late answer.
 
+Failure hardening (see ``docs/ROBUSTNESS.md``, "Serving under failure"):
+
+* every reply goes through one frame-write boundary that absorbs
+  half-closed sockets (``server.write_errors``) and applies injected
+  chaos (:mod:`~repro.server.faults`, ``server.faults.injected``);
+* a per-request server-side timeout (``request_timeout``) answers with a
+  retryable :class:`~repro.errors.RequestTimeoutError` and then performs
+  a cancellation handshake — budgets are cooperative, so the worker is
+  given a bounded grace to acknowledge before the connection is poisoned
+  (closed) rather than sharing a session with a zombie thread;
+* a load-shedding tier above admission control rejects by priority class
+  (``ask`` sheds first, ``metrics`` last) when the queue exceeds a
+  per-class multiple of the pool (``server.shed``);
+* a per-connection circuit breaker converts repeated handler failures
+  into fast :class:`~repro.errors.CircuitOpenError` rejections;
+* requests carrying an ``idempotency_key`` are deduplicated in a bounded
+  LRU keyed by ⟨client id, key⟩, so a client retrying after an ambiguous
+  failure (timeout, torn reply) gets the completed reply instead of a
+  second execution (``server.idempotent_replays``);
+* :meth:`PCQEServer.drain` stops accepting, lets in-flight requests
+  finish (new ones get :class:`~repro.errors.ServerDrainingError`),
+  checkpoints a durable database, and stops.
+
 Observability: every request runs inside a ``server.request`` span;
-``server.active_sessions`` / ``server.queue_depth`` gauges and the
+``server.active_sessions`` / ``server.queue_depth`` /
+``server.breaker.open`` / ``server.draining`` gauges and the
 ``server.request.latency_seconds`` histogram (p50/p95/p99 via the obs
 stack's interpolation) feed the OpenMetrics exposition.
 """
@@ -28,29 +52,159 @@ stack's interpolation) feed the OpenMetrics exposition.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 from ..errors import (
     AdmissionError,
+    CircuitOpenError,
+    OverloadError,
     ProtocolError,
     ReproError,
+    RequestTimeoutError,
+    ServerDrainingError,
     ServerError,
 )
 from ..increment import Budget
 from ..obs import TIMING_BUCKETS, get_metrics, get_tracer
 from ..policy import PolicyStore
 from ..storage.database import Database
+from .faults import NetworkFaultInjector
 from .mvcc import MVCCDatabase
-from .protocol import read_frame, write_frame
+from .protocol import encode_frame, read_frame
 from .session import Session
 
-__all__ = ["PCQEServer"]
+__all__ = ["PCQEServer", "PRIORITY_CLASSES"]
+
+logger = logging.getLogger("repro.server")
 
 #: Weight of the newest observation in the service-time EWMA.
 _EWMA_ALPHA = 0.2
+
+#: Priority class per op for the load shedder: lower sheds first.  Asks
+#: are the expensive solver work and the first to go; plain SQL is mid;
+#: ``metrics``/``refresh`` stay up so operators can watch the overload.
+PRIORITY_CLASSES: dict[str, int] = {
+    "ask": 0,
+    "profile": 0,
+    "sql": 1,
+    "refresh": 2,
+    "metrics": 2,
+}
+
+#: Queue-depth multiple of ``workers`` above which each priority class
+#: is shed.  No entry = never shed.
+DEFAULT_SHED_MULTIPLIERS: dict[int, float] = {0: 2.0, 1: 4.0}
+
+
+class _ConnectionPoisoned(Exception):
+    """Internal: send *reply*, then close the connection (zombie worker)."""
+
+    def __init__(self, reply: dict[str, Any]) -> None:
+        super().__init__("connection poisoned")
+        self.reply = reply
+
+
+class _ConnectionBreaker:
+    """Per-connection circuit breaker over handler failures.
+
+    ``closed`` → normal; ``threshold`` consecutive failures → ``open``
+    (fast rejections, no queueing) for ``cooldown`` seconds → one
+    ``half_open`` probe; its success closes the breaker, its failure
+    re-opens it.  ``threshold <= 0`` disables the breaker entirely.
+    The ``server.breaker.open`` gauge counts currently-open breakers.
+    """
+
+    __slots__ = ("threshold", "cooldown", "clock", "failures", "state",
+                 "opened_at")
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.failures = 0
+        self.state = "closed"
+        self.opened_at = 0.0
+
+    def _set_state(self, state: str) -> None:
+        if state == self.state:
+            return
+        gauge = get_metrics().gauge("server.breaker.open")
+        if self.state == "open":
+            gauge.dec()
+        if state == "open":
+            gauge.inc()
+            self.opened_at = self.clock()
+        self.state = state
+
+    def allow(self) -> tuple[bool, float]:
+        """(admit?, seconds until the next probe if not)."""
+        if self.state != "open":
+            return True, 0.0
+        elapsed = self.clock() - self.opened_at
+        if elapsed >= self.cooldown:
+            self._set_state("half_open")
+            return True, 0.0
+        return False, self.cooldown - elapsed
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._set_state("closed")
+
+    def record_failure(self) -> None:
+        if self.threshold <= 0:
+            return
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.threshold:
+            self._set_state("open")
+
+    def discard(self) -> None:
+        """Connection teardown: an open breaker leaves the gauge with it."""
+        self._set_state("closed")
+
+
+class _IdempotencyCache:
+    """Bounded LRU of ⟨client id, idempotency key⟩ → reply (or in-flight
+    future).  Storing the *future* at admission closes the double-execute
+    race: a retry that lands while the original is still running awaits
+    the same execution instead of starting a second one.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, str], Any] = OrderedDict()
+
+    def get(self, key: tuple[str, str]) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple[str, str], value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def drop(self, key: tuple[str, str]) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class PCQEServer:
@@ -60,6 +214,16 @@ class PCQEServer:
     reports the bound one.  *workers* sizes the query thread pool.
     *service_time_hint* seeds the admission controller's service-time
     estimate (seconds) before any request has completed.
+
+    *request_timeout* (seconds) bounds every request server-side: the
+    client gets a retryable :class:`~repro.errors.RequestTimeoutError`
+    and the worker — whose ask budget is capped to the same horizon — is
+    given a grace window to stop before the connection is closed.
+    *faults* arms a :class:`~repro.server.faults.NetworkFaultInjector`
+    for chaos testing.  *breaker_threshold* / *breaker_cooldown*
+    configure the per-connection circuit breaker (``threshold=0``
+    disables it); *shed_multipliers* maps priority class → queue-depth
+    multiple of *workers* above which that class is shed.
     """
 
     def __init__(
@@ -72,13 +236,31 @@ class PCQEServer:
         workers: int = 8,
         solver: str = "greedy",
         engine: str = "auto",
+        fallback: "tuple[str, ...] | None" = None,
         service_time_hint: float = 0.0,
+        request_timeout: float | None = None,
+        faults: NetworkFaultInjector | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+        shed_multipliers: "dict[int, float] | None" = None,
+        idempotency_capacity: int = 1024,
     ) -> None:
         self.mvcc = MVCCDatabase(db)
         self.policies = policies
         self.solver = solver
         self.engine = engine
+        self.fallback = fallback
         self.workers = workers
+        self.request_timeout = request_timeout
+        self.faults = faults
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.shed_multipliers = (
+            dict(DEFAULT_SHED_MULTIPLIERS)
+            if shed_multipliers is None
+            else dict(shed_multipliers)
+        )
+        self._db = db
         self._host = host
         self._port = port
         self._executor = ThreadPoolExecutor(
@@ -95,6 +277,19 @@ class PCQEServer:
         self._admission_lock = threading.Lock()
         self._inflight = 0
         self._service_ewma = service_time_hint
+        self._draining = False
+        # Requests admitted but whose reply has not been written yet;
+        # drain waits on this so an accepted request is never dropped
+        # between its worker finishing and its reply leaving the socket.
+        self._requests_open = 0
+        self._idempotency = _IdempotencyCache(idempotency_capacity)
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServerError("request_timeout must be positive")
+        self._timeout_grace = (
+            max(1.0, 2.0 * request_timeout)
+            if request_timeout is not None
+            else 1.0
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -177,6 +372,49 @@ class PCQEServer:
             session.close()
         self._bound = None
 
+    def drain(self, timeout: float = 5.0) -> dict[str, Any]:
+        """Graceful shutdown: finish in-flight work, checkpoint, stop.
+
+        Stops accepting new connections immediately; requests already
+        admitted get up to *timeout* seconds to finish **and** have their
+        replies written, while new requests (on existing connections) are
+        rejected with a retryable
+        :class:`~repro.errors.ServerDrainingError`.  Once quiescent — or
+        at the deadline — a durable database is checkpointed and the
+        server stops.  Returns a report: ``drained`` is True iff nothing
+        in flight was abandoned.
+        """
+        if self._thread is None:
+            raise ServerError("server is not running")
+        assert self._loop is not None
+        metrics = get_metrics()
+        metrics.gauge("server.draining").set(1)
+        self._draining = True
+        server = self._server
+        if server is not None:
+            self._loop.call_soon_threadsafe(server.close)
+        started = time.monotonic()
+        deadline = started + timeout
+        while time.monotonic() < deadline:
+            with self._admission_lock:
+                busy = self._inflight or self._requests_open
+            if not busy:
+                break
+            time.sleep(0.005)
+        with self._admission_lock:
+            leftover = self._inflight + self._requests_open
+        checkpoint_bytes = 0
+        if leftover == 0 and self._db.is_durable:
+            checkpoint_bytes = self._db.checkpoint()
+        self.stop()
+        metrics.gauge("server.draining").set(0)
+        return {
+            "drained": leftover == 0,
+            "waited_s": time.monotonic() - started,
+            "inflight": leftover,
+            "checkpoint_bytes": checkpoint_bytes,
+        }
+
     def __enter__(self) -> "PCQEServer":
         return self.start()
 
@@ -190,69 +428,181 @@ class PCQEServer:
     ) -> None:
         metrics = get_metrics()
         session: Session | None = None
+        breaker = _ConnectionBreaker(
+            self.breaker_threshold, self.breaker_cooldown
+        )
         try:
             while True:
+                if self.faults is not None:
+                    action = self.faults.decide("server.read")
+                    if action is not None:
+                        metrics.counter("server.faults.injected").inc()
+                        return
                 try:
                     request = await read_frame(reader)
                 except ProtocolError as error:
-                    await write_frame(writer, _error_reply(error))
+                    await self._write_frame(writer, _error_reply(error))
                     return
                 if request is None:
                     return  # clean disconnect
                 op = request.get("op")
+                rid = request.get("rid")
                 if session is None:
                     if op != "hello":
-                        await write_frame(
+                        await self._write_frame(
                             writer,
                             _error_reply(
                                 ProtocolError(
                                     f"first frame must be 'hello', got {op!r}"
-                                )
+                                ),
+                                rid=rid,
+                            ),
+                        )
+                        return
+                    if self._draining:
+                        await self._write_frame(
+                            writer,
+                            _error_reply(
+                                ServerDrainingError(
+                                    "hello rejected: server is draining"
+                                ),
+                                rid=rid,
                             ),
                         )
                         return
                     try:
                         session = self._open_session(request)
                     except ReproError as error:
-                        await write_frame(writer, _error_reply(error))
+                        await self._write_frame(
+                            writer, _error_reply(error, rid=rid)
+                        )
                         return
                     metrics.gauge("server.active_sessions").inc()
-                    await write_frame(
+                    await self._write_frame(
                         writer,
-                        {
-                            "ok": True,
-                            "session": session.id,
-                            "seq": session.seq,
-                            "user": session.context.user,
-                            "role": session.context.role,
-                            "purpose": session.context.purpose,
-                        },
+                        _stamp(
+                            {
+                                "ok": True,
+                                "session": session.id,
+                                "seq": session.seq,
+                                "user": session.context.user,
+                                "role": session.context.role,
+                                "purpose": session.context.purpose,
+                            },
+                            rid,
+                        ),
                     )
                     continue
                 if op == "bye":
-                    await write_frame(writer, {"ok": True, "closed": True})
+                    await self._write_frame(
+                        writer, _stamp({"ok": True, "closed": True}, rid)
+                    )
                     return
-                reply = await self._dispatch(session, op, request)
-                await write_frame(writer, reply)
+                poisoned = False
+                with self._admission_lock:
+                    self._requests_open += 1
+                try:
+                    try:
+                        reply = await self._dispatch(
+                            session, breaker, op, request
+                        )
+                    except _ConnectionPoisoned as zombie:
+                        reply = zombie.reply
+                        poisoned = True
+                    wrote = await self._write_frame(
+                        writer, _stamp(reply, rid)
+                    )
+                finally:
+                    with self._admission_lock:
+                        self._requests_open -= 1
+                if poisoned or not wrote:
+                    return
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; the finally block cleans up
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection task while it was
+            # parked in read_frame.  Finish normally instead of ending in
+            # the cancelled state: Python 3.11's streams done-callback
+            # calls task.exception() and would log the CancelledError as
+            # an unhandled callback exception.
+            pass
+        except Exception:  # pragma: no cover - defensive backstop
+            metrics.counter("server.connection_errors").inc()
+            logger.exception("connection handler failed")
         finally:
             if session is not None:
                 session.close()
                 with self._sessions_lock:
                     self._sessions.discard(session)
                 metrics.gauge("server.active_sessions").dec()
+            breaker.discard()
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # pragma: no cover
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
                 pass
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, message: dict[str, Any]
+    ) -> bool:
+        """The single frame-write boundary: faults in, socket errors out.
+
+        Returns False when the connection is unusable afterwards — the
+        caller must stop the conversation (the ``finally`` in
+        :meth:`_handle` releases the session pin either way).
+        """
+        metrics = get_metrics()
+        data = encode_frame(message)
+        action = (
+            self.faults.decide("server.write", len(data))
+            if self.faults is not None
+            else None
+        )
+        try:
+            if action is None:
+                writer.write(data)
+                await writer.drain()
+                return True
+            metrics.counter("server.faults.injected").inc()
+            if action.mode == "disconnect":
+                return False
+            if action.mode == "reset":
+                writer.transport.abort()
+                return False
+            if action.mode == "torn_frame":
+                writer.write(data[: action.cut])
+                await writer.drain()
+                writer.transport.abort()
+                return False
+            if action.mode == "delay":
+                await asyncio.sleep(action.delay_s)
+            elif action.mode == "slow_write":
+                for offset in range(0, len(data), action.chunk):
+                    writer.write(data[offset : offset + action.chunk])
+                    await writer.drain()
+                    await asyncio.sleep(action.delay_s)
+                return True
+            elif action.mode == "dup":
+                writer.write(data)
+            writer.write(data)
+            await writer.drain()
+            return True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # Half-closed peer: count it, close quietly.  Never let a
+            # write error escape into the asyncio exception handler.
+            metrics.counter("server.write_errors").inc()
+            return False
 
     def _open_session(self, request: dict[str, Any]) -> Session:
         user = request.get("user")
         purpose = request.get("purpose")
         if not isinstance(user, str) or not isinstance(purpose, str):
             raise ProtocolError("hello needs string 'user' and 'purpose'")
+        client_id = request.get("client_id")
+        if client_id is not None and not isinstance(client_id, str):
+            raise ProtocolError("client_id must be a string")
         session = Session(
             self.mvcc,
             self.policies,
@@ -260,6 +610,8 @@ class PCQEServer:
             purpose,
             solver=self.solver,
             engine=self.engine,
+            fallback=self.fallback,
+            client_id=client_id,
         )
         with self._sessions_lock:
             self._sessions.add(session)
@@ -268,7 +620,11 @@ class PCQEServer:
     # -- request dispatch --------------------------------------------------
 
     async def _dispatch(
-        self, session: Session, op: Any, request: dict[str, Any]
+        self,
+        session: Session,
+        breaker: _ConnectionBreaker,
+        op: Any,
+        request: dict[str, Any],
     ) -> dict[str, Any]:
         handlers: dict[str, Callable[[Session, dict[str, Any]], dict[str, Any]]] = {
             "ask": self._op_ask,
@@ -285,12 +641,52 @@ class PCQEServer:
                     f"{sorted(handlers)} or 'bye')"
                 )
             )
+        metrics = get_metrics()
+        key = request.get("idempotency_key")
+        ckey: tuple[str, str] | None = None
+        if key is not None:
+            if not isinstance(key, str):
+                return _error_reply(
+                    ProtocolError("idempotency_key must be a string")
+                )
+            ckey = (session.client_id, key)
+            entry = self._idempotency.get(ckey)
+            if entry is not None:
+                metrics.counter("server.idempotent_replays").inc()
+                if isinstance(entry, asyncio.Future):
+                    reply = await asyncio.shield(entry)
+                else:
+                    reply = entry
+                reply = dict(reply)
+                reply["idempotent_replay"] = True
+                return reply
+        allowed, retry_after = breaker.allow()
+        if not allowed:
+            metrics.counter("server.breaker.rejections").inc()
+            return _error_reply(
+                CircuitOpenError(
+                    f"{op} rejected: circuit breaker open after "
+                    f"{breaker.failures} consecutive failure(s); retry in "
+                    f"{retry_after * 1000.0:.0f} ms",
+                    failures=breaker.failures,
+                    retry_after_ms=retry_after * 1000.0,
+                )
+            )
         deadline_ms = request.get("deadline_ms")
         try:
             budget = self._admit(op, deadline_ms)
         except ReproError as error:
-            get_metrics().counter("server.rejected").inc()
+            metrics.counter("server.rejected").inc()
             return _error_reply(error)
+        del budget  # consumed by admission; queries budget via deadline_ms
+        if self.request_timeout is not None and op in ("ask", "profile"):
+            # Cap the worker's cooperative deadline by the server-side
+            # timeout so a timed-out ask *stops* (degrading through the
+            # session's fallback chain) instead of running on as a
+            # zombie after its client already got the timeout reply.
+            cap_ms = self.request_timeout * 1000.0
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms > cap_ms:
+                request = {**request, "deadline_ms": cap_ms}
 
         def run() -> dict[str, Any]:
             started = time.perf_counter()
@@ -308,22 +704,87 @@ class PCQEServer:
                         return handler(session, request)
                     except ReproError as error:
                         return _error_reply(error)
+                    except Exception as error:
+                        get_metrics().counter("server.handler_errors").inc()
+                        logger.exception("unexpected failure in %s handler", op)
+                        return _error_reply(
+                            ServerError(
+                                f"internal error in {op}: "
+                                f"{type(error).__name__}: {error}"
+                            )
+                        )
             finally:
                 self._finish(time.perf_counter() - started)
 
-        del budget  # consumed by admission; queries budget via deadline_ms
         assert self._loop is not None
-        reply = await self._loop.run_in_executor(self._executor, run)
+        future = self._loop.run_in_executor(self._executor, run)
+        if ckey is not None:
+            cache_key = ckey
+            self._idempotency.put(cache_key, future)
+            future.add_done_callback(
+                lambda fut: self._settle_idempotent(cache_key, fut)
+            )
+        if self.request_timeout is None:
+            reply = await asyncio.shield(future)
+        else:
+            try:
+                reply = await asyncio.wait_for(
+                    asyncio.shield(future), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                metrics.counter("server.timeouts").inc()
+                breaker.record_failure()
+                timeout_reply = _error_reply(
+                    RequestTimeoutError(
+                        f"{op} exceeded the server-side request timeout of "
+                        f"{self.request_timeout * 1000.0:g} ms",
+                        op=str(op),
+                        timeout_ms=self.request_timeout * 1000.0,
+                    )
+                )
+                # Cancellation handshake: budgets are cooperative, so the
+                # worker (whose deadline was capped above) should yield
+                # shortly.  If it does not, the connection is poisoned —
+                # closed after this reply — so the session is never shared
+                # with a still-running worker.
+                done, _pending = await asyncio.wait(
+                    {future}, timeout=self._timeout_grace
+                )
+                if not done:
+                    raise _ConnectionPoisoned(timeout_reply)
+                return timeout_reply
+        if reply.get("ok", False):
+            breaker.record_success()
+        else:
+            breaker.record_failure()
         return reply
+
+    def _settle_idempotent(
+        self, key: tuple[str, str], future: "asyncio.Future"
+    ) -> None:
+        """Swap the in-flight future for the completed reply (ok replies
+        only — a failed attempt must not pin its error as the permanent
+        answer for the key)."""
+        if future.cancelled() or future.exception() is not None:
+            self._idempotency.drop(key)
+            return
+        reply = future.result()
+        if isinstance(reply, dict) and reply.get("ok", False):
+            self._idempotency.put(key, reply)
+        else:
+            self._idempotency.drop(key)
 
     def _admit(self, op: str, deadline_ms: Any) -> Budget | None:
         """Gate one request; returns its deadline budget (None = no SLO).
 
-        Projection model: the pool drains in-flight requests at roughly
-        one EWMA service time per *workers* slots, so a request arriving
-        with ``q`` requests in flight waits about ``q / workers * ewma``
-        seconds before it runs.  Reject when that projection alone blows
-        the deadline.
+        Three tiers, cheapest first: a drain check (the server is going
+        away), the load shedder (queue depth vs. a per-priority-class
+        multiple of the pool — overload protection that needs no client
+        deadline), then the EWMA deadline projection: the pool drains
+        in-flight requests at roughly one EWMA service time per
+        *workers* slots, so a request arriving with ``q`` requests in
+        flight waits about ``q / workers * ewma`` seconds before it
+        runs.  Reject when that projection alone blows the deadline.
         """
         metrics = get_metrics()
         if deadline_ms is not None and (
@@ -332,9 +793,29 @@ class PCQEServer:
             raise ProtocolError(
                 f"deadline_ms must be a positive number, got {deadline_ms!r}"
             )
+        if self._draining:
+            raise ServerDrainingError(
+                f"{op} rejected: server is draining (in-flight work is "
+                f"finishing; no new work is accepted)"
+            )
         with self._admission_lock:
             queue_depth = self._inflight
             ewma = self._service_ewma
+            priority = PRIORITY_CLASSES.get(op, 1)
+            multiplier = self.shed_multipliers.get(priority)
+            if multiplier is not None:
+                limit = max(1, int(self.workers * multiplier))
+                if queue_depth >= limit:
+                    metrics.counter("server.shed").inc()
+                    raise OverloadError(
+                        f"{op} shed: {queue_depth} request(s) in flight >= "
+                        f"the class-{priority} limit of {limit} "
+                        f"({self.workers} worker(s) x {multiplier:g})",
+                        op=str(op),
+                        priority=priority,
+                        queue_depth=queue_depth,
+                        limit=limit,
+                    )
             budget = None
             if deadline_ms is not None:
                 budget = Budget.from_deadline_ms(float(deadline_ms))
@@ -398,6 +879,8 @@ class PCQEServer:
             "released": len(result.released),
             "withheld": result.withheld_count,
         }
+        if result.degraded:
+            reply["degraded"] = True
         if result.quote is not None:
             reply["quote"] = {
                 "cost": result.quote.cost,
@@ -450,11 +933,21 @@ class PCQEServer:
         return {"ok": True, "openmetrics": render_openmetrics()}
 
 
-def _error_reply(error: BaseException) -> dict[str, Any]:
+def _stamp(reply: dict[str, Any], rid: Any) -> dict[str, Any]:
+    """Echo the client's request id so retrying clients can discard
+    stale/duplicated replies on a reused connection."""
+    if rid is None:
+        return reply
+    return {**reply, "rid": rid}
+
+
+def _error_reply(error: BaseException, rid: Any = None) -> dict[str, Any]:
     payload: dict[str, Any] = {
         "type": type(error).__name__,
         "message": str(error),
     }
-    if isinstance(error, AdmissionError):
+    if isinstance(error, ServerError):
+        payload["retryable"] = error.retryable
         payload.update(error.details())
-    return {"ok": False, "error": payload}
+    reply = {"ok": False, "error": payload}
+    return _stamp(reply, rid)

@@ -150,6 +150,8 @@ class Session:
         *,
         solver: str = "greedy",
         engine: str = "auto",
+        fallback: "tuple[str, ...] | None" = None,
+        client_id: str | None = None,
     ) -> None:
         try:
             roles = tuple(sorted(policies.user(user).roles))
@@ -160,6 +162,17 @@ class Session:
         self.policies = policies
         self.solver = solver
         self.engine = engine
+        # Degradation chain for deadline-pressed asks: unless configured
+        # otherwise, a non-greedy primary falls back to greedy (fast,
+        # always-feasible-when-feasible) instead of failing the request.
+        # A greedy primary has no cheaper hop; its anytime incumbent is
+        # the degradation (see docs/ROBUSTNESS.md).
+        if fallback is None:
+            fallback = ("greedy",) if solver != "greedy" else ()
+        self.fallback: tuple[str, ...] = tuple(fallback)
+        #: Stable client identity for idempotency dedup: a reconnecting
+        #: retry presents the same id, so its keys match across sessions.
+        self.client_id = client_id or f"session-{self.id}"
         self._mvcc = mvcc
         self._lock = threading.Lock()
         self._handle: Snapshot | None = mvcc.snapshot()
@@ -219,6 +232,9 @@ class Session:
             self.db,
             self.policies,
             solver=self.solver,
+            # The degradation chain only engages under a deadline — an
+            # unbudgeted ask keeps the direct single-solver fast path.
+            fallback=self.fallback if deadline_ms is not None else (),
             deadline_ms=deadline_ms,
             engine=self.engine,
         )

@@ -1,4 +1,4 @@
-"""Shared fixtures: small databases and increment problems."""
+"""Shared fixtures: small databases, increment problems, chaos tooling."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import pytest
 from repro.cost import LinearCost
 from repro.increment import IncrementProblem
 from repro.lineage import lineage_and, lineage_or, var
+from repro.server.faults import NetworkFaultInjector, NetworkFaultSpec
 from repro.storage import Database, REAL, Schema, TEXT
 from repro.workload import venture_capital_database
 
@@ -14,6 +15,27 @@ from repro.workload import venture_capital_database
 @pytest.fixture
 def empty_db() -> Database:
     return Database("test")
+
+
+@pytest.fixture
+def network_fault():
+    """Factory for armed, seeded network fault injectors (chaos tests).
+
+    Usage: ``injector = network_fault("server.write", "torn_frame",
+    occurrence=2, seed=7)``.  Occurrence 1 is the hello exchange; chaos
+    tests usually target occurrence 2+ so the handshake survives.
+    """
+
+    def arm(
+        point: str, mode: str, occurrence: int = 1, seed: int = 0, **kwargs
+    ) -> NetworkFaultInjector:
+        return NetworkFaultInjector(
+            NetworkFaultSpec(
+                point=point, mode=mode, occurrence=occurrence, seed=seed, **kwargs
+            )
+        )
+
+    return arm
 
 
 @pytest.fixture

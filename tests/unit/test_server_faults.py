@@ -1,0 +1,197 @@
+"""The network fault injector: specs, decisions, and the faulty socket.
+
+The injector is pure decision logic shared by the asyncio server and the
+blocking client, so its contract — fire exactly once, at the armed
+(point, occurrence), with seeded randomness — is tested here without any
+real server in the loop.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.server.faults import (
+    NETWORK_FAULT_POINTS,
+    FaultySocket,
+    NetworkFaultInjector,
+    NetworkFaultSpec,
+    iter_network_fault_specs,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            NetworkFaultSpec("server.think", "disconnect")
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            NetworkFaultSpec("server.write", "explode")
+
+    def test_mode_must_be_meaningful_at_the_point(self):
+        # torn_frame makes no sense on the read side.
+        with pytest.raises(ValueError, match="not meaningful"):
+            NetworkFaultSpec("server.read", "torn_frame")
+
+    def test_occurrence_and_delay_bounds(self):
+        with pytest.raises(ValueError, match="occurrence"):
+            NetworkFaultSpec("server.write", "delay", occurrence=0)
+        with pytest.raises(ValueError, match="delay_s"):
+            NetworkFaultSpec("server.write", "delay", delay_s=-0.1)
+
+    def test_matrix_iterator_covers_every_cell(self):
+        specs = list(iter_network_fault_specs(seed=3, occurrence=2))
+        expected = sum(len(modes) for _p, modes in NETWORK_FAULT_POINTS)
+        assert len(specs) == expected
+        assert {(s.point, s.mode) for s in specs} == {
+            (point, mode)
+            for point, modes in NETWORK_FAULT_POINTS
+            for mode in modes
+        }
+        assert all(s.occurrence == 2 and s.seed == 3 for s in specs)
+
+
+class TestInjectorDecisions:
+    def test_fires_exactly_at_the_armed_occurrence(self, network_fault):
+        injector = network_fault("server.write", "disconnect", occurrence=3)
+        assert injector.decide("server.write", 100) is None
+        assert injector.decide("server.read") is None  # other point
+        assert injector.decide("server.write", 100) is None
+        assert not injector.tripped
+        action = injector.decide("server.write", 100)
+        assert action is not None and action.mode == "disconnect"
+        assert injector.tripped
+        # One-shot: the occurrence has passed, later hits are clean.
+        assert injector.decide("server.write", 100) is None
+
+    def test_other_points_do_not_advance_the_count(self, network_fault):
+        injector = network_fault("client.send", "disconnect", occurrence=2)
+        for _ in range(5):
+            assert injector.decide("client.recv", 64) is None
+        assert injector.decide("client.send", 64) is None
+        assert injector.decide("client.send", 64) is not None
+
+    def test_torn_frame_cut_is_strictly_inside_the_frame(self, network_fault):
+        for seed in range(16):
+            injector = network_fault("server.write", "torn_frame", seed=seed)
+            action = injector.decide("server.write", 100)
+            assert action.mode == "torn_frame"
+            assert 1 <= action.cut < 100
+
+    def test_torn_frame_is_deterministic_per_seed(self, network_fault):
+        cuts = [
+            network_fault("server.write", "torn_frame", seed=7)
+            .decide("server.write", 5000)
+            .cut
+            for _ in range(3)
+        ]
+        assert cuts[0] == cuts[1] == cuts[2]
+
+    def test_slow_write_chunks_the_frame(self, network_fault):
+        injector = network_fault("server.write", "slow_write", delay_s=0.08)
+        action = injector.decide("server.write", 800)
+        assert action.mode == "slow_write"
+        assert action.chunk == 100  # nbytes // 8
+        assert action.delay_s == pytest.approx(0.01)
+
+    def test_delay_carries_the_spec_delay(self, network_fault):
+        injector = network_fault("server.write", "delay", delay_s=0.2)
+        action = injector.decide("server.write", 10)
+        assert action.delay_s == pytest.approx(0.2)
+
+
+class _Peer:
+    """A socketpair peer draining bytes on a thread."""
+
+    def __init__(self):
+        self.local, self.remote = socket.socketpair()
+        self.received = b""
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self):
+        while True:
+            try:
+                chunk = self.remote.recv(4096)
+            except OSError:
+                return
+            if not chunk:
+                return
+            self.received += chunk
+
+    def close(self):
+        self.local.close()
+        self.remote.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestFaultySocket:
+    def test_clean_passthrough_below_the_occurrence(self, network_fault):
+        peer = _Peer()
+        try:
+            sock = FaultySocket(
+                peer.local, network_fault("client.send", "disconnect", 2)
+            )
+            sock.sendall(b"hello")
+            peer.local.shutdown(socket.SHUT_WR)
+            peer._thread.join(timeout=5.0)
+            assert peer.received == b"hello"
+        finally:
+            peer.close()
+
+    def test_torn_send_delivers_a_prefix_then_dies(self, network_fault):
+        peer = _Peer()
+        try:
+            injector = network_fault("client.send", "torn_frame", seed=1)
+            sock = FaultySocket(peer.local, injector)
+            with pytest.raises(ConnectionResetError):
+                sock.sendall(b"x" * 64)
+            peer._thread.join(timeout=5.0)
+            assert injector.tripped
+            assert 1 <= len(peer.received) < 64
+            # The underlying socket is dead for the caller too.
+            with pytest.raises(OSError):
+                peer.local.send(b"more")
+        finally:
+            peer.close()
+
+    def test_send_disconnect_delivers_nothing(self, network_fault):
+        peer = _Peer()
+        try:
+            sock = FaultySocket(
+                peer.local, network_fault("client.send", "disconnect")
+            )
+            with pytest.raises(ConnectionResetError):
+                sock.sendall(b"x" * 64)
+            peer._thread.join(timeout=5.0)
+            assert peer.received == b""
+        finally:
+            peer.close()
+
+    def test_recv_disconnect_raises_before_reading(self, network_fault):
+        local, remote = socket.socketpair()
+        try:
+            remote.sendall(b"reply")
+            sock = FaultySocket(
+                local, network_fault("client.recv", "disconnect")
+            )
+            with pytest.raises(ConnectionResetError):
+                sock.recv(5)
+        finally:
+            local.close()
+            remote.close()
+
+    def test_clean_recv_passes_through(self, network_fault):
+        local, remote = socket.socketpair()
+        try:
+            remote.sendall(b"reply")
+            sock = FaultySocket(
+                local, network_fault("client.recv", "disconnect", 5)
+            )
+            assert sock.recv(5) == b"reply"
+        finally:
+            local.close()
+            remote.close()
