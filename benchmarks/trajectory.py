@@ -104,6 +104,7 @@ _PANEL_FIGURES: dict[str, tuple[str, ...]] = {
     "exec": ("exec",),
     "serve": ("serve",),
     "chaos": ("chaos",),
+    "repl": ("repl",),
 }
 
 

@@ -43,8 +43,11 @@ Observability flags (before any command arguments):
     Persist the shell's database in *state/* through a write-ahead log
     and checksummed snapshots; reopening the directory recovers every
     committed mutation (see the durability section of
-    ``docs/ROBUSTNESS.md``).  Adds the ``recover`` and ``checkpoint``
-    commands.
+    ``docs/ROBUSTNESS.md``).  Adds the ``recover``, ``fsck`` and
+    ``checkpoint`` commands (``fsck <dir>`` also works without
+    ``--data-dir``: it verifies every WAL frame CRC and the snapshot
+    checksum of any data directory, reporting — never repairing —
+    corruption with frame seq and byte offset).
 ``--audit-log audit.log``
     Journal every ``ask``'s release/block decisions (policy triple,
     confidence, lineage, verdict, increment write-backs) to a
@@ -145,6 +148,7 @@ class CommandShell:
             "ask": self._cmd_ask,
             "demo": self._cmd_demo,
             "recover": self._cmd_recover,
+            "fsck": self._cmd_fsck,
             "checkpoint": self._cmd_checkpoint,
             "audit": self._cmd_audit,
             "metrics": self._cmd_metrics,
@@ -496,6 +500,22 @@ class CommandShell:
         db.close()
         return report.format()
 
+    def _cmd_fsck(self, rest: str) -> str:
+        """Verify every WAL frame CRC and the snapshot checksum offline.
+
+        Unlike ``recover`` (which *loads* the state), ``fsck`` only
+        reads and reports: trailing corruption is printed with its frame
+        seq and byte offset, never truncated or repaired.
+        """
+        target = rest.strip() or self.data_dir
+        if not target:
+            raise CommandError(
+                "usage: fsck <data-dir> (or start with --data-dir)"
+            )
+        from .storage.durability import fsck_data_dir
+
+        return fsck_data_dir(target).format()
+
     def _cmd_checkpoint(self, rest: str) -> str:
         if not self.db.is_durable:
             raise CommandError("checkpoint needs --data-dir")
@@ -704,8 +724,8 @@ class CommandShell:
         return (
             "commands: create, load, tables, sql, explain, profile, "
             "role, purpose, user, policy, solver, engine, circuit, ask, "
-            "demo, recover, checkpoint, audit, metrics, serve, connect, "
-            "help, quit"
+            "demo, recover, fsck, checkpoint, audit, metrics, serve, "
+            "connect, help, quit"
         )
 
 

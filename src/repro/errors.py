@@ -50,6 +50,13 @@ __all__ = [
     "RequestTimeoutError",
     "CircuitOpenError",
     "ServerDrainingError",
+    "ReplicationError",
+    "NotPrimaryError",
+    "ReplicaLagError",
+    "StaleEpochError",
+    "DivergedLogError",
+    "QuarantinedTableError",
+    "ReplicationTimeoutError",
 ]
 
 
@@ -402,3 +409,124 @@ class ServerDrainingError(ServerError):
     """
 
     retryable = True
+
+
+# --------------------------------------------------------------------------
+# Replication
+# --------------------------------------------------------------------------
+
+
+class ReplicationError(ServerError):
+    """Base class for WAL-shipping replication failures."""
+
+
+class NotPrimaryError(ReplicationError):
+    """A write (or other primary-only operation) reached a read-only
+    replica.  Terminal for *this* endpoint but not for the request:
+    the reply carries ``rotate: true`` so a multi-endpoint client moves
+    to the next endpoint instead of burning its backoff budget here.
+    """
+
+    def __init__(self, message: str, *, role: str = "replica",
+                 epoch: int = 0) -> None:
+        super().__init__(message)
+        self.role = role
+        self.epoch = epoch
+
+    def details(self) -> dict:
+        return {"rotate": True, "role": self.role, "epoch": self.epoch}
+
+
+class ReplicaLagError(ReplicationError):
+    """A read-your-writes request asked for a replication position this
+    replica has not reached within the configured wait.  Retryable: the
+    replica keeps applying, or another endpoint may already be there.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, min_seq: int, position: int,
+                 waited_ms: float) -> None:
+        super().__init__(message)
+        self.min_seq = min_seq
+        self.position = position
+        self.waited_ms = waited_ms
+
+    def details(self) -> dict:
+        return {
+            "min_seq": self.min_seq,
+            "position": self.position,
+            "waited_ms": self.waited_ms,
+        }
+
+
+class StaleEpochError(ReplicationError):
+    """A replication message carried an epoch older than the receiver's.
+
+    Epoch fencing: after a failover, the promoted primary's epoch is
+    higher than the deposed one's, so frames (or pulls) from the old
+    regime are rejected instead of silently diverging the log.
+    """
+
+    def __init__(self, message: str, *, stale_epoch: int,
+                 current_epoch: int) -> None:
+        super().__init__(message)
+        self.stale_epoch = stale_epoch
+        self.current_epoch = current_epoch
+
+    def details(self) -> dict:
+        return {
+            "stale_epoch": self.stale_epoch,
+            "current_epoch": self.current_epoch,
+        }
+
+
+class DivergedLogError(ReplicationError):
+    """A replica's WAL disagrees with the primary's at a position both
+    claim to hold — the replica must truncate to the common prefix and
+    resync before serving again.
+    """
+
+    def __init__(self, message: str, *, diverged_at: int = 0) -> None:
+        super().__init__(message)
+        self.diverged_at = diverged_at
+
+    def details(self) -> dict:
+        return {"diverged_at": self.diverged_at}
+
+
+class QuarantinedTableError(ReplicationError):
+    """The scrubber found this table's fingerprint diverging from the
+    primary's; it is quarantined until resync completes.  Retryable —
+    resync is already in flight, and other endpoints can serve it now.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, table: str) -> None:
+        super().__init__(message)
+        self.table = table
+
+    def details(self) -> dict:
+        return {"table": self.table}
+
+
+class ReplicationTimeoutError(ReplicationError):
+    """A commit could not be acknowledged by the configured number of
+    sync replicas in time.  The write is durable on the primary and
+    will replicate; retrying with the same idempotency key is safe and
+    simply re-waits for acknowledgement.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, seq: int, required: int,
+                 acked: int) -> None:
+        super().__init__(message)
+        self.seq = seq
+        self.required = required
+        self.acked = acked
+
+    def details(self) -> dict:
+        return {"seq": self.seq, "required": self.required,
+                "acked": self.acked}

@@ -13,6 +13,8 @@ Layers, bottom up:
   benchmarks) and the retrying idempotent :class:`RetryingClient`.
 * :mod:`~repro.server.faults` — deterministic, seeded network fault
   injection for chaos testing the layers above.
+* :mod:`~repro.server.replication` — WAL-shipping replication: replica
+  nodes, epoch-fenced failover, and the online integrity scrubber.
 
 See ``docs/SERVING.md`` for the protocol and semantics, and
 ``docs/ROBUSTNESS.md`` ("Serving under failure") for the failure model.
@@ -26,16 +28,21 @@ from .client import (
 )
 from .faults import (
     NETWORK_FAULT_POINTS,
+    REPLICATION_FAULT_POINTS,
     FaultAction,
     FaultySocket,
     NetworkFaultInjector,
     NetworkFaultSpec,
     iter_network_fault_specs,
+    iter_replication_fault_specs,
 )
 from .mvcc import MVCCDatabase, Snapshot, SnapshotDatabase, SnapshotTable
 from .protocol import MAX_FRAME_BYTES, encode_frame, recv_frame, send_frame
 from .server import PRIORITY_CLASSES, PCQEServer
 from .session import Session, SessionContext, SessionDatabase
+from .replication import PrimaryReplication, ReplicationFeed
+from .replication.replica import Replica
+from .replication.scrub import Scrubber
 
 __all__ = [
     "MVCCDatabase",
@@ -56,7 +63,13 @@ __all__ = [
     "FaultAction",
     "FaultySocket",
     "NETWORK_FAULT_POINTS",
+    "REPLICATION_FAULT_POINTS",
     "iter_network_fault_specs",
+    "iter_replication_fault_specs",
+    "PrimaryReplication",
+    "ReplicationFeed",
+    "Replica",
+    "Scrubber",
     "MAX_FRAME_BYTES",
     "encode_frame",
     "recv_frame",

@@ -192,6 +192,15 @@ class _RetryableFailure(ServerError):
 _client_ids = itertools.count(1)
 
 
+def _parse_endpoint(endpoint: "str | tuple[str, int]") -> tuple[str, int]:
+    if isinstance(endpoint, tuple):
+        return endpoint[0], int(endpoint[1])
+    host, _, port = endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"endpoint must be 'host:port', got {endpoint!r}")
+    return host, int(port)
+
+
 class RetryingClient:
     """A :class:`ServerClient` hardened for lossy networks and overload.
 
@@ -215,6 +224,17 @@ class RetryingClient:
       sync.
     * **Reconnect** — a dead socket is replaced (fresh ``hello`` with
       the same ``client_id``) transparently before the next attempt.
+    * **Endpoint rotation & failover** — pass *endpoints* (a list of
+      ``"host:port"`` strings or ``(host, port)`` tuples) instead of a
+      single address: every reconnect re-resolves against the list, an
+      unreachable endpoint advances to the next, and a terminal error
+      reply carrying ``rotate: true`` (``NotPrimaryError`` from a
+      replica asked to write) rotates immediately instead of burning
+      backoff attempts against a node that will never take the write.
+    * **Read-your-writes** — the client remembers the ``seq`` of its own
+      last acknowledged write and stamps it as ``min_seq`` on subsequent
+      reads; a replica either serves a snapshot at least that fresh or
+      answers the retryable ``ReplicaLagError``.
 
     Deterministic under test: *sleep*, *seed*, and *faults* (a
     :class:`~repro.server.faults.NetworkFaultInjector` applied to the
@@ -223,11 +243,12 @@ class RetryingClient:
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: str | None = None,
+        port: int | None = None,
         *,
         user: str,
         purpose: str,
+        endpoints: "list[str | tuple[str, int]] | None" = None,
         timeout: float | None = 30.0,
         attempts: int = 4,
         base_delay: float = 0.05,
@@ -237,9 +258,19 @@ class RetryingClient:
         sleep: Callable[[float], None] = time.sleep,
         client_id: str | None = None,
         faults: NetworkFaultInjector | None = None,
+        read_your_writes: bool = True,
     ) -> None:
-        self._host = host
-        self._port = port
+        if endpoints:
+            self._endpoints = [_parse_endpoint(e) for e in endpoints]
+        elif host is not None and port is not None:
+            self._endpoints = [(host, int(port))]
+        else:
+            raise ValueError(
+                "RetryingClient needs host+port or a non-empty endpoints list"
+            )
+        self._endpoint_index = 0
+        self._read_your_writes = read_your_writes
+        self.last_write_seq = 0
         self._user = user
         self._purpose = purpose
         self._timeout = timeout
@@ -265,14 +296,31 @@ class RetryingClient:
         self.session_id: int = 0
         self.seq: int = 0
         self.role: str = ""
+        self.server_role: str = ""
+        self.epoch: int = 0
         self._connect()
 
     # -- plumbing ----------------------------------------------------------
 
     def _connect(self) -> None:
-        raw = socket.create_connection(
-            (self._host, self._port), timeout=self._timeout
-        )
+        """Open a socket to the current endpoint (advancing past
+        unreachable ones) and complete the ``hello`` handshake."""
+        raw: socket.socket | None = None
+        last_error: OSError | None = None
+        for offset in range(len(self._endpoints)):
+            index = (self._endpoint_index + offset) % len(self._endpoints)
+            try:
+                raw = socket.create_connection(
+                    self._endpoints[index], timeout=self._timeout
+                )
+            except OSError as error:
+                last_error = error
+                continue
+            self._endpoint_index = index
+            break
+        if raw is None:
+            assert last_error is not None
+            raise last_error
         raw.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock: Any = raw
         if self._faults is not None:
@@ -297,6 +345,14 @@ class RetryingClient:
         self.session_id = hello["session"]
         self.seq = hello["seq"]
         self.role = hello.get("role", "")
+        self.server_role = hello.get("server_role", "")
+        self.epoch = hello.get("epoch", 0)
+
+    def _rotate_endpoint(self) -> None:
+        self._endpoint_index = (
+            self._endpoint_index + 1
+        ) % len(self._endpoints)
+        get_metrics().counter("client.endpoint_rotations").inc()
 
     def _drop_socket(self) -> None:
         if self._sock is not None:
@@ -328,6 +384,13 @@ class RetryingClient:
         with self._lock:
             rid = next(self._rids)
             frame = {**message, "rid": rid}
+            if (
+                self._read_your_writes
+                and self.last_write_seq > 0
+                and "min_seq" not in frame
+                and frame.get("op") in ("ask", "profile", "sql", "refresh")
+            ):
+                frame["min_seq"] = self.last_write_seq
 
             def attempt() -> dict[str, Any]:
                 try:
@@ -357,11 +420,26 @@ class RetryingClient:
                 if not reply.get("ok", False):
                     error_payload = reply.get("error", {})
                     cause = ServerReplyError(error_payload)
+                    if error_payload.get("rotate", False) and (
+                        len(self._endpoints) > 1
+                    ):
+                        # e.g. NotPrimaryError: this node will *never*
+                        # take the write — move to the next endpoint now
+                        # instead of backing off against it.
+                        self._drop_socket()
+                        self._rotate_endpoint()
+                        raise _RetryableFailure(cause, reconnect=True)
                     if error_payload.get("retryable", False):
                         raise _RetryableFailure(cause, reconnect=False)
                     raise cause
                 if "seq" in reply:
                     self.seq = reply["seq"]
+                    if "result" in reply or "improved" in reply:
+                        # The reply acknowledges a write this client
+                        # made: later reads must observe at least this.
+                        self.last_write_seq = max(
+                            self.last_write_seq, reply["seq"]
+                        )
                 return reply
 
             def on_retry(attempt_number: int, error: BaseException) -> None:

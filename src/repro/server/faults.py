@@ -45,7 +45,9 @@ __all__ = [
     "NetworkFaultInjector",
     "FaultySocket",
     "NETWORK_FAULT_POINTS",
+    "REPLICATION_FAULT_POINTS",
     "iter_network_fault_specs",
+    "iter_replication_fault_specs",
 ]
 
 
@@ -60,8 +62,30 @@ NETWORK_FAULT_POINTS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("client.recv", ("disconnect",)),
 )
 
+#: Replication-link fault points, kept out of ``NETWORK_FAULT_POINTS``
+#: so client/server chaos matrices stay replication-free (their harness
+#: asserts every armed cell trips, and a single-node topology never
+#: reaches these points).  Consulted by the replica's pull loop:
+#:
+#: * ``repl.pull`` — around one pull round-trip.  ``disconnect`` kills
+#:   the feed socket (forces reconnect + source rotation),
+#:   ``torn_frame`` tears the pull request mid-frame (the primary sees
+#:   a started frame — the torn-stream case), ``delay`` stalls the pull
+#:   (a partitioned/lagging link).
+#: * ``repl.frame`` — per received frame.  ``dup`` delivers the frame
+#:   twice to the apply path, proving exactly-once apply.
+#: * ``repl.apply`` — before applying a frame.  ``delay`` simulates a
+#:   lagging apply thread (read-your-writes must wait, not lie).
+REPLICATION_FAULT_POINTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("repl.pull", ("disconnect", "torn_frame", "delay")),
+    ("repl.frame", ("dup",)),
+    ("repl.apply", ("delay",)),
+)
+
+_ALL_POINTS = dict(NETWORK_FAULT_POINTS) | dict(REPLICATION_FAULT_POINTS)
+
 _ALL_MODES = frozenset(
-    mode for _point, modes in NETWORK_FAULT_POINTS for mode in modes
+    mode for modes in _ALL_POINTS.values() for mode in modes
 )
 
 
@@ -83,12 +107,11 @@ class NetworkFaultSpec:
     delay_s: float = 0.05
 
     def __post_init__(self) -> None:
-        valid = dict(NETWORK_FAULT_POINTS)
-        if self.point not in valid:
+        if self.point not in _ALL_POINTS:
             raise ValueError(f"unknown fault point {self.point!r}")
         if self.mode not in _ALL_MODES:
             raise ValueError(f"unknown fault mode {self.mode!r}")
-        if self.mode not in valid[self.point]:
+        if self.mode not in _ALL_POINTS[self.point]:
             raise ValueError(
                 f"mode {self.mode!r} is not meaningful at {self.point!r}"
             )
@@ -123,6 +146,19 @@ def iter_network_fault_specs(
     a session pin is held and state can actually leak.
     """
     for point, modes in NETWORK_FAULT_POINTS:
+        for mode in modes:
+            yield NetworkFaultSpec(point, mode, occurrence=occurrence, seed=seed)
+
+
+def iter_replication_fault_specs(
+    seed: int = 0, occurrence: int = 2
+) -> Iterator[NetworkFaultSpec]:
+    """Every replication-link (point, mode) cell as a spec.
+
+    ``occurrence=2`` lands the fault after the first successful pull, so
+    the replica already holds state when the link misbehaves.
+    """
+    for point, modes in REPLICATION_FAULT_POINTS:
         for mode in modes:
             yield NetworkFaultSpec(point, mode, occurrence=occurrence, seed=seed)
 

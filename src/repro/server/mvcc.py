@@ -26,6 +26,7 @@ authority for snapshot isolation:
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Mapping, TypeVar
 
 from ..errors import (
@@ -341,7 +342,17 @@ class MVCCDatabase:
         self._generations: dict[int, _Generation] = {}
         self._pins: dict[int, int] = {}
         self._commit_counter = 0
-        self._current_seq = self._next_seq()
+        self._seq_advanced = threading.Condition(self._state_lock)
+        durability = db._durability
+        if durability is not None:
+            # Key generations by WAL seq *exactly* (a fresh dir boots at
+            # 0, not 1): generation keys and replication positions then
+            # agree across primary and replicas, which read-your-writes
+            # routing (`min_seq`) relies on.
+            self._commit_counter = durability.last_seq
+            self._current_seq = self._commit_counter
+        else:
+            self._current_seq = self._next_seq()
         self._generations[self._current_seq] = self._build_generation(
             self._current_seq, previous=None
         )
@@ -385,6 +396,41 @@ class MVCCDatabase:
                 result = mutate(self._db)
             self._publish()
         return result
+
+    def commit_replicated(self, seq: int, mutate: Callable[[Database], T]) -> T:
+        """Apply an already-durable mutation and publish at *seq*.
+
+        The replica path: the frame is in the local WAL before this runs
+        (import-then-apply), so the mutation must **not** journal again —
+        callers wrap it in ``DurabilityManager.suspended()``.  The new
+        generation is keyed by the primary's *seq* so snapshot tags line
+        up with replication positions across the fleet; the publish guard
+        still refuses to rewind (generation keys are node-local and
+        strictly monotonic even across a resync).
+        """
+        with self._commit_lock:
+            result = mutate(self._db)
+            self._publish(seq)
+        return result
+
+    def wait_for_seq(self, seq: int, timeout: float) -> bool:
+        """Block until the current generation reaches *seq* (or timeout)."""
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        with self._seq_advanced:
+            return self._seq_advanced.wait_for(
+                lambda: self._current_seq >= seq, timeout=deadline
+            )
+
+    @contextmanager
+    def paused_commits(self) -> Iterator[int]:
+        """Hold the commit lock for the duration of the block.
+
+        Yields the current seq.  Used to take a consistent cut of the
+        live database (snapshot payloads, fingerprints) that is
+        guaranteed to correspond to exactly one replication position.
+        """
+        with self._commit_lock:
+            yield self._current_seq
 
     def refresh(self, snapshot: Snapshot) -> Snapshot:
         """Exchange *snapshot* for a pin on the current generation."""
@@ -431,18 +477,25 @@ class MVCCDatabase:
         }
         return _Generation(seq, tables, views)
 
-    def _publish(self) -> None:
+    def _publish(self, seq: int | None = None) -> None:
         with self._state_lock:
             previous = self._generations[self._current_seq]
-        seq = self._next_seq()
-        if seq <= self._current_seq:  # pragma: no cover - defensive
-            seq = self._current_seq + 1
+        if seq is None:
+            seq = self._next_seq()
+        elif seq > self._commit_counter:
             self._commit_counter = seq
+        if seq <= self._current_seq:
+            # Never rewind or collide with a (possibly pinned) existing
+            # generation — replicated publishes behind the local chain
+            # still move strictly forward.
+            seq = self._current_seq + 1
+            self._commit_counter = max(self._commit_counter, seq)
         generation = self._build_generation(seq, previous)
         with self._state_lock:
             self._generations[seq] = generation
             self._current_seq = seq
             self._collect_locked()
+            self._seq_advanced.notify_all()
         self._gauge()
 
     def _unpin(self, seq: int) -> None:

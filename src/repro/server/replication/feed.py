@@ -1,0 +1,224 @@
+"""The primary's replication feed: committed WAL frames, in order.
+
+A :class:`ReplicationFeed` is a bounded in-memory window over the tail
+of the primary's WAL — every durable record (commit or imported frame)
+lands here via a :class:`~repro.storage.durability.DurabilityManager`
+commit listener, byte-identical to what was fsync'd.  Replicas pull
+ranges with a long-poll; a replica that has fallen behind the window's
+floor is told to resync from a snapshot instead.
+
+:class:`PrimaryReplication` wraps the feed with acknowledgement
+tracking: replicas piggyback their applied position on every pull, and
+semi-synchronous commits (``min_sync_replicas``) block in
+:meth:`wait_for_acks` until enough replicas confirm the commit's seq —
+this is the mechanism behind the "zero acknowledged-commit loss on
+failover" contract (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+
+from ...obs import get_metrics
+from ...storage.durability.checksum import crc32c
+from ...storage.durability.manager import DurabilityManager
+from ...storage.durability.recovery import WAL_FILE
+from ...storage.durability.wal import scan_wal
+
+__all__ = ["ReplicationFeed", "PrimaryReplication", "iter_idempotency_markers"]
+
+
+def iter_idempotency_markers(op: dict):
+    """Yield every ``(client, key)`` dedup marker inside a decoded op.
+
+    Markers are journaled inside the same WAL record as the write they
+    guard (possibly nested in a batch), so walking a frame's op tree
+    recovers the exactly-once map after a crash or on a replica.
+    """
+    kind = op.get("op")
+    if kind == "idempotency":
+        client, key = op.get("client"), op.get("key")
+        if isinstance(client, str) and isinstance(key, str):
+            yield client, key
+    elif kind == "batch":
+        for sub in op.get("ops", ()):
+            if isinstance(sub, dict):
+                yield from iter_idempotency_markers(sub)
+
+#: Frames retained in memory; a replica further behind than this
+#: bootstraps from a snapshot instead of replaying frames.
+DEFAULT_CAPACITY = 4096
+
+
+class ReplicationFeed:
+    """Bounded ordered window of (seq, payload) WAL frames."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._capacity = capacity
+        self._frames: "deque[tuple[int, bytes]]" = deque()
+        #: Highest seq *below* the window: pulls from here are servable.
+        self._base = 0
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._frames[-1][0] if self._frames else self._base
+
+    def set_position(self, seq: int) -> None:
+        """Anchor an empty feed at *seq* (frames start at ``seq + 1``)."""
+        with self._lock:
+            if not self._frames:
+                self._base = seq
+
+    def append(self, seq: int, payload: bytes) -> None:
+        with self._arrival:
+            if self._frames and seq <= self._frames[-1][0]:
+                return  # duplicate notification; the log is append-only
+            self._frames.append((seq, payload))
+            while len(self._frames) > self._capacity:
+                dropped_seq, _payload = self._frames.popleft()
+                self._base = dropped_seq
+            self._arrival.notify_all()
+
+    def frames_since(
+        self, from_seq: int, max_frames: int, wait_s: float = 0.0
+    ) -> "list[tuple[int, bytes]] | None":
+        """Frames with ``seq > from_seq`` (oldest first), at most
+        *max_frames*.
+
+        Returns ``None`` when *from_seq* has fallen below the window —
+        the caller must resync from a snapshot.  Blocks up to *wait_s*
+        when the replica is already caught up (long-poll).
+        """
+        with self._arrival:
+            if from_seq < self._base:
+                return None
+            if wait_s > 0:
+                self._arrival.wait_for(
+                    lambda: (self._frames and self._frames[-1][0] > from_seq)
+                    or from_seq < self._base,
+                    timeout=wait_s,
+                )
+                if from_seq < self._base:
+                    return None
+            out: "list[tuple[int, bytes]]" = []
+            for seq, payload in self._frames:
+                if seq <= from_seq:
+                    continue
+                out.append((seq, payload))
+                if len(out) >= max_frames:
+                    break
+            return out
+
+    def digests(
+        self, from_seq: int, to_seq: int
+    ) -> "list[tuple[int, int]] | None":
+        """``(seq, CRC32C(payload))`` for frames in ``(from_seq, to_seq]``.
+
+        ``None`` when the range dips below the window (resync instead).
+        Used by replicas to detect divergence without shipping payloads.
+        """
+        with self._lock:
+            if from_seq < self._base:
+                return None
+            return [
+                (seq, crc32c(payload))
+                for seq, payload in self._frames
+                if from_seq < seq <= to_seq
+            ]
+
+    def snapshot_frames(self) -> "list[tuple[int, bytes]]":
+        """A point-in-time copy of the retained frames (oldest first)."""
+        with self._lock:
+            return list(self._frames)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+
+class PrimaryReplication:
+    """Feed + acknowledgement tracking, attached to one durable manager."""
+
+    def __init__(
+        self,
+        manager: DurabilityManager,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self._manager = manager
+        self.feed = ReplicationFeed(capacity)
+        self._metrics = get_metrics()
+        # Preload the frames already on disk so a replica that restarts
+        # shortly after the primary does not need a full resync.
+        wal_path = os.path.join(manager.data_dir, WAL_FILE)
+        if os.path.exists(wal_path):
+            for payload in scan_wal(wal_path).payloads:
+                try:
+                    seq = json.loads(payload.decode("utf-8")).get("seq")
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    continue  # recovery already vetted the log; be safe
+                if not isinstance(seq, int):
+                    continue
+                if len(self.feed) == 0:
+                    self.feed.set_position(seq - 1)
+                self.feed.append(seq, payload)
+        if len(self.feed) == 0:
+            # Empty WAL (fresh dir or just checkpointed): everything up
+            # to the manager's position is only available via snapshot.
+            self.feed.set_position(manager.last_seq)
+        self._positions: dict[str, int] = {}
+        self._ack_lock = threading.Lock()
+        self._acked = threading.Condition(self._ack_lock)
+        manager.add_commit_listener(self._on_commit)
+
+    def _on_commit(self, seq: int, payload: bytes) -> None:
+        self.feed.append(seq, payload)
+        self._metrics.gauge("repl.feed_frames").set(len(self.feed))
+
+    def detach(self) -> None:
+        self._manager.remove_commit_listener(self._on_commit)
+
+    # -- acknowledgements --------------------------------------------------
+
+    def record_ack(self, replica_id: str, seq: int) -> None:
+        """A replica reported it has durably applied up through *seq*."""
+        with self._acked:
+            if seq > self._positions.get(replica_id, -1):
+                self._positions[replica_id] = seq
+                self._acked.notify_all()
+
+    def replica_positions(self) -> dict[str, int]:
+        with self._ack_lock:
+            return dict(self._positions)
+
+    def acked_count(self, seq: int) -> int:
+        with self._ack_lock:
+            return sum(1 for pos in self._positions.values() if pos >= seq)
+
+    def wait_for_acks(self, seq: int, required: int, timeout: float) -> int:
+        """Block until *required* replicas confirm *seq*; returns the
+        count actually confirmed (may be short on timeout)."""
+        with self._acked:
+            self._acked.wait_for(
+                lambda: sum(
+                    1 for pos in self._positions.values() if pos >= seq
+                ) >= required,
+                timeout=timeout,
+            )
+            return sum(1 for pos in self._positions.values() if pos >= seq)
+
+    def lag_of(self, replica_id: str) -> int:
+        """Frames between the feed head and *replica_id*'s last ack."""
+        with self._ack_lock:
+            position = self._positions.get(replica_id, 0)
+        return max(0, self.feed.last_seq - position)

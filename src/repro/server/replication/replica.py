@@ -1,0 +1,507 @@
+"""A pull-based replica: applies the primary's WAL, serves snapshot reads.
+
+One :class:`Replica` owns three things:
+
+* its **database** (durable under its own ``data_dir``, or in-memory for
+  a read-scaling cache) kept in sync by a daemon pull thread that
+  streams committed WAL frames from the primary and applies them through
+  the same recovery path a crash restart uses — import the frame into
+  the local WAL first, then apply the op under suspended journaling, then
+  publish the MVCC generation *at the primary's seq*;
+* a read-only :class:`~repro.server.server.PCQEServer` so clients run
+  ``ask``/``sql`` sessions against pinned snapshots tagged with the
+  replication position (writes answer ``NotPrimaryError`` with
+  ``rotate: true``);
+* the **failover machinery**: a persisted epoch adopted from (and
+  offered to) every peer, endpoint rotation when the current primary
+  dies, automatic self-promotion after ``auto_promote_after`` seconds
+  without any live primary, and digest-based divergence detection that
+  truncates a forked log back to the common prefix by resyncing from a
+  primary snapshot.
+
+The pull protocol is the ordinary length-prefixed JSON framing on the
+same port clients use; ``repl.*`` ops are session-less (see
+``PCQEServer._dispatch_repl``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from collections import deque
+from contextlib import nullcontext
+from typing import Any, Iterable
+
+from ...errors import ProtocolError, ReproError, ServerError, StaleEpochError
+from ...obs import TIMING_BUCKETS, get_metrics
+from ...policy import PolicyStore
+from ...storage.database import Database
+from ...storage.durability.checksum import crc32c
+from ...storage.durability.codec import decode_op
+from ...storage.durability.recovery import apply_op
+from ...storage.durability.snapshot import populate_database
+from ..client import ServerReplyError
+from ..faults import NetworkFaultInjector
+from ..protocol import encode_frame, recv_frame, send_frame
+from ..server import PCQEServer
+from .epoch import load_epoch, store_epoch
+from .feed import iter_idempotency_markers
+from .reconcile import divergence_point
+
+__all__ = ["Replica"]
+
+#: Frames of (seq, digest) history kept for divergence checks.
+_DIGEST_WINDOW = 512
+
+
+class _ResyncNeeded(Exception):
+    """Internal: the incremental stream cannot continue; bootstrap from
+    a primary snapshot instead (gap, divergence, or apply failure)."""
+
+
+def _parse_endpoint(endpoint: "str | tuple[str, int]") -> tuple[str, int]:
+    if isinstance(endpoint, tuple):
+        return endpoint[0], int(endpoint[1])
+    host, _, port = endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"endpoint must be 'host:port', got {endpoint!r}")
+    return host, int(port)
+
+
+_replica_ids = iter(range(1, 1 << 30))
+
+
+class Replica:
+    """A read-only node pulling the replicated log from a primary fleet."""
+
+    def __init__(
+        self,
+        endpoints: "Iterable[str | tuple[str, int]]",
+        policies: PolicyStore,
+        *,
+        data_dir: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replica_id: str | None = None,
+        pull_interval: float = 0.05,
+        wait_ms: int = 200,
+        max_frames: int = 256,
+        auto_promote_after: float | None = None,
+        faults: NetworkFaultInjector | None = None,
+        connect_timeout: float = 5.0,
+        **server_kwargs: Any,
+    ) -> None:
+        self.endpoints = [_parse_endpoint(e) for e in endpoints]
+        if not self.endpoints:
+            raise ValueError("a replica needs at least one primary endpoint")
+        self.data_dir = data_dir
+        self.replica_id = replica_id or f"replica-{next(_replica_ids)}"
+        self.pull_interval = pull_interval
+        self.wait_ms = wait_ms
+        self.max_frames = max_frames
+        self.auto_promote_after = auto_promote_after
+        self.faults = faults
+        self.connect_timeout = connect_timeout
+        if data_dir is not None:
+            self._db = Database.open(data_dir, name=self.replica_id)
+            self.epoch = load_epoch(data_dir)
+        else:
+            self._db = Database(self.replica_id)
+            self.epoch = 1
+        self._manager = self._db._durability
+        self.server = PCQEServer(
+            self._db,
+            policies,
+            host,
+            port,
+            read_only=True,
+            epoch=self.epoch,
+            **server_kwargs,
+        )
+        #: Highest primary WAL seq durably applied here.  Distinct from
+        #: the MVCC generation counter (which never rewinds): a resync
+        #: may move the position backwards to a snapshot's seq.
+        self._position = self._manager.last_seq if self._manager else 0
+        self._position_cv = threading.Condition()
+        self._recent_digests: "deque[tuple[int, int]]" = deque(
+            maxlen=_DIGEST_WINDOW
+        )
+        self._endpoint_index = 0
+        self._last_contact = time.monotonic()
+        self._force_resync = False
+        self._stop = threading.Event()
+        self._promote_lock = threading.Lock()
+        self.promoted = False
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Replica":
+        self.server.start()
+        self._thread = threading.Thread(
+            target=self._run, name=f"{self.replica_id}-pull", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.server.stop()
+        self._db.close()
+
+    def __enter__(self) -> "Replica":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def position(self) -> int:
+        """Highest primary seq applied (and durable, when on disk)."""
+        return self._position
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    def wait_for_position(self, seq: int, timeout: float = 5.0) -> bool:
+        """Block until the replica has applied *seq* (or timeout)."""
+        with self._position_cv:
+            return self._position_cv.wait_for(
+                lambda: self._position >= seq, timeout=timeout
+            )
+
+    def request_resync(self) -> None:
+        """Ask the pull loop to rebuild from a primary snapshot (used by
+        the scrubber when it finds corruption or divergence)."""
+        self._force_resync = True
+
+    # -- failover ----------------------------------------------------------
+
+    def promote(self, epoch: int | None = None) -> int:
+        """Stop pulling and become the writable primary (idempotent).
+
+        The new epoch must exceed every epoch this node has seen, so the
+        deposed primary's frames are fenced off fleet-wide.
+        """
+        with self._promote_lock:
+            if self.promoted:
+                return self.epoch
+            new_epoch = self.epoch + 1 if epoch is None else epoch
+            if new_epoch <= self.epoch:
+                raise ServerError(
+                    f"promotion epoch {new_epoch} must exceed the current "
+                    f"epoch {self.epoch}"
+                )
+            self.promoted = True
+        # Retire the pull thread BEFORE accepting writes: a still-running
+        # pull could otherwise fetch this node's own post-promotion
+        # frames back from a follower's feed (same epoch — fencing can't
+        # catch it) and "resync" the new primary from its own replica.
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10.0)
+        with self._promote_lock:
+            self.epoch = new_epoch
+            if self.data_dir is not None:
+                store_epoch(self.data_dir, new_epoch)
+            self.server.promote_to_primary(new_epoch)
+            get_metrics().counter("repl.promotions").inc()
+            return new_epoch
+
+    # -- the pull loop -----------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set() and not self.promoted:
+            try:
+                self._sync_once()
+            except StaleEpochError:
+                # This endpoint is behind a newer reign; try the next.
+                self._rotate_endpoint()
+            except (OSError, ProtocolError, ServerError, ReproError):
+                self._rotate_endpoint()
+            except Exception:  # pragma: no cover - defensive backstop
+                get_metrics().counter("repl.pull_errors").inc()
+                self._rotate_endpoint()
+            if self._stop.is_set() or self.promoted:
+                break
+            self._maybe_auto_promote()
+            self._stop.wait(self.pull_interval)
+
+    def _rotate_endpoint(self) -> None:
+        self._endpoint_index = (self._endpoint_index + 1) % len(self.endpoints)
+        get_metrics().counter("repl.endpoint_rotations").inc()
+
+    def _maybe_auto_promote(self) -> None:
+        if self.auto_promote_after is None or self.promoted:
+            return
+        silent = time.monotonic() - self._last_contact
+        if silent >= self.auto_promote_after:
+            get_metrics().counter("repl.auto_promotions").inc()
+            self.promote()
+
+    def _own_address(self) -> "tuple[str, int] | None":
+        try:
+            return (self.server.host, self.server.port)
+        except ServerError:
+            return None
+
+    def _connect(self) -> socket.socket:
+        own = self._own_address()
+        for offset in range(len(self.endpoints)):
+            index = (self._endpoint_index + offset) % len(self.endpoints)
+            endpoint = self.endpoints[index]
+            if endpoint == own:
+                continue  # never pull from ourselves post-promotion
+            try:
+                sock = socket.create_connection(
+                    endpoint, timeout=self.connect_timeout
+                )
+            except OSError:
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._endpoint_index = index
+            return sock
+        raise OSError("no replication endpoint is reachable")
+
+    def _request(
+        self, sock: socket.socket, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        if self.faults is not None and message.get("op") == "repl.pull":
+            action = self.faults.decide(
+                "repl.pull", len(encode_frame(message))
+            )
+            if action is not None:
+                get_metrics().counter("repl.faults.injected").inc()
+                if action.mode == "disconnect":
+                    sock.close()
+                    raise OSError("injected: replication link dropped")
+                if action.mode == "torn_frame":
+                    sock.sendall(encode_frame(message)[: action.cut])
+                    sock.close()
+                    raise OSError("injected: torn replication frame")
+                if action.mode == "delay":
+                    time.sleep(action.delay_s)
+        send_frame(sock, message)
+        reply = recv_frame(sock)
+        if not reply.get("ok", False):
+            # Includes a peer that fenced itself on seeing our higher
+            # epoch (StaleEpochError): treat it as a dead endpoint.
+            raise ServerReplyError(reply.get("error", {}))
+        self._adopt_epoch(reply.get("epoch"))
+        return reply
+
+    def _adopt_epoch(self, peer_epoch: Any) -> None:
+        if not isinstance(peer_epoch, int):
+            return
+        if peer_epoch < self.epoch:
+            # A deposed primary is still talking: refuse its stream.
+            get_metrics().counter("repl.stale_frames_rejected").inc()
+            raise StaleEpochError(
+                f"peer epoch {peer_epoch} is behind ours ({self.epoch}); "
+                f"rejecting its frames",
+                stale_epoch=peer_epoch,
+                current_epoch=self.epoch,
+            )
+        if peer_epoch > self.epoch:
+            self.epoch = peer_epoch
+            if self.data_dir is not None:
+                store_epoch(self.data_dir, peer_epoch)
+            self.server.set_epoch(peer_epoch)
+
+    def _sync_once(self) -> None:
+        sock = self._connect()
+        try:
+            handshake = self._request(
+                sock,
+                {
+                    "op": "repl.handshake",
+                    "replica": self.replica_id,
+                    "epoch": self.epoch,
+                    "last_seq": self._position,
+                },
+            )
+            self._last_contact = time.monotonic()
+            try:
+                if self._force_resync:
+                    self._resync(sock)
+                    self._force_resync = False
+                else:
+                    self._check_divergence(sock, handshake)
+                self._pull_loop(sock)
+            except _ResyncNeeded:
+                self._resync(sock)
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+
+    def _check_divergence(self, sock: socket.socket, handshake: dict) -> None:
+        """Compare recent frame digests with the primary's; a forked tail
+        (we applied frames the new reign never committed) is truncated to
+        the common prefix via a snapshot resync."""
+        local = sorted(self._recent_digests)
+        primary_last = handshake.get("last_seq")
+        if isinstance(primary_last, int) and primary_last < self._position:
+            # We are *ahead* of the primary: those frames were never
+            # acknowledged by this reign and must be rolled back.
+            get_metrics().counter("repl.divergences").inc()
+            raise _ResyncNeeded()
+        if not local:
+            return
+        reply = self._request(
+            sock,
+            {
+                "op": "repl.digest",
+                "from_seq": local[0][0] - 1,
+                "to_seq": local[-1][0],
+                "epoch": self.epoch,
+            },
+        )
+        if reply.get("resync"):
+            raise _ResyncNeeded()
+        remote = [
+            (int(seq), int(digest))
+            for seq, digest in reply.get("digests", [])
+        ]
+        if divergence_point(local, remote) is not None:
+            get_metrics().counter("repl.divergences").inc()
+            raise _ResyncNeeded()
+
+    def _pull_loop(self, sock: socket.socket) -> None:
+        metrics = get_metrics()
+        while not self._stop.is_set() and not self.promoted:
+            if self._force_resync:
+                self._resync(sock)
+                self._force_resync = False
+            reply = self._request(
+                sock,
+                {
+                    "op": "repl.pull",
+                    "from_seq": self._position,
+                    "max_frames": self.max_frames,
+                    "wait_ms": self.wait_ms,
+                    "applied": self._position,
+                    "epoch": self.epoch,
+                },
+            )
+            self._last_contact = time.monotonic()
+            if reply.get("resync"):
+                raise _ResyncNeeded()
+            for entry in reply.get("frames", []):
+                seq, text = int(entry[0]), entry[1]
+                payload = text.encode("utf-8")
+                if self.faults is not None:
+                    action = self.faults.decide("repl.frame", len(payload))
+                    if action is not None and action.mode == "dup":
+                        metrics.counter("repl.faults.injected").inc()
+                        self._apply_frame(seq, payload)
+                self._apply_frame(seq, payload)
+            last_seq = reply.get("last_seq")
+            if isinstance(last_seq, int):
+                metrics.gauge("repl.lag_frames").set(
+                    max(0, last_seq - self._position)
+                )
+
+    def _apply_frame(self, seq: int, payload: bytes) -> None:
+        metrics = get_metrics()
+        if seq <= self._position:
+            # Exactly-once: re-delivered frames (duplicated by the link
+            # or re-pulled after a torn reply) are recognized by seq and
+            # dropped before touching the WAL.
+            metrics.counter("repl.duplicate_frames").inc()
+            return
+        if seq != self._position + 1:
+            raise _ResyncNeeded()  # gap in the stream
+        if self.faults is not None:
+            action = self.faults.decide("repl.apply", len(payload))
+            if action is not None and action.mode == "delay":
+                metrics.counter("repl.faults.injected").inc()
+                time.sleep(action.delay_s)
+        started = time.perf_counter()
+        try:
+            raw = json.loads(payload.decode("utf-8"))
+            raw.pop("seq", None)
+            op = decode_op(raw)
+            # WAL-first, exactly like a local commit: the frame is
+            # durable before its effects are visible, so a crash between
+            # the two replays it on restart.
+            if self._manager is not None:
+                self._manager.import_frame(payload, seq)
+
+            def mutate(db):
+                guard = (
+                    self._manager.suspended()
+                    if self._manager is not None
+                    else nullcontext()
+                )
+                with guard:
+                    apply_op(db, op)
+                # Advance the position while still under the commit lock
+                # so paused_commits() observers (the scrubber's pinned
+                # fingerprint compare) see state and position atomically.
+                with self._position_cv:
+                    self._position = seq
+                    self._position_cv.notify_all()
+
+            self.server.mvcc.commit_replicated(seq, mutate)
+        except _ResyncNeeded:
+            raise
+        except (ReproError, ValueError, KeyError) as error:
+            metrics.counter("repl.apply_errors").inc()
+            raise _ResyncNeeded() from error
+        for client, key in iter_idempotency_markers(op):
+            self.server.record_replicated_key(client, key, seq)
+        self._recent_digests.append((seq, crc32c(payload)))
+        metrics.counter("repl.frames_applied").inc()
+        metrics.histogram("repl.apply_seconds", TIMING_BUCKETS).observe(
+            time.perf_counter() - started
+        )
+        if self._manager is not None:
+            self._manager.maybe_checkpoint()
+
+    def _resync(self, sock: socket.socket) -> None:
+        """Bootstrap (or truncate-and-rebuild) from a primary snapshot.
+
+        Replaces the whole logical state under one MVCC publish, realigns
+        the local WAL to the snapshot's seq (discarding any divergent
+        suffix via the checkpoint's rotation), and lifts every scrubber
+        quarantine — the rebuilt tables are byte-fresh from the primary.
+        """
+        if self.promoted or self._stop.is_set():
+            # Never rebuild a retiring or promoted node from a peer.
+            return
+        metrics = get_metrics()
+        reply = self._request(sock, {"op": "repl.snapshot", "epoch": self.epoch})
+        snap_seq = reply["seq"]
+        payload = reply["snapshot"]
+
+        def mutate(db):
+            guard = (
+                self._manager.suspended()
+                if self._manager is not None
+                else nullcontext()
+            )
+            with guard:
+                for name in list(db.view_names()):
+                    db.drop_view(name)
+                for name in list(db.table_names()):
+                    db.drop_table(name)
+                populate_database(db, payload)
+            with self._position_cv:
+                self._position = snap_seq
+                self._position_cv.notify_all()
+
+        self.server.mvcc.commit_replicated(snap_seq, mutate)
+        if self._manager is not None:
+            self._manager.reset_to(snap_seq)
+        self._recent_digests.clear()
+        self.server.quarantine.clear()
+        metrics.counter("repl.resyncs").inc()
+        metrics.gauge("repl.lag_frames").set(0)

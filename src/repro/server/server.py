@@ -52,6 +52,7 @@ stack's interpolation) feed the OpenMetrics exposition.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import threading
 import time
@@ -64,18 +65,24 @@ from ..errors import (
     CircuitOpenError,
     OverloadError,
     ProtocolError,
+    ReplicationError,
+    ReplicationTimeoutError,
     ReproError,
     RequestTimeoutError,
     ServerDrainingError,
     ServerError,
+    StaleEpochError,
 )
 from ..increment import Budget
 from ..obs import TIMING_BUCKETS, get_metrics, get_tracer
 from ..policy import PolicyStore
 from ..storage.database import Database
+from ..storage.durability.fingerprint import database_fingerprints
+from ..storage.durability.snapshot import snapshot_payload
 from .faults import NetworkFaultInjector
 from .mvcc import MVCCDatabase
 from .protocol import encode_frame, read_frame
+from .replication.feed import PrimaryReplication, iter_idempotency_markers
 from .session import Session
 
 __all__ = ["PCQEServer", "PRIORITY_CLASSES"]
@@ -172,6 +179,44 @@ class _ConnectionBreaker:
         self._set_state("closed")
 
 
+class _ReplicatedKeys:
+    """Bounded map of ⟨client id, idempotency key⟩ → commit seq, built
+    from WAL-journaled dedup markers.
+
+    Unlike :class:`_IdempotencyCache` (volatile, holds full replies)
+    this map is reconstructed from the *replicated log* — on startup
+    from the local WAL, on replicas from every applied frame — so a
+    retry that lands on a freshly-promoted primary after failover is
+    still deduplicated, even though the node that executed the original
+    is dead.  The replay cannot reproduce the original reply payload
+    (that died with the old primary); it answers with the committed seq,
+    which is exactly what an exactly-once writer needs.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, str], int] = OrderedDict()
+
+    def get(self, key: tuple[str, str]) -> "int | None":
+        with self._lock:
+            seq = self._entries.get(key)
+            if seq is not None:
+                self._entries.move_to_end(key)
+            return seq
+
+    def put(self, key: tuple[str, str], seq: int) -> None:
+        with self._lock:
+            self._entries[key] = seq
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class _IdempotencyCache:
     """Bounded LRU of ⟨client id, idempotency key⟩ → reply (or in-flight
     future).  Storing the *future* at admission closes the double-execute
@@ -244,6 +289,11 @@ class PCQEServer:
         breaker_cooldown: float = 1.0,
         shed_multipliers: "dict[int, float] | None" = None,
         idempotency_capacity: int = 1024,
+        read_only: bool = False,
+        epoch: int = 1,
+        min_sync_replicas: int = 0,
+        sync_timeout: float = 2.0,
+        min_seq_wait: float = 2.0,
     ) -> None:
         self.mvcc = MVCCDatabase(db)
         self.policies = policies
@@ -283,6 +333,36 @@ class PCQEServer:
         # between its worker finishing and its reply leaving the socket.
         self._requests_open = 0
         self._idempotency = _IdempotencyCache(idempotency_capacity)
+        # -- replication state --------------------------------------------
+        #: Replica mode: sessions are read-only, writes answer
+        #: NotPrimaryError with rotate:true.  Flipped by promotion.
+        self.read_only = read_only
+        self.epoch = epoch
+        get_metrics().gauge("server.epoch").set(epoch)
+        self.min_sync_replicas = min_sync_replicas
+        self.sync_timeout = sync_timeout
+        self.min_seq_wait = min_seq_wait
+        #: Lowercase table names the scrubber has quarantined; shared
+        #: with every session (enforced at SessionDatabase.table).
+        self.quarantine: "set[str]" = set()
+        self._replicated_keys = _ReplicatedKeys(idempotency_capacity)
+        self._durability = db._durability if db.is_durable else None
+        self.replication: PrimaryReplication | None = (
+            PrimaryReplication(self._durability)
+            if self._durability is not None
+            else None
+        )
+        if self.replication is not None:
+            # Rebuild the durable exactly-once map from markers already
+            # in the WAL (a restarted primary must keep deduplicating
+            # keys it committed before the restart).
+            for seq, payload in self.replication.feed.snapshot_frames():
+                try:
+                    op = json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    continue
+                for client, idem_key in iter_idempotency_markers(op):
+                    self._replicated_keys.put((client, idem_key), seq)
         if request_timeout is not None and request_timeout <= 0:
             raise ServerError("request_timeout must be positive")
         self._timeout_grace = (
@@ -308,6 +388,29 @@ class PCQEServer:
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    @property
+    def role(self) -> str:
+        return "replica" if self.read_only else "primary"
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+        get_metrics().gauge("server.epoch").set(epoch)
+
+    def promote_to_primary(self, epoch: int) -> None:
+        """Flip a replica server into the writable primary role.
+
+        Existing sessions keep their read-only flag (they were opened
+        under the old regime and reconnect through the retrying client);
+        new sessions accept writes.  *epoch* fences the deposed primary.
+        """
+        self.read_only = False
+        self.set_epoch(epoch)
+        get_metrics().counter("server.promotions").inc()
+
+    def record_replicated_key(self, client: str, key: str, seq: int) -> None:
+        """Harvested WAL idempotency marker (replica apply path)."""
+        self._replicated_keys.put((client, key), seq)
 
     def start(self) -> "PCQEServer":
         """Bind and serve on a daemon thread; returns once listening."""
@@ -366,6 +469,8 @@ class PCQEServer:
         self._thread.join(timeout=10.0)
         self._thread = None
         self._executor.shutdown(wait=True)
+        if self.replication is not None:
+            self.replication.detach()
         with self._sessions_lock:
             sessions, self._sessions = list(self._sessions), set()
         for session in sessions:
@@ -428,6 +533,7 @@ class PCQEServer:
     ) -> None:
         metrics = get_metrics()
         session: Session | None = None
+        repl_peer: "dict[str, Any] | None" = None
         breaker = _ConnectionBreaker(
             self.breaker_threshold, self.breaker_cooldown
         )
@@ -447,7 +553,41 @@ class PCQEServer:
                     return  # clean disconnect
                 op = request.get("op")
                 rid = request.get("rid")
+                if isinstance(op, str) and op.startswith("repl."):
+                    # Replication is session-less: no snapshot pin, no
+                    # policy context, and no admission accounting — a
+                    # draining primary keeps feeding its replicas so
+                    # acknowledged commits reach safety before shutdown.
+                    if session is not None:
+                        reply = _error_reply(
+                            ProtocolError(
+                                "replication ops are not valid on a "
+                                "client session"
+                            ),
+                            rid=rid,
+                        )
+                    else:
+                        if repl_peer is None:
+                            repl_peer = {"id": None}
+                        reply = await self._dispatch_repl(
+                            op, request, repl_peer
+                        )
+                    if not await self._write_frame(writer, _stamp(reply, rid)):
+                        return
+                    continue
                 if session is None:
+                    if repl_peer is not None:
+                        await self._write_frame(
+                            writer,
+                            _error_reply(
+                                ProtocolError(
+                                    "this connection is a replication "
+                                    "link; client ops are not valid"
+                                ),
+                                rid=rid,
+                            ),
+                        )
+                        return
                     if op != "hello":
                         await self._write_frame(
                             writer,
@@ -488,6 +628,8 @@ class PCQEServer:
                                 "user": session.context.user,
                                 "role": session.context.role,
                                 "purpose": session.context.purpose,
+                                "server_role": self.role,
+                                "epoch": self.epoch,
                             },
                             rid,
                         ),
@@ -612,6 +754,8 @@ class PCQEServer:
             engine=self.engine,
             fallback=self.fallback,
             client_id=client_id,
+            read_only=self.read_only,
+            quarantine=self.quarantine,
         )
         with self._sessions_lock:
             self._sessions.add(session)
@@ -660,6 +804,31 @@ class PCQEServer:
                 reply = dict(reply)
                 reply["idempotent_replay"] = True
                 return reply
+            seq_seen = self._replicated_keys.get(ckey)
+            if seq_seen is not None:
+                # Durable dedup: the key was journaled inside the commit
+                # it guards, so it survives crash recovery *and* failover
+                # to a promoted replica.  The full reply is gone (it lived
+                # in the dead primary's volatile cache); re-acknowledge the
+                # commit without re-executing it.
+                metrics.counter("server.idempotent_replays").inc()
+
+                def replay(seq: int = seq_seen) -> dict[str, Any]:
+                    try:
+                        self._confirm_replicated(seq)
+                    except ReproError as error:
+                        return _error_reply(error)
+                    return {
+                        "ok": True,
+                        "idempotent_replay": True,
+                        "seq": seq,
+                        "result": "ok (deduplicated from the replicated log)",
+                    }
+
+                assert self._loop is not None
+                return await asyncio.shield(
+                    self._loop.run_in_executor(self._executor, replay)
+                )
         allowed, retry_after = breaker.allow()
         if not allowed:
             metrics.counter("server.breaker.rejections").inc()
@@ -856,6 +1025,7 @@ class PCQEServer:
     def _op_ask(
         self, session: Session, request: dict[str, Any], profile: bool = False
     ) -> dict[str, Any]:
+        self._ensure_min_seq(session, request)
         sql = request.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise ProtocolError("ask needs a non-empty 'sql' string")
@@ -889,6 +1059,9 @@ class PCQEServer:
         if result.receipt is not None:
             reply["improved"] = result.receipt.tuples_improved
             reply["improvement_cost"] = result.receipt.total_cost
+            # The improvement write-back committed; under semi-sync
+            # replication the acknowledgement must wait for replicas too.
+            self._confirm_replicated(session.seq)
         if result.profile is not None:
             reply["profile"] = result.profile.format()
         return reply
@@ -903,12 +1076,24 @@ class PCQEServer:
     ) -> dict[str, Any]:
         from ..sql import DmlResult
 
+        self._ensure_min_seq(session, request)
         sql = request.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise ProtocolError("sql needs a non-empty 'sql' string")
-        result = session.run_sql(sql)
+        key = request.get("idempotency_key")
+        idempotency = (
+            key if isinstance(key, str) and self._db.is_durable else None
+        )
+        result = session.run_sql(sql, idempotency=idempotency)
         if isinstance(result, DmlResult):
-            return {"ok": True, "result": str(result), "seq": session.seq}
+            seq = session.seq
+            if idempotency is not None:
+                # Record before confirming: if the semi-sync wait times
+                # out and the client retries, the retry must hit the
+                # durable replay path, not re-execute the statement.
+                self._replicated_keys.put((session.client_id, idempotency), seq)
+            self._confirm_replicated(seq)
+            return {"ok": True, "result": str(result), "seq": seq}
         return {
             "ok": True,
             "columns": list(result.schema.names),
@@ -923,6 +1108,7 @@ class PCQEServer:
     def _op_refresh(
         self, session: Session, request: dict[str, Any]
     ) -> dict[str, Any]:
+        self._ensure_min_seq(session, request)
         return {"ok": True, "seq": session.refresh()}
 
     def _op_metrics(
@@ -931,6 +1117,236 @@ class PCQEServer:
         from ..obs import render_openmetrics
 
         return {"ok": True, "openmetrics": render_openmetrics()}
+
+    # -- read-your-writes + semi-sync helpers --------------------------------
+
+    def _ensure_min_seq(self, session: Session, request: dict[str, Any]) -> None:
+        """Honor the request's ``min_seq`` read-your-writes floor."""
+        min_seq = request.get("min_seq")
+        if min_seq is None:
+            return
+        if not isinstance(min_seq, int) or min_seq < 0:
+            raise ProtocolError(
+                f"min_seq must be a non-negative integer, got {min_seq!r}"
+            )
+        session.ensure_seq(min_seq, self.min_seq_wait)
+
+    def _confirm_replicated(self, seq: int) -> None:
+        """Block an acknowledgement until ``min_sync_replicas`` replicas
+        have durably applied *seq* (semi-synchronous replication).
+
+        On timeout the commit is NOT rolled back — it is durable locally
+        and still streaming — but the client gets a retryable error, so
+        "acknowledged" always implies "on at least N replicas".
+        """
+        if self.min_sync_replicas <= 0 or self.replication is None:
+            return
+        acked = self.replication.wait_for_acks(
+            seq, self.min_sync_replicas, self.sync_timeout
+        )
+        if acked < self.min_sync_replicas:
+            get_metrics().counter("server.sync_timeouts").inc()
+            raise ReplicationTimeoutError(
+                f"commit at seq {seq} reached only {acked} of "
+                f"{self.min_sync_replicas} required replica(s) within "
+                f"{self.sync_timeout * 1000.0:.0f} ms",
+                seq=seq,
+                required=self.min_sync_replicas,
+                acked=acked,
+            )
+
+    # -- replication ops (session-less; see _handle) -------------------------
+
+    async def _dispatch_repl(
+        self, op: str, request: dict[str, Any], peer: dict[str, Any]
+    ) -> dict[str, Any]:
+        handlers: dict[str, Callable[..., dict[str, Any]]] = {
+            "repl.handshake": self._repl_handshake,
+            "repl.pull": self._repl_pull,
+            "repl.snapshot": self._repl_snapshot,
+            "repl.digest": self._repl_digest,
+            "repl.fingerprints": self._repl_fingerprints,
+        }
+        handler = handlers.get(op)
+        if handler is None:
+            return _error_reply(
+                ProtocolError(
+                    f"unknown replication op {op!r} "
+                    f"(expected one of {sorted(handlers)})"
+                )
+            )
+        if self.replication is None:
+            return _error_reply(
+                ServerError(
+                    "replication requires a durable database "
+                    "(this server is in-memory)"
+                )
+            )
+        if op != "repl.handshake" and peer["id"] is None:
+            return _error_reply(
+                ProtocolError(
+                    f"{op} before repl.handshake: the handshake names the "
+                    f"replica and agrees on an epoch first"
+                )
+            )
+
+        def run() -> dict[str, Any]:
+            try:
+                return handler(request, peer)
+            except ReproError as error:
+                return _error_reply(error)
+            except Exception as error:
+                get_metrics().counter("server.handler_errors").inc()
+                logger.exception("unexpected failure in %s handler", op)
+                return _error_reply(
+                    ServerError(
+                        f"internal error in {op}: "
+                        f"{type(error).__name__}: {error}"
+                    )
+                )
+
+        assert self._loop is not None
+        return await asyncio.shield(
+            self._loop.run_in_executor(self._executor, run)
+        )
+
+    def _repl_epoch_guard(self, request: dict[str, Any]) -> None:
+        """Fence a deposed primary: a peer announcing a *higher* epoch
+        proves a promotion happened behind our back, so this node must
+        stop acting as primary for replication purposes.  Lower peer
+        epochs are fine — the reply carries ours and the replica adopts
+        it."""
+        peer_epoch = request.get("epoch")
+        if peer_epoch is None:
+            return
+        if not isinstance(peer_epoch, int) or peer_epoch < 0:
+            raise ProtocolError(
+                f"epoch must be a non-negative integer, got {peer_epoch!r}"
+            )
+        if peer_epoch > self.epoch:
+            get_metrics().counter("server.fenced").inc()
+            raise StaleEpochError(
+                f"this server's epoch {self.epoch} is stale: a peer is at "
+                f"epoch {peer_epoch} (a newer primary has been promoted)",
+                stale_epoch=self.epoch,
+                current_epoch=peer_epoch,
+            )
+
+    def _repl_handshake(
+        self, request: dict[str, Any], peer: dict[str, Any]
+    ) -> dict[str, Any]:
+        replica = request.get("replica")
+        if not isinstance(replica, str) or not replica:
+            raise ProtocolError(
+                "repl.handshake needs a non-empty 'replica' id"
+            )
+        self._repl_epoch_guard(request)
+        peer["id"] = replica
+        last_seq = request.get("last_seq")
+        if isinstance(last_seq, int) and last_seq >= 0:
+            assert self.replication is not None
+            self.replication.record_ack(replica, last_seq)
+        assert self._durability is not None
+        return {
+            "ok": True,
+            "epoch": self.epoch,
+            "last_seq": self._durability.last_seq,
+            "role": self.role,
+        }
+
+    def _repl_pull(
+        self, request: dict[str, Any], peer: dict[str, Any]
+    ) -> dict[str, Any]:
+        self._repl_epoch_guard(request)
+        assert self.replication is not None and self._durability is not None
+        from_seq = request.get("from_seq")
+        if not isinstance(from_seq, int) or from_seq < 0:
+            raise ProtocolError(
+                f"repl.pull needs a non-negative integer 'from_seq', "
+                f"got {from_seq!r}"
+            )
+        max_frames = request.get("max_frames", 256)
+        if not isinstance(max_frames, int) or not 1 <= max_frames <= 1024:
+            raise ProtocolError(
+                f"max_frames must be an integer in [1, 1024], "
+                f"got {max_frames!r}"
+            )
+        wait_ms = request.get("wait_ms", 0)
+        if not isinstance(wait_ms, (int, float)) or not 0 <= wait_ms <= 2000:
+            raise ProtocolError(
+                f"wait_ms must be a number in [0, 2000], got {wait_ms!r}"
+            )
+        applied = request.get("applied")
+        if isinstance(applied, int) and applied >= 0:
+            self.replication.record_ack(peer["id"], applied)
+        frames = self.replication.feed.frames_since(
+            from_seq, max_frames, wait_ms / 1000.0
+        )
+        if frames is None:
+            return {"ok": True, "epoch": self.epoch, "resync": True,
+                    "last_seq": self._durability.last_seq}
+        return {
+            "ok": True,
+            "epoch": self.epoch,
+            "last_seq": self._durability.last_seq,
+            "frames": [
+                [seq, payload.decode("utf-8")] for seq, payload in frames
+            ],
+        }
+
+    def _repl_snapshot(
+        self, request: dict[str, Any], peer: dict[str, Any]
+    ) -> dict[str, Any]:
+        self._repl_epoch_guard(request)
+        assert self._durability is not None
+        # Pause commits so the payload and its wal_seq agree exactly —
+        # the replica anchors its replication position at this seq.
+        with self.mvcc.paused_commits():
+            wal_seq = self._durability.last_seq
+            payload = snapshot_payload(self._db, wal_seq)
+        return {
+            "ok": True,
+            "epoch": self.epoch,
+            "seq": wal_seq,
+            "snapshot": payload,
+        }
+
+    def _repl_digest(
+        self, request: dict[str, Any], peer: dict[str, Any]
+    ) -> dict[str, Any]:
+        self._repl_epoch_guard(request)
+        assert self.replication is not None and self._durability is not None
+        from_seq = request.get("from_seq")
+        to_seq = request.get("to_seq")
+        if not isinstance(from_seq, int) or not isinstance(to_seq, int):
+            raise ProtocolError(
+                "repl.digest needs integer 'from_seq' and 'to_seq'"
+            )
+        digests = self.replication.feed.digests(from_seq, to_seq)
+        if digests is None:
+            return {"ok": True, "epoch": self.epoch, "resync": True,
+                    "last_seq": self._durability.last_seq}
+        return {
+            "ok": True,
+            "epoch": self.epoch,
+            "digests": [[seq, digest] for seq, digest in digests],
+            "last_seq": self._durability.last_seq,
+        }
+
+    def _repl_fingerprints(
+        self, request: dict[str, Any], peer: dict[str, Any]
+    ) -> dict[str, Any]:
+        self._repl_epoch_guard(request)
+        assert self._durability is not None
+        with self.mvcc.paused_commits():
+            seq = self._durability.last_seq
+            prints = database_fingerprints(self._db)
+        return {
+            "ok": True,
+            "epoch": self.epoch,
+            "seq": seq,
+            "fingerprints": prints,
+        }
 
 
 def _stamp(reply: dict[str, Any], rid: Any) -> dict[str, Any]:

@@ -24,7 +24,13 @@ import threading
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from ..core import PCQEngine, PCQEResult, QueryRequest
-from ..errors import SessionClosedError, UnknownUserError
+from ..errors import (
+    NotPrimaryError,
+    QuarantinedTableError,
+    ReplicaLagError,
+    SessionClosedError,
+    UnknownUserError,
+)
 from ..policy import PolicyStore
 from ..storage.tuples import StoredTuple, TupleId
 from .mvcc import MVCCDatabase, Snapshot, SnapshotTable
@@ -89,6 +95,13 @@ class SessionDatabase:
     # -- reads (delegate to the pinned generation) -------------------------
 
     def table(self, name: str) -> SnapshotTable:
+        quarantine = self._session.quarantine
+        if quarantine and name.lower() in quarantine:
+            raise QuarantinedTableError(
+                f"table {name!r} is quarantined on this replica pending "
+                f"resync (scrub found a fingerprint divergence)",
+                table=name.lower(),
+            )
         return self._db.table(name)
 
     def has_table(self, name: str) -> bool:
@@ -152,6 +165,8 @@ class Session:
         engine: str = "auto",
         fallback: "tuple[str, ...] | None" = None,
         client_id: str | None = None,
+        read_only: bool = False,
+        quarantine: "set[str] | None" = None,
     ) -> None:
         try:
             roles = tuple(sorted(policies.user(user).roles))
@@ -173,6 +188,14 @@ class Session:
         #: Stable client identity for idempotency dedup: a reconnecting
         #: retry presents the same id, so its keys match across sessions.
         self.client_id = client_id or f"session-{self.id}"
+        #: Replica mode: every mutation path raises NotPrimaryError.
+        self.read_only = read_only
+        #: Shared (with the server) set of lowercase quarantined table
+        #: names; the planner touches every referenced table through
+        #: SessionDatabase.table, so enforcement is exact.
+        self.quarantine: "set[str]" = (
+            quarantine if quarantine is not None else set()
+        )
         self._mvcc = mvcc
         self._lock = threading.Lock()
         self._handle: Snapshot | None = mvcc.snapshot()
@@ -197,9 +220,37 @@ class Session:
             self._handle = self._mvcc.refresh(self._snapshot())
             return self._handle.seq
 
+    def ensure_seq(self, min_seq: int, wait_s: float = 0.0) -> int:
+        """Guarantee this session observes at least generation *min_seq*.
+
+        The read-your-writes contract: a client that wrote at seq N and
+        reconnected to a replica must not see pre-N state.  Refreshes the
+        pin if the node is already there; otherwise waits up to *wait_s*
+        for replication to catch up, then raises the retryable
+        :class:`ReplicaLagError` so the client can try elsewhere.
+        """
+        if self.seq >= min_seq:
+            return self.seq
+        if self._mvcc.current_seq >= min_seq or (
+            wait_s > 0 and self._mvcc.wait_for_seq(min_seq, wait_s)
+        ):
+            return self.refresh()
+        raise ReplicaLagError(
+            f"replica is at seq {self._mvcc.current_seq}, request requires "
+            f"{min_seq} (waited {wait_s * 1000:.0f} ms)",
+            min_seq=min_seq,
+            position=self._mvcc.current_seq,
+            waited_ms=wait_s * 1000.0,
+        )
+
     def commit(self, mutate) -> Any:
         """Run a mutation through MVCC, then advance this session's pin."""
         self._snapshot()  # closed-session check before touching storage
+        if self.read_only:
+            raise NotPrimaryError(
+                f"session {self.id} is bound to a read-only replica; "
+                f"writes must go to the primary"
+            )
         result = self._mvcc.commit(mutate)
         self.refresh()
         return result
@@ -247,19 +298,36 @@ class Session:
         )
         return engine.execute(request, user=self.context.user)
 
-    def run_sql(self, sql: str):
+    def run_sql(self, sql: str, *, idempotency: str | None = None):
         """Run one SQL statement.
 
         SELECTs read the pinned snapshot; DML/DDL commits through MVCC
         (one WAL batch) and advances this session's pin so the statement
-        is immediately visible to its own connection.
+        is immediately visible to its own connection.  When *idempotency*
+        is given, a no-op dedup marker is journaled inside the same WAL
+        record, making the (client, key) pair durable — it survives
+        crash recovery and replication, so a retry after failover is
+        deduplicated on the promoted primary too.
         """
         from ..sql import SelectStatement, SetStatement, execute_sql, parse_command
 
         command = parse_command(sql)
         if isinstance(command, (SelectStatement, SetStatement)):
             return execute_sql(self.db, sql, engine=self.engine)
-        return self.commit(lambda db: execute_sql(db, sql, engine=self.engine))
+
+        def mutate(db):
+            result = execute_sql(db, sql, engine=self.engine)
+            if idempotency is not None:
+                db._journal(
+                    {
+                        "op": "idempotency",
+                        "client": self.client_id,
+                        "key": idempotency,
+                    }
+                )
+            return result
+
+        return self.commit(mutate)
 
     def __repr__(self) -> str:  # pragma: no cover - display only
         handle = self._handle

@@ -45,6 +45,8 @@ from .faults import (
     iter_fault_specs,
 )
 from .fileio import OsFile, fsync_dir, os_opener
+from .fingerprint import database_fingerprints, table_fingerprint
+from .fsck import FsckIssue, FsckReport, fsck_data_dir
 from .manager import DurabilityManager
 from .recovery import SNAPSHOT_FILE, WAL_FILE, RecoveryReport, apply_op, recover
 from .retry import RetryPolicy
@@ -52,6 +54,7 @@ from .snapshot import (
     SNAPSHOT_MAGIC,
     database_from_payload,
     load_snapshot,
+    populate_database,
     snapshot_payload,
     write_snapshot,
 )
@@ -86,6 +89,7 @@ __all__ = [
     "RetryPolicy",
     "SNAPSHOT_MAGIC",
     "snapshot_payload",
+    "populate_database",
     "database_from_payload",
     "write_snapshot",
     "load_snapshot",
@@ -93,4 +97,9 @@ __all__ = [
     "ScanResult",
     "WriteAheadLog",
     "scan_wal",
+    "table_fingerprint",
+    "database_fingerprints",
+    "FsckIssue",
+    "FsckReport",
+    "fsck_data_dir",
 ]

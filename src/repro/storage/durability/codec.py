@@ -145,6 +145,8 @@ def decode_schema(columns: list[list[Any]]) -> Schema:
 #: Every operation kind the WAL can carry.  ``batch`` wraps a list of
 #: sub-operations committed as one atomic record (a multi-row DML
 #: statement, or a solver's accepted increment strategy).
+#: ``idempotency`` is a state no-op marker journaled alongside a write so
+#: the (client, key) dedup map survives crash recovery and replication.
 OP_KINDS = frozenset(
     {
         "create_table",
@@ -157,6 +159,7 @@ OP_KINDS = frozenset(
         "update",
         "set_confidence",
         "confidences",
+        "idempotency",
         "batch",
     }
 )

@@ -1,0 +1,225 @@
+"""Offline integrity check (``repro fsck``): verify, never repair.
+
+``fsck_data_dir`` walks a durability directory read-only and re-verifies
+every guarantee the write path claims:
+
+* the snapshot's magic, version, declared length, and payload CRC32C;
+* every WAL record's header checksum, length plausibility, and payload
+  CRC32C, plus sequence-number continuity across records;
+* a torn tail (incomplete final record) is *reported* with its byte
+  offset and the last intact frame's seq — unlike recovery, fsck never
+  truncates, so operators can inspect the damage first.
+
+The same checks back the replica scrubber's local pass
+(:mod:`repro.server.replication.scrub`), which is what turns silent
+bit rot into a quarantine + resync instead of a served wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .checksum import crc32c
+from .recovery import SNAPSHOT_FILE, WAL_FILE
+from .snapshot import SNAPSHOT_MAGIC, _FRAME, FORMAT_VERSION
+from .wal import _HEADER, _LEN_CRC, MAX_RECORD_BYTES, WAL_MAGIC
+
+__all__ = ["FsckIssue", "FsckReport", "fsck_data_dir"]
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One integrity finding."""
+
+    file: str  #: which file ("wal.log" or "snapshot.snap")
+    kind: str  #: machine-readable issue class
+    offset: int  #: byte offset of the damage
+    seq: int  #: last intact WAL seq before the damage (0 if unknown)
+    detail: str
+
+    def format(self) -> str:
+        where = f"{self.file} @ byte {self.offset}"
+        if self.seq:
+            where += f" (after frame seq {self.seq})"
+        return f"  {self.kind}: {where}: {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """Outcome of :func:`fsck_data_dir` (surfaced by ``repro fsck``)."""
+
+    data_dir: str
+    snapshot_present: bool = False
+    snapshot_bytes: int = 0
+    snapshot_wal_seq: int = 0
+    wal_present: bool = False
+    wal_bytes: int = 0
+    frames_verified: int = 0
+    last_seq: int = 0
+    issues: list[FsckIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def format(self) -> str:
+        lines = [f"fsck {self.data_dir}"]
+        if self.snapshot_present:
+            lines.append(
+                f"  snapshot: {self.snapshot_bytes} bytes, "
+                f"wal_seq {self.snapshot_wal_seq}"
+            )
+        else:
+            lines.append("  snapshot: none")
+        if self.wal_present:
+            lines.append(
+                f"  wal: {self.wal_bytes} bytes, "
+                f"{self.frames_verified} frame(s) verified, "
+                f"last seq {self.last_seq}"
+            )
+        else:
+            lines.append("  wal: none")
+        if self.clean:
+            lines.append("  clean: all checksums verified")
+        else:
+            lines.append(f"  ISSUES ({len(self.issues)}):")
+            lines.extend(issue.format() for issue in self.issues)
+        return "\n".join(lines)
+
+
+def _check_snapshot(path: str, report: FsckReport) -> None:
+    report.snapshot_present = True
+    with open(path, "rb") as handle:
+        data = handle.read()
+    report.snapshot_bytes = len(data)
+    name = os.path.basename(path)
+    header_size = len(SNAPSHOT_MAGIC) + _FRAME.size
+    if len(data) < header_size or data[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        report.issues.append(FsckIssue(
+            name, "snapshot-bad-header", 0, 0,
+            "bad or truncated snapshot header",
+        ))
+        return
+    version, payload_crc, length = _FRAME.unpack_from(data, len(SNAPSHOT_MAGIC))
+    if version != FORMAT_VERSION:
+        report.issues.append(FsckIssue(
+            name, "snapshot-bad-version", len(SNAPSHOT_MAGIC), 0,
+            f"unsupported snapshot version {version}",
+        ))
+        return
+    payload = data[header_size:]
+    if len(payload) != length:
+        report.issues.append(FsckIssue(
+            name, "snapshot-truncated", header_size, 0,
+            f"payload is {len(payload)} bytes, header declares {length}",
+        ))
+        return
+    if crc32c(payload) != payload_crc:
+        report.issues.append(FsckIssue(
+            name, "snapshot-checksum", header_size, 0,
+            "payload CRC32C mismatch",
+        ))
+        return
+    try:
+        document = json.loads(payload.decode("utf-8"))
+        report.snapshot_wal_seq = int(document.get("wal_seq", 0))
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError):
+        report.issues.append(FsckIssue(
+            name, "snapshot-bad-json", header_size, 0,
+            "checksummed payload is not valid JSON",
+        ))
+
+
+def _check_wal(path: str, report: FsckReport) -> None:
+    report.wal_present = True
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+    report.wal_bytes = size
+    name = os.path.basename(path)
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        if size < len(WAL_MAGIC) and WAL_MAGIC.startswith(data):
+            report.issues.append(FsckIssue(
+                name, "wal-torn-magic", 0, 0,
+                f"only {size} of {len(WAL_MAGIC)} magic bytes present",
+            ))
+        else:
+            report.issues.append(FsckIssue(
+                name, "wal-bad-magic", 0, 0, "not a PCQE write-ahead log",
+            ))
+        return
+    offset = len(WAL_MAGIC)
+    while offset < size:
+        remaining = size - offset
+        if remaining < _HEADER.size:
+            report.issues.append(FsckIssue(
+                name, "wal-torn-header", offset, report.last_seq,
+                f"file ends {remaining} byte(s) into a record header "
+                f"({remaining}/{_HEADER.size})",
+            ))
+            return
+        length, payload_crc, header_crc = _HEADER.unpack_from(data, offset)
+        if crc32c(data[offset : offset + _LEN_CRC.size]) != header_crc:
+            report.issues.append(FsckIssue(
+                name, "wal-header-checksum", offset, report.last_seq,
+                "record header CRC32C mismatch (length field untrusted; "
+                "remaining bytes unverifiable)",
+            ))
+            return
+        if length > MAX_RECORD_BYTES:
+            report.issues.append(FsckIssue(
+                name, "wal-bad-length", offset, report.last_seq,
+                f"implausible record length {length}",
+            ))
+            return
+        body_start = offset + _HEADER.size
+        if body_start + length > size:
+            report.issues.append(FsckIssue(
+                name, "wal-torn-payload", offset, report.last_seq,
+                f"file ends {size - body_start} byte(s) into a "
+                f"{length}-byte payload",
+            ))
+            return
+        payload = data[body_start : body_start + length]
+        if crc32c(payload) != payload_crc:
+            report.issues.append(FsckIssue(
+                name, "wal-payload-checksum", offset, report.last_seq,
+                f"record payload CRC32C mismatch ({length} bytes)",
+            ))
+            return
+        seq = 0
+        try:
+            record = json.loads(payload.decode("utf-8"))
+            seq = record.get("seq")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            record, seq = None, None
+        if not isinstance(seq, int):
+            report.issues.append(FsckIssue(
+                name, "wal-bad-record", offset, report.last_seq,
+                "checksummed record is not JSON with an integer 'seq'",
+            ))
+        else:
+            if report.last_seq and seq != report.last_seq + 1:
+                report.issues.append(FsckIssue(
+                    name, "wal-seq-gap", offset, report.last_seq,
+                    f"record seq {seq} follows {report.last_seq}",
+                ))
+            report.last_seq = seq
+        report.frames_verified += 1
+        offset = body_start + length
+
+
+def fsck_data_dir(data_dir: str) -> FsckReport:
+    """Verify every checksum under *data_dir* without modifying anything."""
+    report = FsckReport(data_dir=data_dir)
+    snapshot_path = os.path.join(data_dir, SNAPSHOT_FILE)
+    if os.path.exists(snapshot_path):
+        _check_snapshot(snapshot_path, report)
+    wal_path = os.path.join(data_dir, WAL_FILE)
+    if os.path.exists(wal_path):
+        _check_wal(wal_path, report)
+    if report.last_seq == 0:
+        report.last_seq = report.snapshot_wal_seq
+    return report

@@ -22,6 +22,7 @@ import os
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ...errors import DurabilityError
 from ...obs import get_metrics, get_tracer
 from .codec import encode_op
 from .faults import FaultInjector, FaultyFile
@@ -85,6 +86,8 @@ class DurabilityManager:
         self._seq = 0
         self._batch: "list[dict[str, Any]] | None" = None
         self._closed = False
+        self._suspended = False
+        self._listeners: "list[Any]" = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -116,10 +119,68 @@ class DurabilityManager:
 
     def log_op(self, op: dict[str, Any]) -> None:
         """Journal one logical op (buffered inside an open batch)."""
+        if self._suspended:
+            return
         if self._batch is not None:
             self._batch.append(op)
             return
         self._commit(op)
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Silence the journal hooks for the duration of the block.
+
+        Used when replaying state that is *already* in the log — a
+        replica applying an imported frame, or a resync rebuilding from
+        a primary snapshot — so the mutation does not journal twice.
+        """
+        previous, self._suspended = self._suspended, True
+        try:
+            yield
+        finally:
+            self._suspended = previous
+
+    # -- replication hooks -------------------------------------------------
+
+    def add_commit_listener(self, listener: Any) -> None:
+        """Call ``listener(seq, payload)`` after every durable record."""
+        self._listeners.append(listener)
+
+    def remove_commit_listener(self, listener: Any) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, seq: int, payload: bytes) -> None:
+        for listener in list(self._listeners):
+            listener(seq, payload)
+
+    def import_frame(self, payload: bytes, seq: int) -> None:
+        """Append a primary-authored WAL record verbatim (replica path).
+
+        The payload already carries its ``seq``; frames must arrive in
+        order with no gaps so the replica's log stays a byte-prefix of
+        the primary's.  Deliberately does **not** auto-checkpoint: the
+        in-memory apply happens after the import, and a checkpoint cut
+        between them would record a snapshot seq ahead of the state.
+        Callers run :meth:`maybe_checkpoint` once the frame is applied.
+        """
+        if seq != self._seq + 1:
+            raise DurabilityError(
+                f"out-of-order frame import: got seq {seq}, "
+                f"expected {self._seq + 1}"
+            )
+        with get_tracer().span("wal.import", seq=seq) as span:
+            nbytes = self._wal.append(payload)
+            span.set_attribute("bytes", nbytes)
+        self._seq = seq
+        self._metrics.counter("wal.records").inc()
+        self._metrics.counter("wal.bytes").inc(nbytes)
+        if self.sync:
+            self._metrics.counter("wal.fsyncs").inc()
+        self._metrics.gauge("wal.size_bytes").set(self._wal.size_bytes)
+        self._notify(seq, payload)
 
     @contextmanager
     def batch(self) -> Iterator[None]:
@@ -159,11 +220,18 @@ class DurabilityManager:
         if self.sync:
             self._metrics.counter("wal.fsyncs").inc()
         self._metrics.gauge("wal.size_bytes").set(self._wal.size_bytes)
+        self._notify(self._seq, payload)
+        self.maybe_checkpoint()
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if the WAL has outgrown ``checkpoint_bytes``."""
         if (
             self.checkpoint_bytes is not None
             and self._wal.size_bytes >= self.checkpoint_bytes
         ):
             self.checkpoint()
+            return True
+        return False
 
     # -- checkpointing -----------------------------------------------------
 
@@ -194,6 +262,17 @@ class DurabilityManager:
         self._metrics.gauge("snapshot.bytes").set(nbytes)
         self._metrics.gauge("wal.size_bytes").set(self._wal.size_bytes)
         return nbytes
+
+    def reset_to(self, seq: int) -> None:
+        """Realign the durable position after a resync rebuild.
+
+        The in-memory state was just replaced wholesale (from a primary
+        snapshot at *seq*); checkpointing immediately makes that state
+        the on-disk truth and discards the divergent WAL suffix via the
+        rotation inside :meth:`checkpoint`.
+        """
+        self._seq = seq
+        self.checkpoint()
 
     def close(self) -> None:
         """Flush and close the WAL (safe to call twice)."""

@@ -119,6 +119,11 @@ def apply_op(db: "Database", op: dict[str, Any]) -> None:
         elif kind == "confidences":
             for table, ordinal, value in op["updates"]:
                 db.table(table).set_confidence(TupleId(table, ordinal), value)
+        elif kind == "idempotency":
+            # Dedup marker: no state change.  The serving layer harvests
+            # these during replication/recovery to rebuild its
+            # (client, key) -> seq exactly-once map.
+            pass
         else:  # pragma: no cover - decode_op already rejects these
             raise DurabilityError(f"unknown operation kind {kind!r}")
     except (KeyError, TypeError) as error:

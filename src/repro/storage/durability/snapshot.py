@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "SNAPSHOT_MAGIC",
     "snapshot_payload",
+    "populate_database",
     "database_from_payload",
     "write_snapshot",
     "load_snapshot",
@@ -90,18 +91,19 @@ def snapshot_payload(db: "Database", wal_seq: int) -> dict[str, Any]:
     }
 
 
-def database_from_payload(
-    payload: dict[str, Any], name: str | None = None
-) -> "tuple[Database, int]":
-    """Rebuild a :class:`Database` from :func:`snapshot_payload` output."""
-    from ..database import Database
+def populate_database(db: "Database", payload: dict[str, Any]) -> int:
+    """Load :func:`snapshot_payload` state into an *empty* database.
+
+    Shared between cold recovery (:func:`database_from_payload`) and a
+    replica's in-place resync rebuild.  Returns the payload's
+    ``wal_seq``.
+    """
     from ..tuples import StoredTuple, TupleId
 
     if payload.get("format") != FORMAT_VERSION:
         raise CorruptSnapshotError(
             f"unsupported snapshot format {payload.get('format')!r}"
         )
-    db = Database(name if name is not None else payload.get("name", "main"))
     try:
         for spec in payload["tables"]:
             table = db.create_table(spec["name"], decode_schema(spec["columns"]))
@@ -125,7 +127,18 @@ def database_from_payload(
         raise CorruptSnapshotError(
             f"malformed snapshot payload: {error}"
         ) from error
-    return db, int(payload.get("wal_seq", 0))
+    return int(payload.get("wal_seq", 0))
+
+
+def database_from_payload(
+    payload: dict[str, Any], name: str | None = None
+) -> "tuple[Database, int]":
+    """Rebuild a :class:`Database` from :func:`snapshot_payload` output."""
+    from ..database import Database
+
+    db = Database(name if name is not None else payload.get("name", "main"))
+    wal_seq = populate_database(db, payload)
+    return db, wal_seq
 
 
 def write_snapshot(

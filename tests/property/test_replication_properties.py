@@ -1,0 +1,204 @@
+"""Property tests for replication: log reconciliation and read-your-writes.
+
+Two families of laws:
+
+* **Log divergence** — for any shared history with forked tails, digest
+  reconciliation finds exactly the fork point; truncating the replica to
+  the common prefix and replaying the primary's frames always converges
+  to a digest-identical log (the truncate-and-resync contract).
+* **Read-your-writes** — a session that demands ``min_seq`` never
+  observes a snapshot older than it, across arbitrary interleavings of
+  commits, stale pins, and lag checks; a demand beyond the node's
+  position raises instead of lying, leaving the pin untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReplicaLagError
+from repro.policy import PolicyStore
+from repro.server.mvcc import MVCCDatabase
+from repro.server.replication.reconcile import (
+    common_prefix_seq,
+    divergence_point,
+    frame_digests,
+)
+from repro.server.session import Session
+from repro.storage import Database
+from repro.storage.schema import Schema
+from repro.storage.types import TEXT
+
+# -- log divergence ---------------------------------------------------------
+
+# Tag the two suffixes so a fork, when present, really differs at its
+# first frame (the tags never collide with each other or the prefix).
+_prefix_frames = st.lists(
+    st.binary(min_size=1, max_size=8).map(lambda b: b"S" + b),
+    max_size=20,
+)
+_primary_suffix = st.lists(
+    st.binary(min_size=1, max_size=8).map(lambda b: b"P" + b),
+    max_size=10,
+)
+_fork_suffix = st.lists(
+    st.binary(min_size=1, max_size=8).map(lambda b: b"F" + b),
+    max_size=10,
+)
+
+
+def _log(payloads: "list[bytes]") -> "list[tuple[int, bytes]]":
+    return [(seq, payload) for seq, payload in enumerate(payloads, start=1)]
+
+
+class TestLogDivergence:
+    @given(prefix=_prefix_frames, primary=_primary_suffix, fork=_fork_suffix)
+    @settings(max_examples=100, deadline=None)
+    def test_reconciliation_finds_exactly_the_fork(self, prefix, primary, fork):
+        primary_log = _log(prefix + primary)
+        replica_log = _log(prefix + fork)
+        local = frame_digests(replica_log)
+        remote = frame_digests(primary_log)
+        assert common_prefix_seq(local, remote) == len(prefix)
+        if fork and primary:
+            # Both histories continue past the prefix, differently: the
+            # first post-prefix frame is the divergence point.
+            assert divergence_point(local, remote) == len(prefix) + 1
+        else:
+            # One side simply ends: behind, not diverged.
+            assert divergence_point(local, remote) is None
+
+    @given(prefix=_prefix_frames, primary=_primary_suffix, fork=_fork_suffix)
+    @settings(max_examples=100, deadline=None)
+    def test_truncate_and_resync_always_converges(self, prefix, primary, fork):
+        primary_log = _log(prefix + primary)
+        replica_log = _log(prefix + fork)
+        common = common_prefix_seq(
+            frame_digests(replica_log), frame_digests(primary_log)
+        )
+        # The resync contract: drop everything past the common prefix,
+        # then replay the primary's frames from there.
+        converged = [
+            frame for frame in replica_log if frame[0] <= common
+        ] + [frame for frame in primary_log if frame[0] > common]
+        assert converged == primary_log
+        local = frame_digests(converged)
+        remote = frame_digests(primary_log)
+        assert divergence_point(local, remote) is None
+        assert common_prefix_seq(local, remote) == len(primary_log)
+
+    @given(payloads=_prefix_frames)
+    @settings(max_examples=50, deadline=None)
+    def test_a_log_never_diverges_from_itself(self, payloads):
+        digests = frame_digests(_log(payloads))
+        assert divergence_point(digests, digests) is None
+        assert common_prefix_seq(digests, digests) == len(payloads)
+
+
+# -- read-your-writes -------------------------------------------------------
+
+
+def _policies() -> PolicyStore:
+    policies = PolicyStore(default_threshold=0.0)
+    policies.add_role("Manager")
+    policies.add_purpose("ops")
+    policies.add_user("bob", roles=["Manager"])
+    policies.add_policy("Manager", "ops", 0.0)
+    return policies
+
+
+# An interleaving: commits (True) and read-your-writes checks (a float
+# in [0, 1] picking which past write the reading client demands).
+_interleavings = st.lists(
+    st.one_of(st.just(True), st.floats(min_value=0.0, max_value=1.0)),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestReadYourWrites:
+    @given(actions=_interleavings)
+    @settings(max_examples=100, deadline=None)
+    def test_a_session_never_observes_a_snapshot_older_than_min_seq(
+        self, actions
+    ):
+        db = Database("ryw")
+        db.create_table("t", Schema.of(("name", TEXT)))
+        mvcc = MVCCDatabase(db)
+        policies = _policies()
+        session = Session(mvcc, policies, "bob", "ops")
+        base_seq = mvcc.current_seq  # no rows exist at or before this
+        try:
+            for action in actions:
+                if action is True:
+
+                    def mutate(state):
+                        state.table("t").insert(["row"], confidence=0.5)
+
+                    mvcc.commit(mutate)
+                    continue
+                # A client that wrote at some past seq demands it here.
+                current = mvcc.current_seq
+                min_seq = base_seq + round(action * (current - base_seq))
+                observed = session.ensure_seq(min_seq)
+                assert observed == session.seq
+                assert session.seq >= min_seq
+                # The snapshot really contains every row up to min_seq.
+                visible = len(session._snapshot().db.table("t"))
+                assert visible >= min_seq - base_seq
+        finally:
+            session.close()
+
+    @given(commits=st.integers(min_value=0, max_value=5),
+           beyond=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_a_demand_beyond_the_position_raises_instead_of_lying(
+        self, commits, beyond
+    ):
+        db = Database("lag")
+        db.create_table("t", Schema.of(("name", TEXT)))
+        mvcc = MVCCDatabase(db)
+        session = Session(mvcc, _policies(), "bob", "ops")
+        try:
+            for _ in range(commits):
+                mvcc.commit(
+                    lambda state: state.table("t").insert(
+                        ["row"], confidence=0.5
+                    )
+                )
+            pinned = session.seq
+            with pytest.raises(ReplicaLagError) as excinfo:
+                session.ensure_seq(mvcc.current_seq + beyond)
+            assert excinfo.value.position == mvcc.current_seq
+            # The failed demand left the pin exactly where it was.
+            assert session.seq == pinned
+        finally:
+            session.close()
+
+    @given(commits=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_waiting_for_a_seq_that_arrives_succeeds(self, commits):
+        import threading
+
+        db = Database("wait")
+        db.create_table("t", Schema.of(("name", TEXT)))
+        mvcc = MVCCDatabase(db)
+        session = Session(mvcc, _policies(), "bob", "ops")
+        target = mvcc.current_seq + commits
+        try:
+            def writer():
+                for _ in range(commits):
+                    mvcc.commit(
+                        lambda state: state.table("t").insert(
+                            ["row"], confidence=0.5
+                        )
+                    )
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            assert session.ensure_seq(target, wait_s=5.0) >= target
+            thread.join()
+        finally:
+            session.close()

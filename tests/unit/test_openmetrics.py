@@ -93,6 +93,73 @@ class TestRenderAndParse:
         assert parse_openmetrics(text) == {}
 
 
+class TestReplicationMetricsExposition:
+    """The replication family survives the strict round trip intact."""
+
+    def replication_registry(self) -> MetricsRegistry:
+        from repro.obs import TIMING_BUCKETS
+
+        registry = MetricsRegistry()
+        registry.gauge("repl.lag_frames").set(4)
+        registry.gauge("server.epoch").set(2)
+        registry.counter("repl.scrub.divergences").inc(1)
+        registry.counter("repl.frames_applied").inc(9)
+        histogram = registry.histogram("repl.apply_seconds", TIMING_BUCKETS)
+        for value in (0.0004, 0.002, 0.03):
+            histogram.observe(value)
+        return registry
+
+    def test_round_trip_through_strict_parser(self):
+        families = parse_openmetrics(
+            render_openmetrics(self.replication_registry())
+        )
+        assert families["repl_lag_frames"]["type"] == "gauge"
+        assert families["server_epoch"]["type"] == "gauge"
+        assert families["repl_scrub_divergences"]["type"] == "counter"
+        assert families["repl_apply_seconds"]["type"] == "histogram"
+
+    def test_values_and_counts_survive(self):
+        families = parse_openmetrics(
+            render_openmetrics(self.replication_registry())
+        )
+        ((_n, _l, lag),) = families["repl_lag_frames"]["samples"]
+        assert lag == 4.0
+        ((_n, _l, epoch),) = families["server_epoch"]["samples"]
+        assert epoch == 2.0
+        ((name, _l, divergences),) = families["repl_scrub_divergences"][
+            "samples"
+        ]
+        assert name == "repl_scrub_divergences_total"
+        assert divergences == 1.0
+        count = next(
+            value
+            for name, _l, value in families["repl_apply_seconds"]["samples"]
+            if name == "repl_apply_seconds_count"
+        )
+        assert count == 3.0
+
+    def test_live_replication_metrics_render_cleanly(self):
+        """Whatever a real replica emitted parses strictly — guards
+        against a counter name drifting into something unsanitizable."""
+        from repro.obs import get_metrics, set_metrics
+
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            registry.gauge("repl.lag_frames").set(0)
+            registry.counter("repl.stale_frames_rejected").inc()
+            registry.counter("repl.duplicate_frames").inc()
+            registry.counter("server.fenced").inc()
+            registry.counter("server.sync_timeouts").inc()
+            registry.counter("repl.scrub.corruption").inc()
+            families = parse_openmetrics(render_openmetrics(registry))
+            assert "repl_stale_frames_rejected" in families
+            assert "server_fenced" in families
+            assert "repl_scrub_corruption" in families
+        finally:
+            set_metrics(previous)
+
+
 class TestStrictParserRejections:
     def test_missing_eof(self):
         with pytest.raises(OpenMetricsParseError):
